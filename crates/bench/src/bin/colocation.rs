@@ -1,0 +1,131 @@
+//! Co-location experiment (extension): two tenants share one machine — a
+//! hot zipfian YCSB tenant and a lukewarm uniform-access tenant.
+//!
+//! The paper's §II motivation: with static tiering, "when an application
+//! wins the race to allocate memory from a higher tier, and such space is
+//! exhausted, future allocations will be downgraded ... regardless of how
+//! the importance of the contained data changes over time". Here the
+//! lukewarm tenant loads *first* and wins the DRAM race; dynamic tiering
+//! must take DRAM back for the hot tenant.
+//!
+//! Run with `cargo run --release -p mc-bench --bin colocation`.
+
+use mc_bench::{banner, scale_from_args};
+use mc_mem::Nanos;
+use mc_sim::report::format_table;
+use mc_sim::{SimConfig, Simulation, SystemKind};
+use mc_workloads::dist::Uniform;
+use mc_workloads::kv::KvStore;
+use mc_workloads::ycsb::{YcsbClient, YcsbConfig, YcsbWorkload};
+use mc_workloads::Memory;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Outcome {
+    hot_tput: f64,
+    cold_tput: f64,
+    promotions: u64,
+}
+
+fn run(system: SystemKind, scale: &mc_sim::experiments::Scale) -> Outcome {
+    let mut cfg = SimConfig::new(system, scale.dram_pages, scale.pm_pages);
+    cfg.scan_interval = scale.scan_interval();
+    cfg.scan_batch = scale.scan_batch;
+    cfg.window = scale.window();
+    let mut sim = Simulation::new(cfg);
+
+    // Tenant B (lukewarm) loads FIRST and wins the DRAM race.
+    let mut cold_store = KvStore::new(&mut sim, scale.records);
+    let value = vec![7u8; scale.value_size];
+    for k in 0..scale.records as u64 / 2 {
+        cold_store.set(&mut sim, k, &value);
+    }
+    let cold_keys = scale.records as u64 / 2;
+    let cold_dist = Uniform::new(cold_keys);
+    let mut cold_rng = StdRng::seed_from_u64(scale.seed ^ 0xc01d);
+
+    // Tenant A (hot, zipfian) loads second: its records land in PM.
+    let mut hot = YcsbClient::load(
+        YcsbConfig {
+            records: scale.records / 2,
+            value_size: scale.value_size,
+            op_compute: scale.op_compute,
+            insert_scale: scale.insert_scale,
+            seed: scale.seed,
+        },
+        &mut sim,
+    );
+
+    // Interleave: 4 hot ops per 1 cold op (the hot tenant dominates).
+    let warm_end = sim.now() + scale.warmup;
+    let mut phase =
+        |sim: &mut Simulation, hot: &mut YcsbClient, until: Nanos, count: bool| -> (u64, u64) {
+            let mut hot_ops = 0u64;
+            let mut cold_ops = 0u64;
+            while sim.now() < until {
+                for _ in 0..4 {
+                    hot.run_op(YcsbWorkload::A, sim);
+                    hot_ops += 1;
+                }
+                cold_store.get(sim, cold_dist.next(&mut cold_rng));
+                cold_ops += 1;
+                if count {
+                    sim.record_op();
+                }
+            }
+            (hot_ops, cold_ops)
+        };
+    phase(&mut sim, &mut hot, warm_end, false);
+    let t0 = sim.now();
+    let (hot_ops, cold_ops) = phase(&mut sim, &mut hot, t0 + scale.measure, true);
+    let secs = (sim.now() - t0).as_secs_f64();
+    sim.finish();
+    Outcome {
+        hot_tput: hot_ops as f64 / secs,
+        cold_tput: cold_ops as f64 / secs,
+        promotions: sim.metrics().total_promotions(),
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Co-location (extension)",
+        "hot zipfian tenant vs lukewarm tenant that won the DRAM race",
+        &scale,
+    );
+    let systems = [
+        SystemKind::Static,
+        SystemKind::MultiClock,
+        SystemKind::Nimble,
+    ];
+    let base = run(SystemKind::Static, &scale);
+    let rows: Vec<Vec<String>> = systems
+        .iter()
+        .map(|s| {
+            let o = run(*s, &scale);
+            vec![
+                s.label().to_string(),
+                format!("{:.0}", o.hot_tput),
+                format!("{:.2}", o.hot_tput / base.hot_tput),
+                format!("{:.0}", o.cold_tput),
+                o.promotions.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "system",
+                "hot tenant ops/s",
+                "norm.",
+                "cold tenant ops/s",
+                "promotions",
+            ],
+            &rows,
+        )
+    );
+    println!("expected: dynamic tiering reclaims DRAM from the tenant that merely");
+    println!("allocated first and gives it to the tenant that actually needs it.");
+}

@@ -1,0 +1,55 @@
+//! Fig. 5 — YCSB throughput normalised to static tiering for
+//! MULTI-CLOCK, Nimble, AT-CPM and AT-OPM across workloads A, B, C, D, F
+//! and W.
+//!
+//! Expected shape (paper): MULTI-CLOCK beats static by 20-132% (max on
+//! D), Nimble by 9-36%, AT-CPM by 260-677% and AT-OPM by 10-352%.
+//!
+//! Regenerate with `cargo run -p mc-bench --release --bin fig5_ycsb`
+//! (add `--full` for the larger configuration).
+
+use mc_bench::{banner, scale_from_args};
+use mc_sim::experiments::ycsb_comparison;
+use mc_sim::report::{format_table, normalize_throughput};
+use mc_workloads::ycsb::YcsbWorkload;
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Figure 5",
+        "YCSB throughput normalised to static tiering (higher is better)",
+        &scale,
+    );
+    let workloads = YcsbWorkload::prescribed_order();
+    let mut rows = Vec::new();
+    let mut raw_rows = Vec::new();
+    for w in workloads {
+        eprintln!("running workload {w} ...");
+        let results = ycsb_comparison(w, &scale);
+        let norm = normalize_throughput(&results);
+        rows.push({
+            let mut r = vec![w.to_string()];
+            r.extend(norm.iter().map(|(_, v)| format!("{v:.2}")));
+            r
+        });
+        raw_rows.push({
+            let mut r = vec![w.to_string()];
+            r.extend(results.iter().map(|x| format!("{:.0}", x.ops_per_sec)));
+            r
+        });
+    }
+    let headers = [
+        "workload",
+        "Static",
+        "MULTI-CLOCK",
+        "Nimble",
+        "AT-CPM",
+        "AT-OPM",
+    ];
+    println!("\nNormalised throughput (static = 1.00):");
+    println!("{}", format_table(&headers, &rows));
+    println!("Raw throughput (ops per virtual second):");
+    println!("{}", format_table(&headers, &raw_rows));
+    println!("expected shape (paper): MULTI-CLOCK highest everywhere; max gain on D;");
+    println!("AT-CPM far below 1.0; AT-OPM between AT-CPM and Nimble.");
+}

@@ -1,0 +1,57 @@
+//! Fig. 6 — GAPBS execution time normalised to static tiering (lower is
+//! better) for the six kernels.
+//!
+//! Expected shape (paper): MULTI-CLOCK beats static by 4-68% (most on
+//! SSSP), Nimble by 1-16%; AT-CPM may narrowly win on BFS/BC; AT-OPM
+//! loses to MULTI-CLOCK by 4-62%. Gains are smaller than YCSB because
+//! GAPBS allocates its hottest memory first, so static placement is
+//! already good.
+//!
+//! Regenerate with `cargo run -p mc-bench --release --bin fig6_gapbs`.
+
+use mc_bench::{banner, scale_from_args};
+use mc_sim::experiments::gapbs_comparison;
+use mc_sim::report::{format_table, normalize_time};
+use mc_workloads::graph::Kernel;
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Figure 6",
+        "GAPBS execution time normalised to static tiering (lower is better)",
+        &scale,
+    );
+    let mut rows = Vec::new();
+    let mut raw_rows = Vec::new();
+    for k in Kernel::ALL {
+        eprintln!("running kernel {} ...", k.label());
+        let results = gapbs_comparison(k, &scale);
+        let norm = normalize_time(&results);
+        rows.push({
+            let mut r = vec![k.label().to_string()];
+            r.extend(norm.iter().map(|(_, v)| format!("{v:.2}")));
+            r
+        });
+        raw_rows.push({
+            let mut r = vec![k.label().to_string()];
+            r.extend(
+                results
+                    .iter()
+                    .map(|x| format!("{:.1}ms", x.trial_time.as_nanos() as f64 / 1e6)),
+            );
+            r
+        });
+    }
+    let headers = [
+        "kernel",
+        "Static",
+        "MULTI-CLOCK",
+        "Nimble",
+        "AT-CPM",
+        "AT-OPM",
+    ];
+    println!("\nNormalised execution time (static = 1.00, lower is better):");
+    println!("{}", format_table(&headers, &rows));
+    println!("Raw time per trial:");
+    println!("{}", format_table(&headers, &raw_rows));
+}

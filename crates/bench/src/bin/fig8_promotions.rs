@@ -1,0 +1,58 @@
+//! Fig. 8 — pages promoted per 20-second window, MULTI-CLOCK vs Nimble,
+//! running YCSB workload A.
+//!
+//! Expected shape (paper): Nimble promotes more pages than MULTI-CLOCK in
+//! every window (it selects on a single recency observation).
+//!
+//! Regenerate with `cargo run -p mc-bench --release --bin fig8_promotions`.
+
+use mc_bench::{banner, scale_from_args};
+use mc_sim::experiments::run_ycsb;
+use mc_sim::report::format_table;
+use mc_sim::SystemKind;
+use mc_workloads::ycsb::YcsbWorkload;
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Figure 8",
+        "pages promoted per 20 s window, MULTI-CLOCK vs Nimble (YCSB-A)",
+        &scale,
+    );
+    let mc = run_ycsb(
+        SystemKind::MultiClock,
+        YcsbWorkload::A,
+        &scale,
+        scale.scan_interval(),
+    );
+    let nim = run_ycsb(
+        SystemKind::Nimble,
+        YcsbWorkload::A,
+        &scale,
+        scale.scan_interval(),
+    );
+    let windows = mc.windows.len().max(nim.windows.len());
+    let mut rows = Vec::new();
+    for wi in 0..windows {
+        rows.push(vec![
+            format!("{wi}"),
+            mc.windows
+                .get(wi)
+                .map_or("-".into(), |w| w.promotions.to_string()),
+            nim.windows
+                .get(wi)
+                .map_or("-".into(), |w| w.promotions.to_string()),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["window", "MULTI-CLOCK promotions", "Nimble promotions"],
+            &rows
+        )
+    );
+    println!(
+        "totals: MULTI-CLOCK {} vs Nimble {} (expected: Nimble promotes more)",
+        mc.promotions, nim.promotions
+    );
+}

@@ -1,0 +1,107 @@
+//! Diagnostic probe: per-system behaviour details on YCSB-A (not part of
+//! the paper's figures; used for calibration and debugging).
+
+use mc_bench::scale_from_args;
+use mc_sim::experiments::{run_ycsb, RunSummary};
+use mc_sim::SystemKind;
+use mc_workloads::ycsb::YcsbWorkload;
+
+fn show(r: &RunSummary) {
+    println!(
+        "{:<12} tput={:>9.0} promo={:>6} demo={:>6} reacc={:>6} hintf={:>8} dram={}",
+        r.system.label(),
+        r.ops_per_sec,
+        r.promotions,
+        r.demotions,
+        r.reaccess_pct.map_or("-".into(), |p| format!("{p:.0}%")),
+        r.hint_faults,
+        r.top_tier_share
+            .map_or("-".into(), |p| format!("{:.0}%", p * 100.0)),
+    );
+    if let (Some(p50), Some(p99)) = (r.p50, r.p99) {
+        println!("             op latency: p50={p50} p99={p99}");
+    }
+    let win: Vec<String> = r
+        .windows
+        .iter()
+        .map(|w| format!("{}ops/{}p", w.ops, w.promotions))
+        .collect();
+    println!("             windows: {}", win.join(" "));
+}
+
+/// Runs MULTI-CLOCK on YCSB-A manually and reports where the hot data
+/// actually lives at the end.
+fn deep_dive(scale: &mc_sim::experiments::Scale) {
+    use mc_sim::{SimConfig, Simulation};
+    use mc_workloads::ycsb::{YcsbClient, YcsbConfig};
+    use mc_workloads::Memory;
+
+    let mut cfg = SimConfig::new(SystemKind::MultiClock, scale.dram_pages, scale.pm_pages);
+    cfg.scan_interval = scale.scan_interval();
+    cfg.scan_batch = scale.scan_batch;
+    cfg.window = scale.window();
+    let mut sim = Simulation::new(cfg);
+    let mut client = YcsbClient::load(
+        YcsbConfig {
+            records: scale.records,
+            value_size: scale.value_size,
+            op_compute: scale.op_compute,
+            insert_scale: scale.insert_scale,
+            seed: scale.seed,
+        },
+        &mut sim,
+    );
+    let end = sim.now() + scale.warmup + scale.measure;
+    while sim.now() < end {
+        client.run_op(YcsbWorkload::A, &mut sim);
+    }
+    // Bucket pages: sample keys, dedupe bucket pages.
+    let mut bucket_pages = std::collections::HashSet::new();
+    let mut item_in_dram = vec![];
+    for rank in [0u64, 1, 2, 5, 10, 50, 100, 500, 1000, 2000, 3999] {
+        // scrambled zipfian: rank r maps to key fnv(r) % records — reuse
+        // the dist directly.
+        let key = mc_workloads::dist::fnv1a_64(rank) % scale.records as u64;
+        bucket_pages.insert(client.store().bucket_addr_of(key).page());
+        if let Some(addr) = client.store().item_addr(key) {
+            let in_dram = sim
+                .mem()
+                .translate(addr.page())
+                .map(|f| sim.mem().frame(f).tier().is_top());
+            item_in_dram.push((rank, in_dram));
+        }
+    }
+    let dram_buckets = bucket_pages
+        .iter()
+        .filter(|p| {
+            sim.mem()
+                .translate(**p)
+                .map(|f| sim.mem().frame(f).tier().is_top())
+                .unwrap_or(false)
+        })
+        .count();
+    println!(
+        "deep dive (MULTI-CLOCK): {}/{} sampled bucket pages in DRAM",
+        dram_buckets,
+        bucket_pages.len()
+    );
+    for (rank, in_dram) in item_in_dram {
+        println!("  zipf rank {:>5}: item page in DRAM = {:?}", rank, in_dram);
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    deep_dive(&scale);
+    for w in [YcsbWorkload::A, YcsbWorkload::D] {
+        println!("--- workload {w} ---");
+        for s in [
+            SystemKind::Static,
+            SystemKind::MultiClock,
+            SystemKind::Nimble,
+        ] {
+            let r = run_ycsb(s, w, &scale, scale.scan_interval());
+            show(&r);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared plumbing for the figure binaries: scale selection from the
+//! command line and common printing.
+
+use mc_sim::experiments::Scale;
+use mc_sim::SystemKind;
+use mc_workloads::graph::Kernel;
+use mc_workloads::ycsb::YcsbWorkload;
+
+/// Parses a system name as accepted by the `compare` binary.
+pub fn parse_system(s: &str) -> Option<SystemKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "static" => SystemKind::Static,
+        "multi-clock" | "multiclock" | "mc" => SystemKind::MultiClock,
+        "nimble" => SystemKind::Nimble,
+        "at-cpm" | "atcpm" => SystemKind::AtCpm,
+        "at-opm" | "atopm" => SystemKind::AtOpm,
+        "autonuma" | "autonuma-tiering" => SystemKind::AutoNuma,
+        "amp" => SystemKind::Amp,
+        "memory-mode" | "memorymode" | "mm" => SystemKind::MemoryMode,
+        "oracle-lru" => SystemKind::OracleLru,
+        "oracle-lfu" => SystemKind::OracleLfu,
+        _ => return None,
+    })
+}
+
+/// Parses a YCSB workload letter.
+pub fn parse_workload(s: &str) -> Option<YcsbWorkload> {
+    Some(match s.to_ascii_uppercase().as_str() {
+        "A" => YcsbWorkload::A,
+        "B" => YcsbWorkload::B,
+        "C" => YcsbWorkload::C,
+        "D" => YcsbWorkload::D,
+        "F" => YcsbWorkload::F,
+        "W" => YcsbWorkload::W,
+        _ => return None,
+    })
+}
+
+/// Parses a GAPBS kernel name.
+pub fn parse_kernel(s: &str) -> Option<Kernel> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "bfs" => Kernel::Bfs,
+        "sssp" => Kernel::Sssp,
+        "pr" | "pagerank" => Kernel::Pr,
+        "cc" => Kernel::Cc,
+        "bc" => Kernel::Bc,
+        "tc" => Kernel::Tc,
+        _ => return None,
+    })
+}
+
+/// Picks the experiment scale from argv: `--tiny`, `--quick` (default) or
+/// `--full`.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--full") {
+        Scale::full()
+    } else if args.iter().any(|a| a == "--tiny") {
+        Scale::tiny()
+    } else {
+        Scale::quick()
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(figure: &str, description: &str, scale: &Scale) {
+    println!("==============================================================");
+    println!("{figure}: {description}");
+    println!(
+        "machine: DRAM {} pages ({} MiB) + PM {} pages ({} MiB); seed {}",
+        scale.dram_pages,
+        scale.dram_pages * 4 / 1024,
+        scale.pm_pages,
+        scale.pm_pages * 4 / 1024,
+        scale.seed,
+    );
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // No --tiny/--full in the test harness argv.
+        let s = scale_from_args();
+        assert_eq!(s.dram_pages, Scale::quick().dram_pages);
+    }
+
+    #[test]
+    fn system_names_parse_with_aliases() {
+        assert_eq!(parse_system("mc"), Some(SystemKind::MultiClock));
+        assert_eq!(parse_system("MULTI-CLOCK"), Some(SystemKind::MultiClock));
+        assert_eq!(parse_system("at-cpm"), Some(SystemKind::AtCpm));
+        assert_eq!(parse_system("mm"), Some(SystemKind::MemoryMode));
+        assert_eq!(parse_system("autonuma"), Some(SystemKind::AutoNuma));
+        assert_eq!(parse_system("bogus"), None);
+    }
+
+    #[test]
+    fn workload_letters_parse_case_insensitively() {
+        assert_eq!(parse_workload("a"), Some(YcsbWorkload::A));
+        assert_eq!(parse_workload("D"), Some(YcsbWorkload::D));
+        assert_eq!(parse_workload("E"), None, "E is non-operational");
+        assert_eq!(parse_workload("x"), None);
+    }
+
+    #[test]
+    fn kernel_names_parse() {
+        assert_eq!(parse_kernel("SSSP"), Some(Kernel::Sssp));
+        assert_eq!(parse_kernel("pagerank"), Some(Kernel::Pr));
+        assert_eq!(parse_kernel("nope"), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Active:inactive list balancing.
+//!
+//! Paper §III-C: "if the ratio of pages in the active list with respect to
+//! the inactive list exceeds a tunable threshold (inherited from PFRA and
+//! typically `sqrt(10 * n) : 1`, where `n` is the amount of memory in GB
+//! available in the tier), pages not marked as referenced in the active
+//! list are moved to the inactive list." This module implements that rule
+//! (the kernel's `inactive_list_is_low` logic).
+
+use mc_mem::PAGE_SIZE;
+
+/// The allowed active:inactive ratio for a tier of `tier_pages` pages:
+/// `sqrt(10 * gb)`, minimum 1 (matching `inactive_ratio` in mm/vmscan.c).
+pub fn inactive_ratio(tier_pages: usize) -> u64 {
+    let bytes = tier_pages as u64 * PAGE_SIZE as u64;
+    let gb = bytes / (1 << 30);
+    let gb = gb.max(1);
+    integer_sqrt(10 * gb).max(1)
+}
+
+/// Whether the inactive list is too small relative to the active list and
+/// active pages should be deactivated.
+pub fn inactive_is_low(active_len: usize, inactive_len: usize, tier_pages: usize) -> bool {
+    let ratio = inactive_ratio(tier_pages);
+    (inactive_len as u64) * ratio < active_len as u64
+}
+
+/// Integer square root (floor).
+fn integer_sqrt(x: u64) -> u64 {
+    if x < 2 {
+        return x;
+    }
+    let mut lo = 1u64;
+    let mut hi = x.min(u32::MAX as u64);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if mid.checked_mul(mid).map(|m| m <= x).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_spot_checks() {
+        assert_eq!(integer_sqrt(0), 0);
+        assert_eq!(integer_sqrt(1), 1);
+        assert_eq!(integer_sqrt(9), 3);
+        assert_eq!(integer_sqrt(10), 3);
+        assert_eq!(integer_sqrt(99), 9);
+        assert_eq!(integer_sqrt(100), 10);
+        assert_eq!(integer_sqrt(u64::MAX), 4_294_967_295);
+    }
+
+    #[test]
+    fn ratio_matches_kernel_examples() {
+        // From the mm/vmscan.c comment table:
+        //   total     target    max  inactive:active ratio
+        //   1 GB  ->  sqrt(10)  = 3
+        //   10 GB ->  sqrt(100) = 10
+        //   100GB ->  sqrt(1000)= 31
+        let pages_per_gb = (1usize << 30) / PAGE_SIZE;
+        assert_eq!(inactive_ratio(pages_per_gb), 3);
+        assert_eq!(inactive_ratio(10 * pages_per_gb), 10);
+        assert_eq!(inactive_ratio(100 * pages_per_gb), 31);
+    }
+
+    #[test]
+    fn small_tiers_clamp_to_one_gb() {
+        // Sub-GB tiers (our scaled-down simulations) behave like 1 GB.
+        assert_eq!(inactive_ratio(1024), 3);
+        assert_eq!(inactive_ratio(1), 3);
+    }
+
+    #[test]
+    fn balance_decision() {
+        let pages_per_gb = (1usize << 30) / PAGE_SIZE;
+        // ratio = 3 at 1 GB: active up to 3x inactive is fine.
+        assert!(!inactive_is_low(30, 10, pages_per_gb));
+        assert!(inactive_is_low(31, 10, pages_per_gb));
+        // Empty inactive with nonempty active is always low.
+        assert!(inactive_is_low(1, 0, pages_per_gb));
+        // Nothing active: never low.
+        assert!(!inactive_is_low(0, 0, pages_per_gb));
+    }
+}

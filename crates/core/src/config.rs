@@ -1,0 +1,120 @@
+//! MULTI-CLOCK tunables.
+
+use mc_mem::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`crate::MultiClock`].
+///
+/// Defaults follow the paper's prototype: a one-second `kpromoted` period
+/// (chosen by the §V-E sensitivity study) and a scan batch of 1024 pages
+/// ("we set the number of page scan to 1024").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiClockConfig {
+    /// `kpromoted` wake-up period.
+    pub scan_interval: Nanos,
+    /// Pages examined per list per tick.
+    pub scan_batch: usize,
+    /// Maximum pages examined by one pressure (reclaim) invocation.
+    pub reclaim_batch: usize,
+    /// §VII extension: "include the dirtiness information for memory
+    /// pages in a weighted formula to compute the importance of a page".
+    /// `1.0` reproduces the paper (reads and writes indistinguishable);
+    /// above `1.0`, *dirty* promotion candidates get priority for scarce
+    /// promotion slots, biasing placement towards pages that would pay
+    /// the lower tier's expensive stores.
+    pub write_weight: f64,
+    /// §VII extension: adapt the scan interval to workload behaviour
+    /// (halve it while promotions are plentiful, back off when idle).
+    pub adaptive_interval: bool,
+    /// Lower bound for the adaptive interval.
+    pub min_interval: Nanos,
+    /// Upper bound for the adaptive interval.
+    pub max_interval: Nanos,
+}
+
+impl Default for MultiClockConfig {
+    fn default() -> Self {
+        MultiClockConfig {
+            scan_interval: Nanos::from_secs(1),
+            scan_batch: 1024,
+            reclaim_batch: 4096,
+            write_weight: 1.0,
+            adaptive_interval: false,
+            min_interval: Nanos::from_millis(100),
+            max_interval: Nanos::from_secs(60),
+        }
+    }
+}
+
+impl MultiClockConfig {
+    /// The paper's defaults with a different scan interval (the Fig. 10
+    /// sensitivity sweep).
+    pub fn with_interval(interval: Nanos) -> Self {
+        MultiClockConfig {
+            scan_interval: interval,
+            ..Self::default()
+        }
+    }
+
+    /// Validates invariants; called by [`crate::MultiClock::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is nonsensical (zero interval/batch, inverted
+    /// adaptive bounds, non-positive write weight).
+    pub fn validate(&self) {
+        assert!(
+            self.scan_interval > Nanos::ZERO,
+            "scan interval must be positive"
+        );
+        assert!(self.scan_batch > 0, "scan batch must be positive");
+        assert!(self.reclaim_batch > 0, "reclaim batch must be positive");
+        assert!(self.write_weight >= 1.0, "write weight must be >= 1");
+        assert!(
+            self.min_interval <= self.max_interval,
+            "adaptive interval bounds inverted"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MultiClockConfig::default();
+        assert_eq!(c.scan_interval, Nanos::from_secs(1));
+        assert_eq!(c.scan_batch, 1024);
+        assert!(!c.adaptive_interval);
+        assert_eq!(c.write_weight, 1.0);
+        c.validate();
+    }
+
+    #[test]
+    fn with_interval_overrides_only_interval() {
+        let c = MultiClockConfig::with_interval(Nanos::from_millis(250));
+        assert_eq!(c.scan_interval, Nanos::from_millis(250));
+        assert_eq!(c.scan_batch, MultiClockConfig::default().scan_batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan batch")]
+    fn zero_batch_rejected() {
+        let c = MultiClockConfig {
+            scan_batch: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "write weight")]
+    fn sub_one_write_weight_rejected() {
+        let c = MultiClockConfig {
+            write_weight: 0.5,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,405 @@
+//! The [`MultiClock`] policy: tracking structure, the Fig. 4 transition
+//! engine, and the [`TieringPolicy`] wiring. The periodic scan lives in
+//! [`crate::scan`]; the pressure/demotion path lives in
+//! [`crate::reclaim`].
+
+use crate::config::MultiClockConfig;
+use crate::lists::TierLists;
+use crate::state::PageState;
+use crate::stats::MultiClockStats;
+use mc_mem::{
+    AccessKind, FrameId, MemorySystem, Nanos, PageFlags, PolicyTraits, TickOutcome, TierId,
+    TieringPolicy, Topology,
+};
+
+/// The MULTI-CLOCK dynamic tiering policy.
+///
+/// Keeps one [`TierLists`] per tier, a per-frame [`PageState`] table, and
+/// implements the paper's page state machine: supervised accesses step the
+/// ladder immediately (`mark_page_accessed()`), unsupervised accesses are
+/// observed via harvested PTE reference bits during `kpromoted` scans, and
+/// the promote lists of lower tiers are drained upwards every tick.
+#[derive(Debug)]
+pub struct MultiClock {
+    pub(crate) cfg: MultiClockConfig,
+    pub(crate) tiers: Vec<TierLists>,
+    pub(crate) states: Vec<Option<PageState>>,
+    pub(crate) stats: MultiClockStats,
+    /// Current scan interval (equals `cfg.scan_interval` unless the
+    /// adaptive-interval extension is enabled).
+    pub(crate) current_interval: Nanos,
+    /// Consecutive ticks without any promotion (adaptive back-off input).
+    pub(crate) idle_ticks: u32,
+    /// Re-entrancy guard for the pressure path, one slot per tier.
+    pub(crate) pressure_guard: Vec<bool>,
+}
+
+impl MultiClock {
+    /// Creates a MULTI-CLOCK instance for the given machine topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MultiClockConfig::validate`]).
+    pub fn new(cfg: MultiClockConfig, topology: &Topology) -> Self {
+        cfg.validate();
+        let current_interval = cfg.scan_interval;
+        MultiClock {
+            cfg,
+            tiers: (0..topology.tier_count())
+                .map(|_| TierLists::new())
+                .collect(),
+            states: vec![None; topology.total_pages()],
+            stats: MultiClockStats::default(),
+            current_interval,
+            idle_ticks: 0,
+            pressure_guard: vec![false; topology.tier_count()],
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MultiClockConfig {
+        &self.cfg
+    }
+
+    /// Internal counters.
+    pub fn stats(&self) -> &MultiClockStats {
+        &self.stats
+    }
+
+    /// The tracked state of a frame, if it is tracked.
+    pub fn state_of(&self, frame: FrameId) -> Option<PageState> {
+        self.states[frame.index()]
+    }
+
+    /// The list structure of one tier (read-only; used by tests and the
+    /// invariant checker).
+    pub fn tier_lists(&self, tier: TierId) -> &TierLists {
+        &self.tiers[tier.index()]
+    }
+
+    /// Pins a page: moves it to the unevictable list; it will never be
+    /// scanned or migrated until [`Self::munlock`].
+    pub fn mlock(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        if self.states[frame.index()].is_none() {
+            return;
+        }
+        let tier = mem.frame(frame).tier();
+        self.tiers[tier.index()].remove(frame);
+        self.tiers[tier.index()].unevictable.push_back(frame);
+        self.states[frame.index()] = Some(PageState::Unevictable);
+        self.sync_flags(mem, frame, PageState::Unevictable);
+    }
+
+    /// Unpins a page: it returns to the inactive list as a cold page.
+    pub fn munlock(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        if self.states[frame.index()] != Some(PageState::Unevictable) {
+            return;
+        }
+        let tier = mem.frame(frame).tier();
+        let kind = mem.frame(frame).kind();
+        self.tiers[tier.index()].unevictable.remove(frame);
+        self.tiers[tier.index()]
+            .set_mut(kind)
+            .inactive
+            .push_back(frame);
+        self.states[frame.index()] = Some(PageState::InactiveUnref);
+        self.sync_flags(mem, frame, PageState::InactiveUnref);
+    }
+
+    /// Mirrors a [`PageState`] into the frame's page flags, keeping the
+    /// `struct page` view consistent with the list view (Table II's
+    /// page-flags.h changes).
+    pub(crate) fn sync_flags(&self, mem: &mut MemorySystem, frame: FrameId, state: PageState) {
+        let flags = mem.frame_flags_mut(frame);
+        flags.insert(PageFlags::LRU);
+        flags.set(PageFlags::ACTIVE, state.is_active());
+        flags.set(PageFlags::PROMOTE, state == PageState::Promote);
+        flags.set(PageFlags::REFERENCED, state.is_referenced());
+        flags.set(PageFlags::UNEVICTABLE, state == PageState::Unevictable);
+    }
+
+    /// Starts tracking a freshly mapped page: Fig. 4 transition (5), the
+    /// page enters `inactive-unreferenced`.
+    pub(crate) fn track(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        debug_assert!(
+            self.states[frame.index()].is_none(),
+            "{frame} is already tracked"
+        );
+        let tier = mem.frame(frame).tier();
+        let kind = mem.frame(frame).kind();
+        self.tiers[tier.index()]
+            .set_mut(kind)
+            .inactive
+            .push_back(frame);
+        self.states[frame.index()] = Some(PageState::InactiveUnref);
+        self.sync_flags(mem, frame, PageState::InactiveUnref);
+    }
+
+    /// Stops tracking a page (it is being unmapped/freed): Fig. 4
+    /// transition (4).
+    pub(crate) fn untrack(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        if self.states[frame.index()].take().is_some() {
+            let tier = mem.frame(frame).tier();
+            self.tiers[tier.index()].remove(frame);
+            mem.frame_flags_mut(frame).remove(
+                PageFlags::LRU
+                    | PageFlags::ACTIVE
+                    | PageFlags::PROMOTE
+                    | PageFlags::REFERENCED
+                    | PageFlags::UNEVICTABLE,
+            );
+        }
+    }
+
+    /// Applies `steps` observed accesses to a page: the ladder of Fig. 4
+    /// transitions (2), (6), (7)/(8), (10), (12), moving the page between
+    /// lists as its state changes.
+    ///
+    /// A page that is not on any list (mid-scan, already popped) is simply
+    /// pushed into the list its new state demands; callers that pop must
+    /// re-insert the page first if they want rotation semantics.
+    pub(crate) fn apply_access(&mut self, mem: &mut MemorySystem, frame: FrameId, steps: u32) {
+        let Some(mut st) = self.states[frame.index()] else {
+            return;
+        };
+        if st == PageState::Unevictable {
+            return;
+        }
+        let tier = mem.frame(frame).tier();
+        let kind = mem.frame(frame).kind();
+        for _ in 0..steps {
+            let new = st.on_access();
+            if new == st {
+                break;
+            }
+            if new.list() != st.list() {
+                let set = self.tiers[tier.index()].set_mut(kind);
+                set.list_mut(st.list()).remove(frame);
+                set.list_mut(new.list()).push_back(frame);
+                match new {
+                    PageState::ActiveUnref => self.stats.activations += 1,
+                    PageState::Promote => self.stats.promote_enqueues += 1,
+                    _ => {}
+                }
+            }
+            st = new;
+        }
+        self.states[frame.index()] = Some(st);
+        self.sync_flags(mem, frame, st);
+    }
+
+    /// How many ladder steps one observed access of this frame is worth.
+    /// Always one: the §VII write-weight extension influences *placement
+    /// priority* (see the promote phase), not the frequency bar — raising
+    /// climb speed for dirty pages would just relax selectivity.
+    pub(crate) fn access_steps(&self, _mem: &MemorySystem, _frame: FrameId) -> u32 {
+        1
+    }
+
+    /// Moves a tracked page out of its current list and into the list a
+    /// new state demands, updating the state table and flags. Used by the
+    /// scan and reclaim paths for downward transitions.
+    pub(crate) fn transition(
+        &mut self,
+        mem: &mut MemorySystem,
+        frame: FrameId,
+        new_state: PageState,
+    ) {
+        let Some(st) = self.states[frame.index()] else {
+            return;
+        };
+        let tier = mem.frame(frame).tier();
+        let kind = mem.frame(frame).kind();
+        let set = self.tiers[tier.index()].set_mut(kind);
+        set.list_mut(st.list()).remove(frame);
+        set.list_mut(new_state.list()).push_back(frame);
+        self.states[frame.index()] = Some(new_state);
+        self.sync_flags(mem, frame, new_state);
+    }
+
+    /// Carries tracking across a migration: the old frame is forgotten and
+    /// the new frame enters `landing_state` on its tier's matching list.
+    pub(crate) fn retrack_after_migration(
+        &mut self,
+        mem: &mut MemorySystem,
+        old_frame: FrameId,
+        new_frame: FrameId,
+        landing_state: PageState,
+    ) {
+        self.states[old_frame.index()] = None;
+        // The old frame is already detached by the caller; defensively
+        // remove in case it was not.
+        for t in &mut self.tiers {
+            t.remove(old_frame);
+        }
+        let tier = mem.frame(new_frame).tier();
+        let kind = mem.frame(new_frame).kind();
+        self.tiers[tier.index()]
+            .set_mut(kind)
+            .list_mut(landing_state.list())
+            .push_back(new_frame);
+        self.states[new_frame.index()] = Some(landing_state);
+        self.sync_flags(mem, new_frame, landing_state);
+    }
+}
+
+impl TieringPolicy for MultiClock {
+    fn name(&self) -> &'static str {
+        "multi-clock"
+    }
+
+    fn traits(&self) -> PolicyTraits {
+        PolicyTraits {
+            name: "MULTI-CLOCK",
+            page_access_tracking: "Reference Bit",
+            selection_promotion: "Recency+Frequency",
+            selection_demotion: "Recency",
+            numa_aware: true,
+            space_overhead: false,
+            generality: "All",
+            key_insight: "Low overhead Recency/Frequency",
+        }
+    }
+
+    fn on_page_mapped(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        self.track(mem, frame);
+    }
+
+    fn on_page_unmapped(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        self.untrack(mem, frame);
+    }
+
+    fn on_supervised_access(&mut self, mem: &mut MemorySystem, frame: FrameId, _kind: AccessKind) {
+        // mark_page_accessed(): supervised accesses step the ladder
+        // immediately, before the data access is even served (§III-A.1).
+        self.apply_access(mem, frame, 1);
+    }
+
+    fn tick(&mut self, mem: &mut MemorySystem, now: Nanos) -> TickOutcome {
+        self.kpromoted_run(mem, now)
+    }
+
+    fn on_pressure(&mut self, mem: &mut MemorySystem, tier: TierId, _now: Nanos) -> TickOutcome {
+        self.run_pressure(mem, tier, true)
+    }
+
+    fn tick_interval(&self) -> Option<Nanos> {
+        Some(self.current_interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_mem::{MemConfig, PageKind, VPage};
+
+    fn setup() -> (MemorySystem, MultiClock) {
+        let mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let mc = MultiClock::new(MultiClockConfig::default(), mem.topology());
+        (mem, mc)
+    }
+
+    fn map_one(mem: &mut MemorySystem, mc: &mut MultiClock, v: u64) -> FrameId {
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        mem.map(VPage::new(v), f).unwrap();
+        mc.on_page_mapped(mem, f);
+        f
+    }
+
+    #[test]
+    fn new_pages_enter_inactive_unreferenced() {
+        let (mut mem, mut mc) = setup();
+        let f = map_one(&mut mem, &mut mc, 1);
+        assert_eq!(mc.state_of(f), Some(PageState::InactiveUnref));
+        assert!(mc.tier_lists(TierId::TOP).anon.inactive.contains(f));
+        assert!(mem.frame(f).flags().contains(PageFlags::LRU));
+        assert!(!mem.frame(f).flags().contains(PageFlags::ACTIVE));
+    }
+
+    #[test]
+    fn supervised_accesses_climb_ladder_to_promote() {
+        let (mut mem, mut mc) = setup();
+        let f = map_one(&mut mem, &mut mc, 1);
+        let states = [
+            PageState::InactiveRef,
+            PageState::ActiveUnref,
+            PageState::ActiveRef,
+            PageState::Promote,
+            PageState::Promote,
+        ];
+        for expected in states {
+            mc.on_supervised_access(&mut mem, f, AccessKind::Read);
+            assert_eq!(mc.state_of(f), Some(expected));
+        }
+        let lists = mc.tier_lists(TierId::TOP);
+        assert!(lists.anon.promote.contains(f));
+        assert!(mem.frame(f).flags().contains(PageFlags::PROMOTE));
+        assert_eq!(mc.stats().activations, 1);
+        assert_eq!(mc.stats().promote_enqueues, 1);
+    }
+
+    #[test]
+    fn untrack_clears_lists_and_flags() {
+        let (mut mem, mut mc) = setup();
+        let f = map_one(&mut mem, &mut mc, 1);
+        mc.on_supervised_access(&mut mem, f, AccessKind::Read);
+        mc.on_page_unmapped(&mut mem, f);
+        assert_eq!(mc.state_of(f), None);
+        assert!(!mc.tier_lists(TierId::TOP).contains(f));
+        assert!(!mem.frame(f).flags().contains(PageFlags::LRU));
+    }
+
+    #[test]
+    fn mlock_munlock_cycle() {
+        let (mut mem, mut mc) = setup();
+        let f = map_one(&mut mem, &mut mc, 1);
+        mc.mlock(&mut mem, f);
+        assert_eq!(mc.state_of(f), Some(PageState::Unevictable));
+        assert!(mc.tier_lists(TierId::TOP).unevictable.contains(f));
+        assert!(mem.frame(f).flags().contains(PageFlags::UNEVICTABLE));
+        // Accesses do not move unevictable pages.
+        mc.on_supervised_access(&mut mem, f, AccessKind::Read);
+        assert_eq!(mc.state_of(f), Some(PageState::Unevictable));
+        mc.munlock(&mut mem, f);
+        assert_eq!(mc.state_of(f), Some(PageState::InactiveUnref));
+        assert!(mc.tier_lists(TierId::TOP).anon.inactive.contains(f));
+    }
+
+    #[test]
+    fn write_weight_never_changes_climb_speed() {
+        let mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let cfg = MultiClockConfig {
+            write_weight: 3.0,
+            ..Default::default()
+        };
+        let mut mc = MultiClock::new(cfg, mem.topology());
+        let mut mem = mem;
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        mem.map(VPage::new(1), f).unwrap();
+        mc.on_page_mapped(&mut mem, f);
+        mem.access(VPage::new(1), AccessKind::Write).unwrap(); // dirty
+        mc.on_supervised_access(&mut mem, f, AccessKind::Write);
+        assert_eq!(
+            mc.state_of(f),
+            Some(PageState::InactiveRef),
+            "dirtiness weights placement priority, not the frequency bar"
+        );
+    }
+
+    #[test]
+    fn policy_reports_paper_traits() {
+        let (_, mc) = setup();
+        let t = mc.traits();
+        assert_eq!(t.selection_promotion, "Recency+Frequency");
+        assert_eq!(t.page_access_tracking, "Reference Bit");
+        assert!(t.numa_aware);
+        assert!(!t.space_overhead);
+    }
+
+    #[test]
+    fn tick_interval_reports_configured_period() {
+        let (_, mc) = setup();
+        assert_eq!(mc.tick_interval(), Some(Nanos::from_secs(1)));
+    }
+}

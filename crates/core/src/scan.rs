@@ -1,0 +1,439 @@
+//! The `kpromoted` daemon: periodic list scanning, reference-bit
+//! harvesting, and promote-list draining (paper §III-B, §IV).
+
+use crate::multi_clock::MultiClock;
+use crate::state::PageState;
+use mc_mem::{MemError, MemorySystem, Nanos, PageKind, TickOutcome, TierId};
+
+impl MultiClock {
+    /// One `kpromoted` wake-up:
+    ///
+    /// 1. scan every list of every tier (up to `scan_batch` pages per
+    ///    list), harvesting PTE reference bits and applying the Fig. 4
+    ///    transitions — this is how *unsupervised* (mmap) accesses are
+    ///    observed;
+    /// 2. promote **all** pages on lower tiers' promote lists ("once a
+    ///    page is selected for promotion, the page gets promoted to the
+    ///    DRAM in the same kpromoted run");
+    /// 3. run the reclaim path on any tier below its low watermark;
+    /// 4. optionally adapt the scan interval (§VII extension).
+    pub(crate) fn kpromoted_run(&mut self, mem: &mut MemorySystem, _now: Nanos) -> TickOutcome {
+        self.stats.ticks += 1;
+        let mut out = TickOutcome::default();
+        let tier_count = self.tiers.len();
+
+        for tier in 0..tier_count {
+            let tier = TierId::new(tier as u8);
+            for kind in PageKind::ALL {
+                // Ageing of unreferenced promote pages (transition 11)
+                // only ever applies to the top tier: a lower tier's
+                // promote list is drained by the promotion phase of the
+                // same run that populated it, so its pages never sit
+                // across an interval. It runs before the other scans so
+                // pages entering the promote list during this very scan
+                // are not aged before the promote phase sees them.
+                if tier.is_top() {
+                    out.pages_scanned += self.scan_promote(mem, tier, kind);
+                }
+                out.pages_scanned += self.scan_inactive(mem, tier, kind);
+                out.pages_scanned += self.scan_active(mem, tier, kind);
+            }
+        }
+
+        // Drain promote lists bottom-up relative to their target: tier 1
+        // promotes into tier 0 before tier 2 promotes into tier 1.
+        let mut promoted = 0u64;
+        for tier in 1..tier_count {
+            promoted += self.promote_all(mem, TierId::new(tier as u8));
+        }
+        out.promoted = promoted;
+
+        // kswapd-style balancing: react to watermark pressure.
+        for tier in 0..tier_count {
+            let tier = TierId::new(tier as u8);
+            if mem.tier_under_pressure(tier) {
+                let p = self.run_pressure(mem, tier, true);
+                out.pages_scanned += p.pages_scanned;
+                out.demoted += p.demoted;
+                out.promoted += p.promoted;
+            }
+        }
+
+        self.stats.pages_scanned += out.pages_scanned;
+        self.adapt_interval(out.promoted + out.demoted);
+        out
+    }
+
+    /// Scans up to `scan_batch` pages of one inactive list. Referenced
+    /// pages step the ladder; unreferenced pages simply rotate.
+    fn scan_inactive(&mut self, mem: &mut MemorySystem, tier: TierId, kind: PageKind) -> u64 {
+        let len = self.tiers[tier.index()].set(kind).inactive.len();
+        let budget = len.min(self.cfg.scan_batch);
+        let mut scanned = 0;
+        for _ in 0..budget {
+            let Some(frame) = self.tiers[tier.index()].set_mut(kind).inactive.pop_front() else {
+                break;
+            };
+            scanned += 1;
+            // Rotate first so the ladder's list moves see a member page.
+            self.tiers[tier.index()]
+                .set_mut(kind)
+                .inactive
+                .push_back(frame);
+            if mem.harvest_referenced(frame) {
+                let steps = self.access_steps(mem, frame);
+                self.apply_access(mem, frame, steps);
+            } else if self.state_of(frame) == Some(PageState::InactiveRef) {
+                // CLOCK decay (transition 1, downward): a page not
+                // referenced since the last scan loses its referenced
+                // state, so only pages referenced in *several recent*
+                // scans ever reach the promote list.
+                self.stats.ladder_decays += 1;
+                self.transition(mem, frame, PageState::InactiveUnref);
+            }
+        }
+        scanned
+    }
+
+    /// Scans up to `scan_batch` pages of one active list.
+    fn scan_active(&mut self, mem: &mut MemorySystem, tier: TierId, kind: PageKind) -> u64 {
+        let len = self.tiers[tier.index()].set(kind).active.len();
+        let budget = len.min(self.cfg.scan_batch);
+        let mut scanned = 0;
+        for _ in 0..budget {
+            let Some(frame) = self.tiers[tier.index()].set_mut(kind).active.pop_front() else {
+                break;
+            };
+            scanned += 1;
+            self.tiers[tier.index()]
+                .set_mut(kind)
+                .active
+                .push_back(frame);
+            if mem.harvest_referenced(frame) {
+                let steps = self.access_steps(mem, frame);
+                self.apply_access(mem, frame, steps);
+            } else if self.state_of(frame) == Some(PageState::ActiveRef) {
+                // CLOCK decay on the active rung as well.
+                self.stats.ladder_decays += 1;
+                self.transition(mem, frame, PageState::ActiveUnref);
+            }
+        }
+        scanned
+    }
+
+    /// Scans one promote list: referenced pages stay (transition 12),
+    /// unreferenced pages age back to the active list (transition 11).
+    fn scan_promote(&mut self, mem: &mut MemorySystem, tier: TierId, kind: PageKind) -> u64 {
+        let len = self.tiers[tier.index()].set(kind).promote.len();
+        let budget = len.min(self.cfg.scan_batch);
+        let mut scanned = 0;
+        for _ in 0..budget {
+            let Some(frame) = self.tiers[tier.index()].set_mut(kind).promote.pop_front() else {
+                break;
+            };
+            scanned += 1;
+            self.tiers[tier.index()]
+                .set_mut(kind)
+                .promote
+                .push_back(frame);
+            if !mem.harvest_referenced(frame) {
+                // Transition 11: unaccessed promote pages return to active.
+                self.stats.promote_ages += 1;
+                self.transition(mem, frame, PageState::ActiveUnref);
+            }
+        }
+        scanned
+    }
+
+    /// Migrates every page on `tier`'s promote lists to the next tier up
+    /// (Fig. 4 transition 13). Returns the number of pages promoted.
+    ///
+    /// A page that cannot move (locked, or no room upstairs even after one
+    /// round of reclaim there) falls back to the active list, as the paper
+    /// prescribes.
+    pub(crate) fn promote_all(&mut self, mem: &mut MemorySystem, tier: TierId) -> u64 {
+        let Some(upper) = tier.upper() else {
+            return 0;
+        };
+        let mut promoted = 0;
+        let mut tried_reclaim = false;
+        // Room for the whole candidate set is requested at once (gentle
+        // reclaim only ever demotes scan-certified-cold pages, so asking
+        // for more than exists is safe).
+        let demand: usize = PageKind::ALL
+            .iter()
+            .map(|k| self.tiers[tier.index()].set(*k).promote.len())
+            .sum();
+        for kind in PageKind::ALL {
+            let mut candidates = self.tiers[tier.index()].set_mut(kind).promote.drain();
+            // Rotate the drain order each run. Candidate order is
+            // otherwise a stable cycle (scan rotation is deterministic),
+            // and when room is scarcer than candidates the same prefix
+            // would win every run, starving equally-worthy pages; in a
+            // real kernel timing jitter provides this fairness.
+            if !candidates.is_empty() {
+                let shift = self.stats.ticks as usize % candidates.len();
+                candidates.rotate_left(shift);
+            }
+            // §VII write-weight extension: dirtiness joins the importance
+            // formula at *placement* time — when slots upstairs are
+            // scarce, write-hot pages (whose lower-tier stores are the
+            // most expensive accesses) get first claim.
+            if self.cfg.write_weight > 1.0 {
+                candidates.sort_by_key(|f| {
+                    std::cmp::Reverse(mem.frame(*f).flags().contains(mc_mem::PageFlags::DIRTY))
+                });
+            }
+            for frame in candidates {
+                // drain() detached the page; state table still says Promote.
+                match mem.migrate(frame, upper) {
+                    Ok(new_frame) => {
+                        self.retrack_after_migration(mem, frame, new_frame, PageState::ActiveRef);
+                        self.stats.promotions += 1;
+                        promoted += 1;
+                    }
+                    Err(MemError::TierFull(_)) => {
+                        // "If the higher-performing tier is also under
+                        // memory pressure, promotions from the lower tier
+                        // result in immediate page demotions from the
+                        // higher tier." Room-making is *gentle* (only
+                        // truly cold pages move down) and attempted once
+                        // per run; when the upper tier is all-hot the
+                        // remaining candidates fall back to the active
+                        // list instead of displacing hot pages.
+                        if !tried_reclaim && !self.pressure_guard[upper.index()] {
+                            tried_reclaim = true;
+                            self.run_pressure_toward(mem, upper, false, Some(demand));
+                        }
+                        match mem.migrate(frame, upper) {
+                            Ok(new_frame) => {
+                                self.retrack_after_migration(
+                                    mem,
+                                    frame,
+                                    new_frame,
+                                    PageState::ActiveRef,
+                                );
+                                self.stats.promotions += 1;
+                                promoted += 1;
+                            }
+                            Err(_) => self.promote_fallback(mem, frame, tier, kind),
+                        }
+                    }
+                    Err(_) => self.promote_fallback(mem, frame, tier, kind),
+                }
+            }
+        }
+        promoted
+    }
+
+    /// The failed-promotion fallback: the page moves to its tier's active
+    /// list.
+    fn promote_fallback(
+        &mut self,
+        mem: &mut MemorySystem,
+        frame: mc_mem::FrameId,
+        tier: TierId,
+        kind: PageKind,
+    ) {
+        self.stats.promote_fallbacks += 1;
+        self.tiers[tier.index()]
+            .set_mut(kind)
+            .active
+            .push_back(frame);
+        self.states[frame.index()] = Some(PageState::ActiveRef);
+        self.sync_flags(mem, frame, PageState::ActiveRef);
+    }
+
+    /// The §VII adaptive-interval extension: back off exponentially while
+    /// the workload is stable (no promotions), snap back to the
+    /// configured interval the moment tiering work reappears. The goal is
+    /// to save scan CPU in steady phases without giving up reaction time.
+    fn adapt_interval(&mut self, activity: u64) {
+        if !self.cfg.adaptive_interval {
+            return;
+        }
+        if activity == 0 {
+            self.idle_ticks += 1;
+            if self.idle_ticks >= 8 {
+                let doubled = Nanos::from_nanos(self.current_interval.as_nanos() * 2);
+                self.current_interval = doubled.min(self.cfg.max_interval);
+                self.idle_ticks = 0;
+            }
+        } else {
+            self.idle_ticks = 0;
+            self.current_interval = self.cfg.scan_interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MultiClockConfig;
+    use mc_mem::{AccessKind, MemConfig, TieringPolicy, VPage};
+
+    fn setup() -> (MemorySystem, MultiClock) {
+        let mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let mc = MultiClock::new(MultiClockConfig::default(), mem.topology());
+        (mem, mc)
+    }
+
+    /// Fault a page into a chosen tier and track it.
+    fn map_in_tier(
+        mem: &mut MemorySystem,
+        mc: &mut MultiClock,
+        v: u64,
+        tier: TierId,
+    ) -> mc_mem::FrameId {
+        let f = mem
+            .alloc_page_in_tier(mc_mem::PageKind::Anon, tier)
+            .unwrap();
+        mem.map(VPage::new(v), f).unwrap();
+        mc.on_page_mapped(mem, f);
+        f
+    }
+
+    #[test]
+    fn unsupervised_hot_page_promotes_after_four_scans() {
+        let (mut mem, mut mc) = setup();
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        // Touch the page each interval (sets the PTE reference bit only).
+        for scan in 1..=3u64 {
+            mem.access(VPage::new(1), AccessKind::Read).unwrap();
+            mc.tick(&mut mem, Nanos::from_secs(scan));
+            assert_eq!(mem.frame(f).tier(), pm, "not yet promoted at scan {scan}");
+        }
+        mem.access(VPage::new(1), AccessKind::Read).unwrap();
+        let out = mc.tick(&mut mem, Nanos::from_secs(4));
+        assert_eq!(out.promoted, 1);
+        let nf = mem.translate(VPage::new(1)).unwrap();
+        assert_eq!(mem.frame(nf).tier(), TierId::TOP, "page now in DRAM");
+        assert_eq!(mc.state_of(nf), Some(PageState::ActiveRef));
+        assert!(mc.tier_lists(TierId::TOP).anon.active.contains(nf));
+        assert_eq!(mc.stats().promotions, 1);
+    }
+
+    #[test]
+    fn cold_page_is_never_promoted() {
+        let (mut mem, mut mc) = setup();
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        for scan in 1..=10u64 {
+            mc.tick(&mut mem, Nanos::from_secs(scan));
+        }
+        assert_eq!(mem.frame(f).tier(), pm);
+        assert_eq!(mc.state_of(f), Some(PageState::InactiveUnref));
+        assert_eq!(mc.stats().promotions, 0);
+    }
+
+    #[test]
+    fn once_accessed_page_does_not_promote() {
+        // The motivation (Fig. 2): pages accessed only once should not be
+        // promotion candidates.
+        let (mut mem, mut mc) = setup();
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        mem.access(VPage::new(1), AccessKind::Read).unwrap();
+        for scan in 1..=10u64 {
+            mc.tick(&mut mem, Nanos::from_secs(scan));
+        }
+        assert_eq!(mem.frame(f).tier(), pm);
+        // One observation stepped the ladder once, and the decay of the
+        // following unreferenced scans took it back down.
+        assert_eq!(mc.state_of(f), Some(PageState::InactiveUnref));
+        assert_eq!(mc.stats().ladder_decays, 1);
+    }
+
+    #[test]
+    fn promote_list_ages_out_when_page_goes_cold_on_top_tier() {
+        let (mut mem, mut mc) = setup();
+        let f = map_in_tier(&mut mem, &mut mc, 1, TierId::TOP);
+        for _ in 0..4 {
+            mc.on_supervised_access(&mut mem, f, AccessKind::Read);
+        }
+        assert_eq!(mc.state_of(f), Some(PageState::Promote));
+        // Top-tier promote pages cannot be promoted; an unreferenced scan
+        // ages them back to active (transition 11).
+        mc.tick(&mut mem, Nanos::from_secs(1));
+        assert_eq!(mc.state_of(f), Some(PageState::ActiveUnref));
+        assert_eq!(mc.stats().promote_ages, 1);
+    }
+
+    #[test]
+    fn promote_list_page_still_hot_stays_until_promoted() {
+        let (mut mem, mut mc) = setup();
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        // Climb to ActiveRef via supervised accesses, then one more access
+        // puts it on the promote list; the same tick must promote it.
+        for _ in 0..4 {
+            mc.on_supervised_access(&mut mem, f, AccessKind::Read);
+        }
+        assert_eq!(mc.state_of(f), Some(PageState::Promote));
+        let out = mc.tick(&mut mem, Nanos::from_secs(1));
+        assert_eq!(out.promoted, 1);
+        let nf = mem.translate(VPage::new(1)).unwrap();
+        assert_eq!(mem.frame(nf).tier(), TierId::TOP);
+    }
+
+    #[test]
+    fn locked_page_falls_back_to_active() {
+        let (mut mem, mut mc) = setup();
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        for _ in 0..4 {
+            mc.on_supervised_access(&mut mem, f, AccessKind::Read);
+        }
+        mem.frame_flags_mut(f).insert(mc_mem::PageFlags::LOCKED);
+        let out = mc.tick(&mut mem, Nanos::from_secs(1));
+        assert_eq!(out.promoted, 0);
+        assert_eq!(mem.frame(f).tier(), pm, "locked page stays put");
+        assert_eq!(mc.state_of(f), Some(PageState::ActiveRef));
+        assert!(mc.tier_lists(pm).anon.active.contains(f));
+        assert_eq!(mc.stats().promote_fallbacks, 1);
+    }
+
+    #[test]
+    fn scan_respects_batch_budget() {
+        let mem = MemorySystem::new(MemConfig::two_tier(64, 2048));
+        let cfg = MultiClockConfig {
+            scan_batch: 16,
+            ..Default::default()
+        };
+        let mut mc = MultiClock::new(cfg, mem.topology());
+        let mut mem = mem;
+        for v in 0..1000u64 {
+            map_in_tier(&mut mem, &mut mc, v, TierId::new(1));
+        }
+        let out = mc.tick(&mut mem, Nanos::from_secs(1));
+        // Only the PM anon inactive list is populated: 16 pages scanned.
+        assert_eq!(out.pages_scanned, 16);
+    }
+
+    #[test]
+    fn adaptive_interval_backs_off_when_idle() {
+        let mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let cfg = MultiClockConfig {
+            adaptive_interval: true,
+            ..Default::default()
+        };
+        let mut mc = MultiClock::new(cfg, mem.topology());
+        let mut mem = mem;
+        let base = mc.tick_interval().unwrap();
+        for s in 1..=9u64 {
+            mc.tick(&mut mem, Nanos::from_secs(s));
+        }
+        assert!(mc.tick_interval().unwrap() > base, "interval backed off");
+        assert!(mc.tick_interval().unwrap() <= mc.config().max_interval);
+    }
+
+    #[test]
+    fn fixed_interval_never_changes() {
+        let (mut mem, mut mc) = setup();
+        for s in 1..=20u64 {
+            mc.tick(&mut mem, Nanos::from_secs(s));
+        }
+        assert_eq!(mc.tick_interval(), Some(Nanos::from_secs(1)));
+    }
+}

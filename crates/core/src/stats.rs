@@ -1,0 +1,46 @@
+//! MULTI-CLOCK internal counters, the analogue of the paper's
+//! `/proc/vmstat` extensions (mm/vmstat.c rows in Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by [`crate::MultiClock`].
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiClockStats {
+    /// `kpromoted` wake-ups.
+    pub ticks: u64,
+    /// Pages examined by scans (all lists).
+    pub pages_scanned: u64,
+    /// Inactive pages moved to an active list (transition 6).
+    pub activations: u64,
+    /// Active pages moved back to an inactive list (transition 9).
+    pub deactivations: u64,
+    /// Pages that entered a promote list (transition 10).
+    pub promote_enqueues: u64,
+    /// Promote-list pages aged back to active (transition 11).
+    pub promote_ages: u64,
+    /// Referenced states decayed by an unreferenced scan (the downward
+    /// direction of transitions 1 and 7/8).
+    pub ladder_decays: u64,
+    /// Pages migrated to a higher tier (transition 13).
+    pub promotions: u64,
+    /// Promotions that could not proceed (locked page or no room even
+    /// after reclaim) — the page went to the active list instead.
+    pub promote_fallbacks: u64,
+    /// Pages migrated to a lower tier (transition 3).
+    pub demotions: u64,
+    /// Pages evicted from the lowest tier (writeback/swap path).
+    pub evictions: u64,
+    /// Pressure invocations.
+    pub pressure_runs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = MultiClockStats::default();
+        assert_eq!(s.ticks + s.pages_scanned + s.promotions + s.demotions, 0);
+    }
+}

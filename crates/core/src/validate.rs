@@ -1,0 +1,199 @@
+//! Structural invariant validation for [`MultiClock`].
+//!
+//! The kernel invariants the paper's data structures rely on, checkable
+//! at any quiescent point (used heavily by the property-based tests, and
+//! available to downstream users as a debugging aid):
+//!
+//! 1. every tracked frame is on **exactly one** list;
+//! 2. list membership agrees with the page-state table
+//!    ([`PageState::list`]);
+//! 3. a page is listed under the tier and kind its frame reports;
+//! 4. untracked frames are on no list;
+//! 5. the page flags mirror the state (`ACTIVE`/`PROMOTE`/`REFERENCED`/
+//!    `UNEVICTABLE`).
+
+use crate::lists::WhichList;
+use crate::multi_clock::MultiClock;
+use crate::state::PageState;
+use mc_mem::{FrameId, MemorySystem, PageFlags, PageKind, TierId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The frame at fault.
+    pub frame: FrameId,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.frame, self.message)
+    }
+}
+
+impl MultiClock {
+    /// Checks every structural invariant; returns all violations (empty
+    /// means the structure is consistent).
+    pub fn check_invariants(&self, mem: &MemorySystem) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::new();
+        let tier_count = mem.topology().tier_count();
+
+        for t in 0..tier_count {
+            let tier = TierId::new(t as u8);
+            let lists = self.tier_lists(tier);
+            for kind in PageKind::ALL {
+                let set = lists.set(kind);
+                for (which, list) in [
+                    (WhichList::Inactive, &set.inactive),
+                    (WhichList::Active, &set.active),
+                    (WhichList::Promote, &set.promote),
+                ] {
+                    for frame in list.iter() {
+                        if !seen.insert(frame.raw()) {
+                            violations.push(InvariantViolation {
+                                frame,
+                                message: "appears on more than one list".into(),
+                            });
+                            continue;
+                        }
+                        match self.state_of(frame) {
+                            None => violations.push(InvariantViolation {
+                                frame,
+                                message: format!("on the {which} list but untracked"),
+                            }),
+                            Some(st) if st.list() != which => violations.push(InvariantViolation {
+                                frame,
+                                message: format!("state {st} but on the {which} list"),
+                            }),
+                            Some(st) => {
+                                let flags = mem.frame(frame).flags();
+                                let want_active = st.is_active();
+                                let want_promote = st == PageState::Promote;
+                                if flags.contains(PageFlags::ACTIVE) != want_active
+                                    || flags.contains(PageFlags::PROMOTE) != want_promote
+                                    || flags.contains(PageFlags::REFERENCED) != st.is_referenced()
+                                {
+                                    violations.push(InvariantViolation {
+                                        frame,
+                                        message: format!(
+                                            "flags {flags:?} disagree with state {st}"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                        if mem.frame(frame).tier() != tier {
+                            violations.push(InvariantViolation {
+                                frame,
+                                message: format!(
+                                    "listed under {tier} but physically in {}",
+                                    mem.frame(frame).tier()
+                                ),
+                            });
+                        }
+                        if mem.frame(frame).kind() != kind {
+                            violations.push(InvariantViolation {
+                                frame,
+                                message: "listed under the wrong page kind".into(),
+                            });
+                        }
+                    }
+                }
+            }
+            for frame in lists.unevictable.iter() {
+                if !seen.insert(frame.raw()) {
+                    violations.push(InvariantViolation {
+                        frame,
+                        message: "appears on more than one list".into(),
+                    });
+                }
+                if self.state_of(frame) != Some(PageState::Unevictable) {
+                    violations.push(InvariantViolation {
+                        frame,
+                        message: "on the unevictable list without Unevictable state".into(),
+                    });
+                }
+            }
+        }
+
+        for raw in 0..mem.total_frames() as u32 {
+            let frame = FrameId::new(raw);
+            if self.state_of(frame).is_some() && !seen.contains(&raw) {
+                violations.push(InvariantViolation {
+                    frame,
+                    message: "tracked but on no list".into(),
+                });
+            }
+        }
+        violations
+    }
+
+    /// Panics with a readable report if any invariant is violated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`Self::check_invariants`] finds anything.
+    pub fn assert_invariants(&self, mem: &MemorySystem) {
+        let v = self.check_invariants(mem);
+        assert!(
+            v.is_empty(),
+            "MULTI-CLOCK invariant violations:\n{}",
+            v.iter()
+                .map(|x| format!("  {x}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MultiClockConfig;
+    use mc_mem::{AccessKind, MemConfig, Nanos, TieringPolicy, VPage};
+
+    #[test]
+    fn fresh_policy_is_consistent() {
+        let mem = MemorySystem::new(MemConfig::two_tier(32, 64));
+        let mc = MultiClock::new(MultiClockConfig::default(), mem.topology());
+        assert!(mc.check_invariants(&mem).is_empty());
+    }
+
+    #[test]
+    fn consistent_after_activity() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(32, 128));
+        let mut mc = MultiClock::new(MultiClockConfig::default(), mem.topology());
+        let mut v = 0u64;
+        while let Ok(f) = mem.alloc_page(mc_mem::PageKind::Anon) {
+            mem.map(VPage::new(v), f).unwrap();
+            mc.on_page_mapped(&mut mem, f);
+            v += 1;
+        }
+        for s in 1..=5u64 {
+            for touched in 0..v / 2 {
+                mem.access(VPage::new(touched), AccessKind::Read).unwrap();
+            }
+            mc.tick(&mut mem, Nanos::from_secs(s));
+            mc.assert_invariants(&mem);
+        }
+    }
+
+    #[test]
+    fn violation_is_detected() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(32, 64));
+        let mut mc = MultiClock::new(MultiClockConfig::default(), mem.topology());
+        let f = mem.alloc_page(mc_mem::PageKind::Anon).unwrap();
+        mem.map(VPage::new(1), f).unwrap();
+        mc.on_page_mapped(&mut mem, f);
+        // Corrupt the flag mirror.
+        mem.frame_flags_mut(f).insert(PageFlags::PROMOTE);
+        let violations = mc.check_invariants(&mem);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("disagree"));
+        assert!(!format!("{}", violations[0]).is_empty());
+    }
+}

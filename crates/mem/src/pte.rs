@@ -1,0 +1,179 @@
+//! The soft page table.
+//!
+//! Models the per-process page tables the paper's mechanisms read:
+//!
+//! * the **reference bit** set by the CPU on every access — MULTI-CLOCK's
+//!   "unsupervised access" channel, harvested (test-and-clear) during scans
+//!   exactly like `page_referenced()`;
+//! * the **dirty bit**;
+//! * a **poison bit** used by hint-page-fault trackers (Thermostat,
+//!   AutoNUMA, AutoTiering): a poisoned PTE makes the next access take a
+//!   software fault, which both costs time and reveals the access to the
+//!   tracker.
+
+use crate::ids::{FrameId, VPage};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PteEntry {
+    /// The frame this virtual page maps to.
+    pub frame: FrameId,
+    /// Hardware-set reference bit.
+    pub referenced: bool,
+    /// Hardware-set dirty bit.
+    pub dirty: bool,
+    /// Software poison for hint-fault tracking.
+    pub poisoned: bool,
+}
+
+impl PteEntry {
+    /// A freshly-installed, clean, unreferenced entry.
+    pub fn new(frame: FrameId) -> Self {
+        PteEntry {
+            frame,
+            referenced: false,
+            dirty: false,
+            poisoned: false,
+        }
+    }
+}
+
+/// The virtual-to-physical mapping for the simulated address space.
+#[derive(Debug, Default, Clone)]
+pub struct PageTable {
+    entries: HashMap<VPage, PteEntry>,
+}
+
+impl PageTable {
+    /// An empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a mapping. Returns the previous entry if one existed.
+    pub fn map(&mut self, vpage: VPage, frame: FrameId) -> Option<PteEntry> {
+        self.entries.insert(vpage, PteEntry::new(frame))
+    }
+
+    /// Removes a mapping, returning the old entry.
+    pub fn unmap(&mut self, vpage: VPage) -> Option<PteEntry> {
+        self.entries.remove(&vpage)
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, vpage: VPage) -> Option<&PteEntry> {
+        self.entries.get(&vpage)
+    }
+
+    /// Looks up an entry mutably.
+    pub fn get_mut(&mut self, vpage: VPage) -> Option<&mut PteEntry> {
+        self.entries.get_mut(&vpage)
+    }
+
+    /// Points an existing mapping at a different frame (migration),
+    /// preserving the dirty bit (the copied page is as dirty as the
+    /// original) and clearing the reference bit (the new PTE has not been
+    /// accessed yet).
+    ///
+    /// Returns `false` if the page was not mapped.
+    pub fn remap(&mut self, vpage: VPage, new_frame: FrameId) -> bool {
+        match self.entries.get_mut(&vpage) {
+            Some(e) => {
+                e.frame = new_frame;
+                e.referenced = false;
+                e.poisoned = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Test-and-clear of the reference bit, the `page_referenced()`
+    /// harvesting primitive.
+    pub fn harvest_referenced(&mut self, vpage: VPage) -> bool {
+        match self.entries.get_mut(&vpage) {
+            Some(e) => std::mem::take(&mut e.referenced),
+            None => false,
+        }
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all mappings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VPage, &PteEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_unmap_roundtrip() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        assert!(pt.map(VPage::new(1), FrameId::new(7)).is_none());
+        assert_eq!(pt.len(), 1);
+        let e = pt.get(VPage::new(1)).unwrap();
+        assert_eq!(e.frame, FrameId::new(7));
+        assert!(!e.referenced && !e.dirty && !e.poisoned);
+        let old = pt.unmap(VPage::new(1)).unwrap();
+        assert_eq!(old.frame, FrameId::new(7));
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn harvest_is_test_and_clear() {
+        let mut pt = PageTable::new();
+        pt.map(VPage::new(1), FrameId::new(0));
+        pt.get_mut(VPage::new(1)).unwrap().referenced = true;
+        assert!(pt.harvest_referenced(VPage::new(1)));
+        assert!(
+            !pt.harvest_referenced(VPage::new(1)),
+            "second harvest is clear"
+        );
+        assert!(
+            !pt.harvest_referenced(VPage::new(99)),
+            "unmapped harvests false"
+        );
+    }
+
+    #[test]
+    fn remap_clears_reference_and_poison_but_keeps_dirty() {
+        let mut pt = PageTable::new();
+        pt.map(VPage::new(4), FrameId::new(1));
+        {
+            let e = pt.get_mut(VPage::new(4)).unwrap();
+            e.referenced = true;
+            e.dirty = true;
+            e.poisoned = true;
+        }
+        assert!(pt.remap(VPage::new(4), FrameId::new(2)));
+        let e = pt.get(VPage::new(4)).unwrap();
+        assert_eq!(e.frame, FrameId::new(2));
+        assert!(!e.referenced);
+        assert!(!e.poisoned);
+        assert!(e.dirty, "migration copies a dirty page as dirty");
+        assert!(!pt.remap(VPage::new(5), FrameId::new(3)));
+    }
+
+    #[test]
+    fn double_map_returns_previous() {
+        let mut pt = PageTable::new();
+        pt.map(VPage::new(1), FrameId::new(1));
+        let prev = pt.map(VPage::new(1), FrameId::new(2)).unwrap();
+        assert_eq!(prev.frame, FrameId::new(1));
+        assert_eq!(pt.get(VPage::new(1)).unwrap().frame, FrameId::new(2));
+    }
+}

@@ -1,0 +1,190 @@
+//! Counters, cost accounting and event reporting.
+
+use crate::ids::{FrameId, TierId, VPage};
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Monotonic operation counters maintained by the substrate — the analogue
+/// of `/proc/vmstat`.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Pages allocated.
+    pub allocs: u64,
+    /// Pages freed.
+    pub frees: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Pages migrated to a higher tier.
+    pub promotions: u64,
+    /// Pages migrated to a lower tier.
+    pub demotions: u64,
+    /// Pages evicted from the lowest tier to backing storage.
+    pub evictions: u64,
+    /// Pages faulted back in from backing storage.
+    pub swap_ins: u64,
+    /// Hint page faults taken (poisoned PTEs).
+    pub hint_faults: u64,
+    /// Migration attempts that failed (locked page, destination full...).
+    pub migration_failures: u64,
+    /// Accesses served per tier (index = tier id).
+    pub tier_accesses: Vec<u64>,
+}
+
+impl MemStats {
+    /// Fraction of accesses served by the top tier; `None` before any
+    /// access.
+    pub fn top_tier_share(&self) -> Option<f64> {
+        let total: u64 = self.tier_accesses.iter().sum();
+        if total == 0 {
+            None
+        } else {
+            Some(self.tier_accesses.first().copied().unwrap_or(0) as f64 / total as f64)
+        }
+    }
+}
+
+/// Where time went, split by who pays for it.
+///
+/// The substrate and policies charge costs here; the simulation engine
+/// drains the ledger after every step and advances virtual time accordingly
+/// (application stalls in full, daemon CPU scaled by a contention factor,
+/// background copies only as bandwidth pressure).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Time the application thread was stalled (TLB shootdowns, hint
+    /// faults, direct reclaim).
+    pub app_stall: Nanos,
+    /// CPU time consumed by kernel daemons (kpromoted/kswapd scans).
+    pub daemon_cpu: Nanos,
+    /// Background work (migration copies) that runs on a spare core.
+    pub background: Nanos,
+}
+
+impl CostLedger {
+    /// Charges application-visible stall time.
+    pub fn charge_app_stall(&mut self, t: Nanos) {
+        self.app_stall += t;
+    }
+
+    /// Charges daemon CPU time.
+    pub fn charge_daemon(&mut self, t: Nanos) {
+        self.daemon_cpu += t;
+    }
+
+    /// Charges background copy time.
+    pub fn charge_background(&mut self, t: Nanos) {
+        self.background += t;
+    }
+
+    /// Returns the accumulated costs and resets the ledger.
+    pub fn take(&mut self) -> CostLedger {
+        std::mem::take(self)
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: CostLedger) {
+        self.app_stall += other.app_stall;
+        self.daemon_cpu += other.daemon_cpu;
+        self.background += other.background;
+    }
+}
+
+/// Substrate events the simulation engine consumes for windowed metrics
+/// (paper Figs. 8 and 9 need per-window promotion counts and the identity
+/// of recently promoted pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemEvent {
+    /// A page moved between tiers.
+    Migrated {
+        /// The frame the page now occupies.
+        new_frame: FrameId,
+        /// The frame it came from.
+        old_frame: FrameId,
+        /// The virtual page that moved (if mapped).
+        vpage: Option<VPage>,
+        /// Source tier.
+        src: TierId,
+        /// Destination tier.
+        dst: TierId,
+    },
+    /// A page was evicted from the lowest tier to backing storage.
+    Evicted {
+        /// The virtual page evicted.
+        vpage: VPage,
+    },
+    /// A page was faulted back in from backing storage.
+    SwappedIn {
+        /// The virtual page brought back.
+        vpage: VPage,
+    },
+}
+
+impl MemEvent {
+    /// Whether this is an upward migration (promotion).
+    pub fn is_promotion(&self) -> bool {
+        matches!(self, MemEvent::Migrated { src, dst, .. } if dst < src)
+    }
+
+    /// Whether this is a downward migration (demotion).
+    pub fn is_demotion(&self) -> bool {
+        matches!(self, MemEvent::Migrated { src, dst, .. } if dst > src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_take_resets() {
+        let mut l = CostLedger::default();
+        l.charge_app_stall(Nanos::from_nanos(10));
+        l.charge_daemon(Nanos::from_nanos(20));
+        l.charge_background(Nanos::from_nanos(30));
+        let taken = l.take();
+        assert_eq!(taken.app_stall.as_nanos(), 10);
+        assert_eq!(taken.daemon_cpu.as_nanos(), 20);
+        assert_eq!(taken.background.as_nanos(), 30);
+        assert_eq!(l, CostLedger::default());
+    }
+
+    #[test]
+    fn ledger_merge_accumulates() {
+        let mut a = CostLedger::default();
+        a.charge_app_stall(Nanos::from_nanos(5));
+        let mut b = CostLedger::default();
+        b.charge_app_stall(Nanos::from_nanos(7));
+        b.charge_daemon(Nanos::from_nanos(1));
+        a.merge(b);
+        assert_eq!(a.app_stall.as_nanos(), 12);
+        assert_eq!(a.daemon_cpu.as_nanos(), 1);
+    }
+
+    #[test]
+    fn event_direction_classification() {
+        let promo = MemEvent::Migrated {
+            new_frame: FrameId::new(1),
+            old_frame: FrameId::new(2),
+            vpage: Some(VPage::new(3)),
+            src: TierId::new(1),
+            dst: TierId::TOP,
+        };
+        assert!(promo.is_promotion());
+        assert!(!promo.is_demotion());
+        let demo = MemEvent::Migrated {
+            new_frame: FrameId::new(1),
+            old_frame: FrameId::new(2),
+            vpage: None,
+            src: TierId::TOP,
+            dst: TierId::new(1),
+        };
+        assert!(demo.is_demotion());
+        assert!(!demo.is_promotion());
+        assert!(!MemEvent::Evicted {
+            vpage: VPage::new(0)
+        }
+        .is_promotion());
+    }
+}

@@ -1,0 +1,802 @@
+//! The memory system: frames, nodes, tiers, mapping, allocation and
+//! migration — the substrate every tiering policy operates on.
+
+use crate::error::MemError;
+use crate::flags::PageFlags;
+use crate::frame::{Frame, FrameState, PageKind};
+use crate::ids::{FrameId, NodeId, TierId, VPage};
+use crate::latency::{AccessKind, LatencyModel};
+use crate::pte::PageTable;
+use crate::stats::{CostLedger, MemEvent, MemStats};
+use crate::tier::TierKind;
+use crate::time::Nanos;
+use crate::topology::{Topology, TopologyBuilder};
+use crate::watermark::Watermarks;
+use std::collections::HashSet;
+
+/// Configuration for a [`MemorySystem`].
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// The machine layout.
+    pub topology: Topology,
+    /// The cost model.
+    pub latency: LatencyModel,
+}
+
+impl MemConfig {
+    /// A single-socket, two-tier machine: one DRAM node and one PM node.
+    ///
+    /// This is the configuration most experiments use, scaled down from the
+    /// paper's 192 GB + 512 GB testbed to keep simulations fast; all ratios
+    /// (footprint vs DRAM size) are preserved by the experiment configs.
+    pub fn two_tier(dram_pages: usize, pm_pages: usize) -> Self {
+        MemConfig {
+            topology: TopologyBuilder::new()
+                .node(TierKind::Dram, dram_pages)
+                .node(TierKind::Pm, pm_pages)
+                .build(),
+            latency: LatencyModel::dram_pm(),
+        }
+    }
+
+    /// A dual-socket machine: two DRAM nodes and two PM nodes, mirroring
+    /// the paper's testbed shape.
+    pub fn dual_socket(dram_pages_per_node: usize, pm_pages_per_node: usize) -> Self {
+        MemConfig {
+            topology: TopologyBuilder::new()
+                .node(TierKind::Dram, dram_pages_per_node)
+                .node(TierKind::Dram, dram_pages_per_node)
+                .node(TierKind::Pm, pm_pages_per_node)
+                .node(TierKind::Pm, pm_pages_per_node)
+                .build(),
+            latency: LatencyModel::dram_pm(),
+        }
+    }
+
+    /// A three-tier machine for the N-tier extension tests.
+    pub fn three_tier(hbm_pages: usize, dram_pages: usize, pm_pages: usize) -> Self {
+        MemConfig {
+            topology: TopologyBuilder::new()
+                .node(TierKind::Hbm, hbm_pages)
+                .node(TierKind::Dram, dram_pages)
+                .node(TierKind::Pm, pm_pages)
+                .build(),
+            latency: LatencyModel::three_tier(),
+        }
+    }
+}
+
+/// Runtime state of one NUMA node.
+#[derive(Debug, Clone)]
+struct NodeState {
+    free: Vec<FrameId>,
+    watermarks: Watermarks,
+}
+
+/// What happened on a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The frame that was accessed.
+    pub frame: FrameId,
+    /// The tier the frame lives in.
+    pub tier: TierId,
+    /// Device latency of the access (excludes any hint-fault cost).
+    pub latency: Nanos,
+    /// Whether the PTE was poisoned: the access took a software hint fault.
+    /// The caller must charge [`LatencyModel::hint_fault`] and inform the
+    /// tracking policy.
+    pub hint_fault: bool,
+}
+
+/// The memory substrate: owns frames, nodes, page table, counters and the
+/// cost ledger. Policies receive `&mut MemorySystem` and drive allocation,
+/// scanning and migration through it.
+#[derive(Debug)]
+pub struct MemorySystem {
+    topology: Topology,
+    latency: LatencyModel,
+    frames: Vec<Frame>,
+    nodes: Vec<NodeState>,
+    page_table: PageTable,
+    /// Virtual pages currently evicted to backing storage; touching one of
+    /// these costs a major fault (swap-in).
+    swapped: HashSet<VPage>,
+    stats: MemStats,
+    ledger: CostLedger,
+    events: Vec<MemEvent>,
+}
+
+impl MemorySystem {
+    /// Builds a memory system from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency model describes fewer tiers than the topology.
+    pub fn new(cfg: MemConfig) -> Self {
+        assert!(
+            cfg.latency.tier_count() >= cfg.topology.tier_count(),
+            "latency model must cover every tier"
+        );
+        let mut frames = Vec::with_capacity(cfg.topology.total_pages());
+        let mut nodes = Vec::with_capacity(cfg.topology.nodes().len());
+        for node in cfg.topology.nodes() {
+            let mut free = Vec::with_capacity(node.pages());
+            for f in node.frames() {
+                frames.push(Frame::free(node.id(), node.tier()));
+                free.push(f);
+            }
+            // Pop from the back: allocate low frame numbers first.
+            free.reverse();
+            nodes.push(NodeState {
+                free,
+                watermarks: node.watermarks(),
+            });
+        }
+        MemorySystem {
+            topology: cfg.topology,
+            latency: cfg.latency,
+            frames,
+            nodes,
+            page_table: PageTable::new(),
+            swapped: HashSet::new(),
+            stats: MemStats::default(),
+            ledger: CostLedger::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The cost model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// The cost ledger (drained by the simulation engine).
+    pub fn ledger_mut(&mut self) -> &mut CostLedger {
+        &mut self.ledger
+    }
+
+    /// Drains pending substrate events.
+    pub fn drain_events(&mut self) -> Vec<MemEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Read access to one frame's metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame id is out of range.
+    pub fn frame(&self, frame: FrameId) -> &Frame {
+        &self.frames[frame.index()]
+    }
+
+    /// Mutable access to one frame's flags (the only piece of frame state
+    /// policies may edit directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame id is out of range.
+    pub fn frame_flags_mut(&mut self, frame: FrameId) -> &mut PageFlags {
+        self.frames[frame.index()].flags_mut()
+    }
+
+    /// The page table.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable page table access (poisoning, test harnesses).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// Total number of frames.
+    pub fn total_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Free pages in a node.
+    pub fn node_free(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].free.len()
+    }
+
+    /// A node's watermarks.
+    pub fn node_watermarks(&self, node: NodeId) -> Watermarks {
+        self.nodes[node.index()].watermarks
+    }
+
+    /// Free pages in a tier (sum over member nodes).
+    pub fn tier_free(&self, tier: TierId) -> usize {
+        self.topology
+            .tier(tier)
+            .nodes()
+            .iter()
+            .map(|n| self.node_free(*n))
+            .sum()
+    }
+
+    /// Used pages in a tier.
+    pub fn tier_used(&self, tier: TierId) -> usize {
+        self.topology.tier(tier).pages() - self.tier_free(tier)
+    }
+
+    /// Whether any node of the tier is below its low watermark.
+    pub fn tier_under_pressure(&self, tier: TierId) -> bool {
+        self.topology.tier(tier).nodes().iter().any(|n| {
+            let st = &self.nodes[n.index()];
+            st.watermarks.under_pressure(st.free.len())
+        })
+    }
+
+    /// Whether every node of the tier is back above its high watermark.
+    pub fn tier_balanced(&self, tier: TierId) -> bool {
+        self.topology.tier(tier).nodes().iter().all(|n| {
+            let st = &self.nodes[n.index()];
+            st.watermarks.balanced(st.free.len())
+        })
+    }
+
+    /// Allocates a page, preferring the fastest tier ("pages are born in
+    /// DRAM"), falling back tier by tier. Within a tier, the node with the
+    /// most free pages wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] when no node has a free page above
+    /// its `min` watermark.
+    pub fn alloc_page(&mut self, kind: PageKind) -> Result<FrameId, MemError> {
+        for tier in 0..self.topology.tier_count() {
+            if let Ok(f) = self.alloc_page_in_tier(kind, TierId::new(tier as u8)) {
+                return Ok(f);
+            }
+        }
+        Err(MemError::OutOfMemory)
+    }
+
+    /// Allocates a page in a specific tier (used for migration targets and
+    /// policy-directed placement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::TierFull`] when no member node can allocate, or
+    /// [`MemError::NoSuchTier`] for an out-of-range tier.
+    pub fn alloc_page_in_tier(
+        &mut self,
+        kind: PageKind,
+        tier: TierId,
+    ) -> Result<FrameId, MemError> {
+        if tier.index() >= self.topology.tier_count() {
+            return Err(MemError::NoSuchTier(tier));
+        }
+        let node = self
+            .topology
+            .tier(tier)
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|n| {
+                let st = &self.nodes[n.index()];
+                st.watermarks.can_allocate(st.free.len())
+            })
+            .max_by_key(|n| self.nodes[n.index()].free.len());
+        let node = node.ok_or(MemError::TierFull(tier))?;
+        let frame = self.nodes[node.index()]
+            .free
+            .pop()
+            .expect("node with free pages must pop");
+        self.frames[frame.index()].mark_allocated(kind);
+        self.stats.allocs += 1;
+        Ok(frame)
+    }
+
+    /// Frees a frame, unmapping it first if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::FrameNotAllocated`] if the frame is free.
+    pub fn free_page(&mut self, frame: FrameId) -> Result<(), MemError> {
+        if self.frames[frame.index()].state() != FrameState::Allocated {
+            return Err(MemError::FrameNotAllocated(frame));
+        }
+        if let Some(vpage) = self.frames[frame.index()].vpage() {
+            self.page_table.unmap(vpage);
+        }
+        let node = self.frames[frame.index()].node();
+        self.frames[frame.index()].mark_free();
+        self.nodes[node.index()].free.push(frame);
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    /// Maps a virtual page to an allocated frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AlreadyMapped`] or [`MemError::FrameNotAllocated`].
+    pub fn map(&mut self, vpage: VPage, frame: FrameId) -> Result<(), MemError> {
+        if self.page_table.get(vpage).is_some() {
+            return Err(MemError::AlreadyMapped(vpage));
+        }
+        if self.frames[frame.index()].state() != FrameState::Allocated {
+            return Err(MemError::FrameNotAllocated(frame));
+        }
+        self.page_table.map(vpage, frame);
+        self.frames[frame.index()].set_vpage(Some(vpage));
+        Ok(())
+    }
+
+    /// Removes a mapping, returning the frame it pointed to. The frame
+    /// stays allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if the page was not mapped.
+    pub fn unmap(&mut self, vpage: VPage) -> Result<FrameId, MemError> {
+        let e = self
+            .page_table
+            .unmap(vpage)
+            .ok_or(MemError::NotMapped(vpage))?;
+        self.frames[e.frame.index()].set_vpage(None);
+        Ok(e.frame)
+    }
+
+    /// Translates a virtual page to its frame.
+    pub fn translate(&self, vpage: VPage) -> Option<FrameId> {
+        self.page_table.get(vpage).map(|e| e.frame)
+    }
+
+    /// Performs one access to a mapped page: sets the PTE reference bit
+    /// (and dirty bit for writes), mirrors the dirty bit into the frame
+    /// flags, detects hint faults, and returns the device latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] for unmapped pages — the caller
+    /// handles the fault (allocation or swap-in).
+    pub fn access(&mut self, vpage: VPage, kind: AccessKind) -> Result<AccessOutcome, MemError> {
+        let entry = self
+            .page_table
+            .get_mut(vpage)
+            .ok_or(MemError::NotMapped(vpage))?;
+        entry.referenced = true;
+        let hint_fault = std::mem::take(&mut entry.poisoned);
+        if kind.is_write() {
+            entry.dirty = true;
+        }
+        let frame = entry.frame;
+        if kind.is_write() {
+            self.frames[frame.index()]
+                .flags_mut()
+                .insert(PageFlags::DIRTY);
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        if hint_fault {
+            self.stats.hint_faults += 1;
+        }
+        let tier = self.frames[frame.index()].tier();
+        if self.stats.tier_accesses.len() <= tier.index() {
+            self.stats.tier_accesses.resize(tier.index() + 1, 0);
+        }
+        self.stats.tier_accesses[tier.index()] += 1;
+        Ok(AccessOutcome {
+            frame,
+            tier,
+            latency: self.latency.access(tier, kind),
+            hint_fault,
+        })
+    }
+
+    /// Test-and-clears the reference bit of the page mapped to `frame` —
+    /// the scan daemon's `page_referenced()` harvesting step. Unmapped
+    /// frames report unreferenced.
+    pub fn harvest_referenced(&mut self, frame: FrameId) -> bool {
+        match self.frames[frame.index()].vpage() {
+            Some(vpage) => self.page_table.harvest_referenced(vpage),
+            None => false,
+        }
+    }
+
+    /// Poisons the PTE of a mapped page for hint-fault tracking. Returns
+    /// whether the page was mapped.
+    pub fn poison(&mut self, vpage: VPage) -> bool {
+        match self.page_table.get_mut(vpage) {
+            Some(e) => {
+                e.poisoned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Migrates a page to another tier: allocates a destination frame,
+    /// charges copy costs to the ledger, remaps the virtual page, frees the
+    /// source frame, and emits a [`MemEvent::Migrated`].
+    ///
+    /// Page flags travel with the page; the PTE reference bit is cleared by
+    /// the remap (a fresh PTE has not been accessed).
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::FrameNotAllocated`] — source frame is free.
+    /// * [`MemError::FrameLocked`] / [`MemError::FrameUnevictable`] — the
+    ///   page may not be moved (the paper's "page is locked" fallback).
+    /// * [`MemError::SameTier`] — destination equals current tier.
+    /// * [`MemError::TierFull`] — no destination frame available; callers
+    ///   react by demoting from the destination first.
+    pub fn migrate(&mut self, frame: FrameId, dst_tier: TierId) -> Result<FrameId, MemError> {
+        let src = &self.frames[frame.index()];
+        if src.state() != FrameState::Allocated {
+            return Err(MemError::FrameNotAllocated(frame));
+        }
+        if src.flags().contains(PageFlags::LOCKED) {
+            self.stats.migration_failures += 1;
+            return Err(MemError::FrameLocked(frame));
+        }
+        if src.flags().contains(PageFlags::UNEVICTABLE) {
+            self.stats.migration_failures += 1;
+            return Err(MemError::FrameUnevictable(frame));
+        }
+        let src_tier = src.tier();
+        if src_tier == dst_tier {
+            return Err(MemError::SameTier(frame, dst_tier));
+        }
+        let kind = src.kind();
+        let flags = src.flags();
+        let vpage = src.vpage();
+
+        let new_frame = match self.alloc_page_in_tier(kind, dst_tier) {
+            Ok(f) => f,
+            Err(e) => {
+                self.stats.migration_failures += 1;
+                return Err(e);
+            }
+        };
+
+        // Copy costs.
+        let cost = self.latency.migration(src_tier, dst_tier);
+        self.ledger.charge_app_stall(cost.app_stall);
+        self.ledger.charge_background(cost.background);
+
+        // Move metadata and mapping.
+        *self.frames[new_frame.index()].flags_mut() = flags;
+        if let Some(v) = vpage {
+            self.page_table.remap(v, new_frame);
+            self.frames[new_frame.index()].set_vpage(Some(v));
+            self.frames[frame.index()].set_vpage(None);
+        }
+        // Free the source frame (bypass free_page's unmap: already moved).
+        let src_node = self.frames[frame.index()].node();
+        self.frames[frame.index()].mark_free();
+        self.nodes[src_node.index()].free.push(frame);
+        self.stats.frees += 1;
+
+        if dst_tier < src_tier {
+            self.stats.promotions += 1;
+        } else {
+            self.stats.demotions += 1;
+        }
+        self.events.push(MemEvent::Migrated {
+            new_frame,
+            old_frame: frame,
+            vpage,
+            src: src_tier,
+            dst: dst_tier,
+        });
+        Ok(new_frame)
+    }
+
+    /// Evicts a page from the lowest tier to backing storage: unmaps it,
+    /// charges the swap write for dirty/anonymous pages (clean file pages
+    /// are simply dropped), frees the frame, and remembers the virtual page
+    /// so the next touch pays a swap-in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same preconditions as [`Self::migrate`].
+    pub fn evict(&mut self, frame: FrameId) -> Result<(), MemError> {
+        let f = &self.frames[frame.index()];
+        if f.state() != FrameState::Allocated {
+            return Err(MemError::FrameNotAllocated(frame));
+        }
+        if f.flags().contains(PageFlags::LOCKED) {
+            return Err(MemError::FrameLocked(frame));
+        }
+        if f.flags().contains(PageFlags::UNEVICTABLE) {
+            return Err(MemError::FrameUnevictable(frame));
+        }
+        let dirty = f.flags().contains(PageFlags::DIRTY);
+        let anon = f.kind() == PageKind::Anon;
+        let vpage = f.vpage();
+        if dirty || anon {
+            let t = self.latency.swap_page;
+            self.ledger.charge_background(t);
+        }
+        if let Some(v) = vpage {
+            self.page_table.unmap(v);
+            self.swapped.insert(v);
+            self.events.push(MemEvent::Evicted { vpage: v });
+        }
+        let node = self.frames[frame.index()].node();
+        self.frames[frame.index()].mark_free();
+        self.nodes[node.index()].free.push(frame);
+        self.stats.frees += 1;
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Whether a virtual page currently lives on backing storage.
+    pub fn is_swapped(&self, vpage: VPage) -> bool {
+        self.swapped.contains(&vpage)
+    }
+
+    /// Records that a previously evicted page was faulted back in; charges
+    /// the swap-in latency as application stall and emits an event.
+    pub fn note_swap_in(&mut self, vpage: VPage) {
+        if self.swapped.remove(&vpage) {
+            let t = self.latency.swap_page;
+            self.ledger.charge_app_stall(t);
+            self.stats.swap_ins += 1;
+            self.events.push(MemEvent::SwappedIn { vpage });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemorySystem {
+        MemorySystem::new(MemConfig::two_tier(64, 256))
+    }
+
+    #[test]
+    fn pages_are_born_in_dram() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(mem.frame(f).tier(), TierId::TOP);
+    }
+
+    #[test]
+    fn allocation_falls_back_to_pm_when_dram_exhausted() {
+        let mut mem = small();
+        let dram_usable = {
+            let wm = mem.node_watermarks(NodeId::new(0));
+            64 - wm.min
+        };
+        let mut last = None;
+        for _ in 0..dram_usable {
+            last = Some(mem.alloc_page(PageKind::Anon).unwrap());
+        }
+        assert_eq!(mem.frame(last.unwrap()).tier(), TierId::TOP);
+        // Next allocation must spill to PM.
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(mem.frame(f).tier(), TierId::new(1));
+    }
+
+    #[test]
+    fn allocation_respects_min_watermark() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(64, 64));
+        let mut allocated = 0;
+        while mem.alloc_page(PageKind::Anon).is_ok() {
+            allocated += 1;
+            assert!(allocated <= 128, "must stop before exhausting reserves");
+        }
+        let wm0 = mem.node_watermarks(NodeId::new(0));
+        let wm1 = mem.node_watermarks(NodeId::new(1));
+        assert_eq!(mem.node_free(NodeId::new(0)), wm0.min);
+        assert_eq!(mem.node_free(NodeId::new(1)), wm1.min);
+    }
+
+    #[test]
+    fn map_access_sets_reference_and_dirty() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        let v = VPage::new(10);
+        mem.map(v, f).unwrap();
+        let out = mem.access(v, AccessKind::Read).unwrap();
+        assert_eq!(out.frame, f);
+        assert_eq!(out.tier, TierId::TOP);
+        assert!(!out.hint_fault);
+        assert!(mem.page_table().get(v).unwrap().referenced);
+        assert!(!mem.page_table().get(v).unwrap().dirty);
+        mem.access(v, AccessKind::Write).unwrap();
+        assert!(mem.page_table().get(v).unwrap().dirty);
+        assert!(mem.frame(f).flags().contains(PageFlags::DIRTY));
+    }
+
+    #[test]
+    fn access_unmapped_is_fault() {
+        let mut mem = small();
+        assert_eq!(
+            mem.access(VPage::new(1), AccessKind::Read),
+            Err(MemError::NotMapped(VPage::new(1)))
+        );
+    }
+
+    #[test]
+    fn harvest_reference_is_test_and_clear_via_frame() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        mem.map(VPage::new(3), f).unwrap();
+        mem.access(VPage::new(3), AccessKind::Read).unwrap();
+        assert!(mem.harvest_referenced(f));
+        assert!(!mem.harvest_referenced(f));
+    }
+
+    #[test]
+    fn poisoned_access_reports_hint_fault_once() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        let v = VPage::new(5);
+        mem.map(v, f).unwrap();
+        assert!(mem.poison(v));
+        let out = mem.access(v, AccessKind::Read).unwrap();
+        assert!(out.hint_fault);
+        let out2 = mem.access(v, AccessKind::Read).unwrap();
+        assert!(!out2.hint_fault, "poison is consumed by the fault");
+        assert_eq!(mem.stats().hint_faults, 1);
+    }
+
+    #[test]
+    fn migrate_moves_page_down_and_remaps() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        let v = VPage::new(7);
+        mem.map(v, f).unwrap();
+        mem.access(v, AccessKind::Write).unwrap();
+        let pm = TierId::new(1);
+        let nf = mem.migrate(f, pm).unwrap();
+        assert_eq!(mem.frame(nf).tier(), pm);
+        assert_eq!(mem.translate(v), Some(nf));
+        assert_eq!(mem.frame(f).state(), FrameState::Free);
+        // Dirty travels, referenced is cleared.
+        let e = mem.page_table().get(v).unwrap();
+        assert!(e.dirty);
+        assert!(!e.referenced);
+        assert!(mem.frame(nf).flags().contains(PageFlags::DIRTY));
+        assert_eq!(mem.stats().demotions, 1);
+        let ev = mem.drain_events();
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].is_demotion());
+    }
+
+    #[test]
+    fn migrate_up_counts_promotion() {
+        let mut mem = small();
+        let f = mem
+            .alloc_page_in_tier(PageKind::Anon, TierId::new(1))
+            .unwrap();
+        mem.map(VPage::new(2), f).unwrap();
+        let nf = mem.migrate(f, TierId::TOP).unwrap();
+        assert_eq!(mem.frame(nf).tier(), TierId::TOP);
+        assert_eq!(mem.stats().promotions, 1);
+        assert!(mem.drain_events()[0].is_promotion());
+    }
+
+    #[test]
+    fn migrate_rejects_locked_and_unevictable() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        mem.frame_flags_mut(f).insert(PageFlags::LOCKED);
+        assert_eq!(
+            mem.migrate(f, TierId::new(1)),
+            Err(MemError::FrameLocked(f))
+        );
+        mem.frame_flags_mut(f).remove(PageFlags::LOCKED);
+        mem.frame_flags_mut(f).insert(PageFlags::UNEVICTABLE);
+        assert_eq!(
+            mem.migrate(f, TierId::new(1)),
+            Err(MemError::FrameUnevictable(f))
+        );
+        assert_eq!(mem.stats().migration_failures, 2);
+    }
+
+    #[test]
+    fn migrate_same_tier_rejected() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(
+            mem.migrate(f, TierId::TOP),
+            Err(MemError::SameTier(f, TierId::TOP))
+        );
+    }
+
+    #[test]
+    fn migration_charges_ledger() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        mem.map(VPage::new(1), f).unwrap();
+        mem.migrate(f, TierId::new(1)).unwrap();
+        let ledger = mem.ledger_mut().take();
+        assert!(ledger.app_stall.as_nanos() > 0);
+        assert!(ledger.background.as_nanos() > 0);
+    }
+
+    #[test]
+    fn evict_and_swap_in_cycle() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        let v = VPage::new(11);
+        mem.map(v, f).unwrap();
+        mem.evict(f).unwrap();
+        assert!(mem.is_swapped(v));
+        assert_eq!(mem.translate(v), None);
+        assert_eq!(mem.stats().evictions, 1);
+        mem.note_swap_in(v);
+        assert!(!mem.is_swapped(v));
+        assert_eq!(mem.stats().swap_ins, 1);
+        let l = mem.ledger_mut().take();
+        assert!(l.app_stall >= mem.latency().swap_page);
+    }
+
+    #[test]
+    fn free_page_unmaps() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::File).unwrap();
+        let v = VPage::new(9);
+        mem.map(v, f).unwrap();
+        let free_before = mem.tier_free(TierId::TOP);
+        mem.free_page(f).unwrap();
+        assert_eq!(mem.translate(v), None);
+        assert_eq!(mem.tier_free(TierId::TOP), free_before + 1);
+        assert_eq!(mem.free_page(f), Err(MemError::FrameNotAllocated(f)));
+    }
+
+    #[test]
+    fn tier_accounting_consistent() {
+        let mut mem = small();
+        let top = TierId::TOP;
+        assert_eq!(mem.tier_free(top), 64);
+        assert_eq!(mem.tier_used(top), 0);
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(mem.tier_free(top), 63);
+        assert_eq!(mem.tier_used(top), 1);
+        mem.free_page(f).unwrap();
+        assert_eq!(mem.tier_free(top), 64);
+    }
+
+    #[test]
+    fn pressure_detection() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        assert!(!mem.tier_under_pressure(TierId::TOP));
+        let wm = mem.node_watermarks(NodeId::new(0));
+        // Allocate DRAM down to just below the low watermark.
+        for _ in 0..(64 - wm.low + 1) {
+            mem.alloc_page_in_tier(PageKind::Anon, TierId::TOP).unwrap();
+        }
+        assert!(mem.tier_under_pressure(TierId::TOP));
+        assert!(!mem.tier_balanced(TierId::TOP));
+    }
+
+    #[test]
+    fn dual_socket_allocation_balances_nodes() {
+        let mut mem = MemorySystem::new(MemConfig::dual_socket(32, 128));
+        // Allocations alternate to the node with most free pages.
+        let a = mem.alloc_page(PageKind::Anon).unwrap();
+        let b = mem.alloc_page(PageKind::Anon).unwrap();
+        assert_ne!(mem.frame(a).node(), mem.frame(b).node());
+        assert_eq!(mem.frame(a).tier(), mem.frame(b).tier());
+    }
+
+    #[test]
+    fn evict_clean_file_page_skips_swap_cost() {
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::File).unwrap();
+        mem.map(VPage::new(20), f).unwrap();
+        mem.ledger_mut().take();
+        mem.evict(f).unwrap();
+        let l = mem.ledger_mut().take();
+        assert_eq!(l.background, Nanos::ZERO, "clean file pages are dropped");
+    }
+}

@@ -1,0 +1,195 @@
+//! Virtual time.
+//!
+//! The simulation never reads wall-clock time: every latency charged by the
+//! substrate advances a nanosecond counter. [`Nanos`] is both an instant and
+//! a duration (the distinction is not load-bearing at this scale and keeping
+//! one type makes arithmetic in policies terse).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A virtual-time instant or duration, in nanoseconds.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Zero time.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a value from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a value from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a value from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a value from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (truncated) microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Value in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Value in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by a scalar.
+    pub const fn saturating_mul(self, k: u64) -> Nanos {
+        Nanos(self.0.saturating_mul(k))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// The simulation engine owns one of these; the substrate and policies only
+/// ever receive `now` as a parameter, keeping them pure with respect to time.
+#[derive(Debug, Default, Clone)]
+pub struct VirtualClock {
+    now: Nanos,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by a duration.
+    pub fn advance(&mut self, by: Nanos) {
+        self.now += by;
+    }
+
+    /// Advances the clock to an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is in the past — virtual time never flows backwards.
+    pub fn advance_to(&mut self, to: Nanos) {
+        assert!(
+            to >= self.now,
+            "virtual clock may not move backwards ({} -> {})",
+            self.now,
+            to
+        );
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(Nanos::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Nanos::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Nanos::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(Nanos::from_secs(1).as_millis(), 1_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_nanos(100);
+        let b = Nanos::from_nanos(40);
+        assert_eq!((a + b).as_nanos(), 140);
+        assert_eq!((a - b).as_nanos(), 60);
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(b.saturating_mul(3).as_nanos(), 120);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), Nanos::ZERO);
+        c.advance(Nanos::from_micros(10));
+        assert_eq!(c.now().as_micros(), 10);
+        c.advance_to(Nanos::from_millis(1));
+        assert_eq!(c.now().as_millis(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_rejects_time_travel() {
+        let mut c = VirtualClock::new();
+        c.advance(Nanos::from_secs(1));
+        c.advance_to(Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos::from_nanos(5)), "5ns");
+        assert!(format!("{}", Nanos::from_micros(5)).ends_with("us"));
+        assert!(format!("{}", Nanos::from_millis(5)).ends_with("ms"));
+        assert!(format!("{}", Nanos::from_secs(5)).ends_with('s'));
+    }
+}

@@ -1,0 +1,568 @@
+//! AutoTiering baselines (Kim et al., ATC'21), CPM and OPM flavours.
+//!
+//! AutoTiering tracks page accesses with **software hint page faults**
+//! (AutoNUMA-style PTE poisoning): a sampled page's PTE is invalidated;
+//! the next access takes a fault that both *reveals* the access and
+//! *costs* fault-handling time — the overhead the MULTI-CLOCK paper blames
+//! for AutoTiering's losses (§V-C.1).
+//!
+//! * **AT-CPM** (conservative promotion migration): when a lower-tier page
+//!   faults, it is migrated to the upper tier *synchronously on the fault
+//!   path*; if the upper tier is full it performs a two-sided **page
+//!   exchange** with a cold upper-tier page — both copies stall the
+//!   application. Promotion is recency-triggered (a single fault).
+//! * **AT-OPM** (opportunistic promotion migration): keeps an N-bit
+//!   per-page fault-history vector (the paper's "maintain N-bit history
+//!   for demotion"); a background pass demotes zero-history pages to keep
+//!   promotion headroom, so fault-path promotions are asynchronous and
+//!   cheaper — but the technique still pays for every hint fault and
+//!   carries per-page metadata (Table I "Space Overhead").
+
+use mc_clock::IndexedList;
+use mc_mem::{
+    AccessKind, FrameId, MemError, MemorySystem, Nanos, PolicyTraits, TickOutcome, TierId,
+    TieringPolicy, Topology,
+};
+
+/// Which AutoTiering variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutoTieringMode {
+    /// Conservative promotion migration (synchronous fault-path exchange).
+    Cpm,
+    /// Opportunistic promotion migration (N-bit history + background
+    /// demotion).
+    Opm,
+}
+
+impl AutoTieringMode {
+    /// Short display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AutoTieringMode::Cpm => "AT-CPM",
+            AutoTieringMode::Opm => "AT-OPM",
+        }
+    }
+}
+
+/// Tunables for [`AutoTiering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutoTieringConfig {
+    /// Sampling daemon period.
+    pub scan_interval: Nanos,
+    /// PTEs poisoned per tick (the AutoNUMA scan-size analogue).
+    pub sample_batch: usize,
+    /// History vector width in bits (OPM).
+    pub history_bits: u32,
+    /// Maximum pages examined per pressure invocation.
+    pub reclaim_batch: usize,
+    /// OPM: free pages the background demoter tries to keep available in
+    /// the top tier for incoming promotions.
+    pub headroom_pages: usize,
+}
+
+impl Default for AutoTieringConfig {
+    fn default() -> Self {
+        AutoTieringConfig {
+            scan_interval: Nanos::from_secs(1),
+            sample_batch: 4096,
+            history_bits: 8,
+            reclaim_batch: 4096,
+            headroom_pages: 64,
+        }
+    }
+}
+
+/// The AutoTiering policy (CPM or OPM).
+#[derive(Debug)]
+pub struct AutoTiering {
+    mode: AutoTieringMode,
+    cfg: AutoTieringConfig,
+    /// Round-robin poisoning ring per tier.
+    rings: Vec<IndexedList>,
+    /// Per-frame fault-history bits (bit 0 = most recent interval).
+    history: Vec<u8>,
+    /// Frames that hint-faulted during the current interval.
+    faulted: Vec<bool>,
+    promotions: u64,
+    demotions: u64,
+    exchanges: u64,
+}
+
+impl AutoTiering {
+    /// Creates an AutoTiering instance.
+    pub fn new(mode: AutoTieringMode, cfg: AutoTieringConfig, topology: &Topology) -> Self {
+        assert!(cfg.sample_batch > 0, "sample batch must be positive");
+        assert!(
+            (1..=8).contains(&cfg.history_bits),
+            "history bits must be in 1..=8"
+        );
+        AutoTiering {
+            mode,
+            cfg,
+            rings: (0..topology.tier_count())
+                .map(|_| IndexedList::new())
+                .collect(),
+            history: vec![0; topology.total_pages()],
+            faulted: vec![false; topology.total_pages()],
+            promotions: 0,
+            demotions: 0,
+            exchanges: 0,
+        }
+    }
+
+    /// CPM with default tunables.
+    pub fn cpm(topology: &Topology) -> Self {
+        Self::new(AutoTieringMode::Cpm, AutoTieringConfig::default(), topology)
+    }
+
+    /// OPM with default tunables.
+    pub fn opm(topology: &Topology) -> Self {
+        Self::new(AutoTieringMode::Opm, AutoTieringConfig::default(), topology)
+    }
+
+    /// The variant in use.
+    pub fn mode(&self) -> AutoTieringMode {
+        self.mode
+    }
+
+    /// Pages promoted so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Pages demoted so far.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Fault-path page exchanges performed (CPM).
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// The fault history of a frame (for tests).
+    pub fn history_of(&self, frame: FrameId) -> u8 {
+        self.history[frame.index()]
+    }
+
+    fn untrack(&mut self, frame: FrameId, tier: TierId) {
+        self.rings[tier.index()].remove(frame);
+        self.history[frame.index()] = 0;
+        self.faulted[frame.index()] = false;
+    }
+
+    fn retrack(&mut self, old: FrameId, new: FrameId, src: TierId, dst: TierId) {
+        let h = self.history[old.index()];
+        let f = self.faulted[old.index()];
+        self.untrack(old, src);
+        self.rings[dst.index()].push_back(new);
+        self.history[new.index()] = h;
+        self.faulted[new.index()] = f;
+    }
+
+    /// Finds a cold (zero-history, unfaulted) victim in `tier`, scanning
+    /// up to `limit` ring entries.
+    fn find_cold_victim(
+        &mut self,
+        mem: &MemorySystem,
+        tier: TierId,
+        limit: usize,
+    ) -> Option<FrameId> {
+        let len = self.rings[tier.index()].len().min(limit);
+        for _ in 0..len {
+            let frame = self.rings[tier.index()].pop_front()?;
+            self.rings[tier.index()].push_back(frame);
+            if self.history[frame.index()] == 0
+                && !self.faulted[frame.index()]
+                && mem.frame(frame).migratable()
+            {
+                return Some(frame);
+            }
+        }
+        None
+    }
+
+    /// Picks any migratable round-robin victim (CPM's fault-path exchange
+    /// falls back to this when no zero-history page exists — it *must*
+    /// free a frame to complete the exchange, which is one of the ways it
+    /// hurts itself on the critical path).
+    fn find_any_victim(
+        &mut self,
+        mem: &MemorySystem,
+        tier: TierId,
+        limit: usize,
+    ) -> Option<FrameId> {
+        let len = self.rings[tier.index()].len().min(limit);
+        for _ in 0..len {
+            let frame = self.rings[tier.index()].pop_front()?;
+            self.rings[tier.index()].push_back(frame);
+            if mem.frame(frame).migratable() {
+                return Some(frame);
+            }
+        }
+        None
+    }
+
+    /// Demotes one cold page out of `tier`; returns whether a page moved.
+    /// Synchronous (fault-path) demotions fall back to an arbitrary
+    /// victim when no cold page exists.
+    fn demote_cold(&mut self, mem: &mut MemorySystem, tier: TierId, sync: bool) -> bool {
+        let Some(lower) = tier.lower(self.rings.len()) else {
+            return false;
+        };
+        let victim = self
+            .find_cold_victim(mem, tier, 256)
+            .or_else(|| sync.then(|| self.find_any_victim(mem, tier, 64)).flatten());
+        let Some(victim) = victim else {
+            return false;
+        };
+        match mem.migrate(victim, lower) {
+            Ok(new_frame) => {
+                if sync {
+                    // CPM exchanges run on the fault path: the copy stalls
+                    // the application too.
+                    let extra = mem.latency().migration(tier, lower).background;
+                    mem.ledger_mut().charge_app_stall(extra);
+                }
+                self.retrack(victim, new_frame, tier, lower);
+                self.demotions += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Attempts to promote `frame` to the tier above.
+    fn promote(&mut self, mem: &mut MemorySystem, frame: FrameId, tier: TierId) {
+        let Some(upper) = tier.upper() else { return };
+        match mem.migrate(frame, upper) {
+            Ok(new_frame) => {
+                if self.mode == AutoTieringMode::Cpm {
+                    let extra = mem.latency().migration(tier, upper).background;
+                    mem.ledger_mut().charge_app_stall(extra);
+                }
+                self.retrack(frame, new_frame, tier, upper);
+                self.promotions += 1;
+            }
+            Err(MemError::TierFull(_)) => match self.mode {
+                AutoTieringMode::Cpm => {
+                    // Synchronous two-sided exchange.
+                    if self.demote_cold(mem, upper, true) {
+                        if let Ok(new_frame) = mem.migrate(frame, upper) {
+                            let extra = mem.latency().migration(tier, upper).background;
+                            mem.ledger_mut().charge_app_stall(extra);
+                            self.retrack(frame, new_frame, tier, upper);
+                            self.promotions += 1;
+                            self.exchanges += 1;
+                        }
+                    }
+                }
+                AutoTieringMode::Opm => {
+                    // Defer: the background demoter will open headroom.
+                }
+            },
+            Err(_) => {}
+        }
+    }
+}
+
+impl TieringPolicy for AutoTiering {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            AutoTieringMode::Cpm => "at-cpm",
+            AutoTieringMode::Opm => "at-opm",
+        }
+    }
+
+    fn traits(&self) -> PolicyTraits {
+        PolicyTraits {
+            name: match self.mode {
+                AutoTieringMode::Cpm => "AutoTiering-CPM",
+                AutoTieringMode::Opm => "AutoTiering-OPM",
+            },
+            page_access_tracking: "Software Page Fault",
+            selection_promotion: "Recency",
+            selection_demotion: "Frequency",
+            numa_aware: true,
+            space_overhead: true,
+            generality: "All",
+            key_insight: "Maintain N-bit history for demotion",
+        }
+    }
+
+    fn on_page_mapped(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        let tier = mem.frame(frame).tier();
+        self.rings[tier.index()].push_back(frame);
+        self.history[frame.index()] = 0;
+        self.faulted[frame.index()] = false;
+    }
+
+    fn on_page_unmapped(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        let tier = mem.frame(frame).tier();
+        self.untrack(frame, tier);
+    }
+
+    fn on_supervised_access(
+        &mut self,
+        _mem: &mut MemorySystem,
+        _frame: FrameId,
+        _kind: AccessKind,
+    ) {
+        // AutoTiering only observes accesses through hint faults.
+    }
+
+    fn on_hint_fault(&mut self, mem: &mut MemorySystem, frame: FrameId, _kind: AccessKind) {
+        self.faulted[frame.index()] = true;
+        let tier = mem.frame(frame).tier();
+        if !tier.is_top() {
+            self.promote(mem, frame, tier);
+        }
+    }
+
+    fn tick(&mut self, mem: &mut MemorySystem, _now: Nanos) -> TickOutcome {
+        let mut out = TickOutcome::default();
+
+        // Fold the interval's faults into the history vectors of every
+        // tracked page, then poison the next sample of PTEs.
+        let mask = ((1u16 << self.cfg.history_bits) - 1) as u8;
+        for t in 0..self.rings.len() {
+            for frame in self.rings[t].iter().collect::<Vec<_>>() {
+                let h = &mut self.history[frame.index()];
+                *h = ((*h << 1) | u8::from(self.faulted[frame.index()])) & mask;
+                self.faulted[frame.index()] = false;
+            }
+        }
+
+        // Round-robin PTE poisoning across tiers, proportional to size.
+        let total: usize = self.rings.iter().map(|r| r.len()).sum();
+        if total > 0 {
+            for t in 0..self.rings.len() {
+                let tier_share =
+                    (self.cfg.sample_batch * self.rings[t].len()).div_ceil(total);
+                let n = tier_share.min(self.rings[t].len());
+                for _ in 0..n {
+                    let Some(frame) = self.rings[t].pop_front() else {
+                        break;
+                    };
+                    self.rings[t].push_back(frame);
+                    if let Some(vpage) = mem.frame(frame).vpage() {
+                        mem.poison(vpage);
+                        out.pages_scanned += 1;
+                    }
+                }
+            }
+        }
+
+        // OPM: keep promotion headroom in the top tier.
+        if self.mode == AutoTieringMode::Opm {
+            let mut guard = self.cfg.reclaim_batch;
+            while mem.tier_free(TierId::TOP) < self.cfg.headroom_pages && guard > 0 {
+                if !self.demote_cold(mem, TierId::TOP, false) {
+                    break;
+                }
+                out.demoted += 1;
+                guard -= 1;
+            }
+        }
+
+        // Watermark pressure handling.
+        for t in 0..self.rings.len() {
+            let tier = TierId::new(t as u8);
+            if mem.tier_under_pressure(tier) {
+                let p = self.on_pressure(mem, tier, _now);
+                out.pages_scanned += p.pages_scanned;
+                out.demoted += p.demoted;
+            }
+        }
+        out
+    }
+
+    fn on_pressure(&mut self, mem: &mut MemorySystem, tier: TierId, _now: Nanos) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        let mut budget = self.cfg.reclaim_batch;
+        let lower = tier.lower(self.rings.len());
+        while !mem.tier_balanced(tier) && budget > 0 {
+            budget -= 1;
+            out.pages_scanned += 1;
+            // Coldest-first: zero-history victims, else round-robin.
+            let victim = self.find_cold_victim(mem, tier, 128).or_else(|| {
+                let f = self.rings[tier.index()].pop_front()?;
+                self.rings[tier.index()].push_back(f);
+                mem.frame(f).migratable().then_some(f)
+            });
+            let Some(victim) = victim else { break };
+            match lower {
+                Some(lower_tier) => {
+                    if let Ok(new_frame) = mem.migrate(victim, lower_tier) {
+                        self.retrack(victim, new_frame, tier, lower_tier);
+                        self.demotions += 1;
+                        out.demoted += 1;
+                    }
+                }
+                None => {
+                    let t = tier;
+                    if mem.evict(victim).is_ok() {
+                        self.untrack(victim, t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn tick_interval(&self) -> Option<Nanos> {
+        Some(self.cfg.scan_interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_mem::{MemConfig, PageKind, VPage};
+
+    fn map_in_tier(mem: &mut MemorySystem, at: &mut AutoTiering, v: u64, tier: TierId) -> FrameId {
+        let f = mem.alloc_page_in_tier(PageKind::Anon, tier).unwrap();
+        mem.map(VPage::new(v), f).unwrap();
+        at.on_page_mapped(mem, f);
+        f
+    }
+
+    #[test]
+    fn tick_poisons_ptes() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let mut at = AutoTiering::cpm(mem.topology());
+        for v in 0..20u64 {
+            map_in_tier(&mut mem, &mut at, v, TierId::new(1));
+        }
+        let out = at.tick(&mut mem, Nanos::from_secs(1));
+        assert!(out.pages_scanned > 0);
+        let poisoned = (0..20u64)
+            .filter(|v| mem.page_table().get(VPage::new(*v)).unwrap().poisoned)
+            .count();
+        assert_eq!(poisoned, 20, "small working sets are fully sampled");
+    }
+
+    #[test]
+    fn hint_fault_promotes_pm_page() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let mut at = AutoTiering::cpm(mem.topology());
+        let f = map_in_tier(&mut mem, &mut at, 1, TierId::new(1));
+        at.tick(&mut mem, Nanos::from_secs(1));
+        let out = mem.access(VPage::new(1), AccessKind::Read).unwrap();
+        assert!(out.hint_fault, "poisoned PTE faults");
+        at.on_hint_fault(&mut mem, f, AccessKind::Read);
+        let nf = mem.translate(VPage::new(1)).unwrap();
+        assert_eq!(mem.frame(nf).tier(), TierId::TOP, "promoted on fault path");
+        assert_eq!(at.promotions(), 1);
+    }
+
+    #[test]
+    fn cpm_exchanges_when_dram_full() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(16, 64));
+        let mut at = AutoTiering::cpm(mem.topology());
+        let mut v = 0u64;
+        while let Ok(f) = mem.alloc_page_in_tier(PageKind::Anon, TierId::TOP) {
+            mem.map(VPage::new(v), f).unwrap();
+            at.on_page_mapped(&mut mem, f);
+            v += 1;
+        }
+        let hot = map_in_tier(&mut mem, &mut at, 1000, TierId::new(1));
+        at.on_hint_fault(&mut mem, hot, AccessKind::Read);
+        assert_eq!(at.promotions(), 1);
+        assert_eq!(at.exchanges(), 1, "CPM exchanged with a cold DRAM page");
+        assert_eq!(at.demotions(), 1);
+    }
+
+    #[test]
+    fn opm_defers_promotion_until_headroom_exists() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(128, 512));
+        let mut at = AutoTiering::opm(mem.topology());
+        let mut v = 0u64;
+        while let Ok(f) = mem.alloc_page_in_tier(PageKind::Anon, TierId::TOP) {
+            mem.map(VPage::new(v), f).unwrap();
+            at.on_page_mapped(&mut mem, f);
+            v += 1;
+        }
+        let hot = map_in_tier(&mut mem, &mut at, 1000, TierId::new(1));
+        at.on_hint_fault(&mut mem, hot, AccessKind::Read);
+        assert_eq!(
+            at.promotions(),
+            0,
+            "OPM does not exchange on the fault path"
+        );
+        // Background demotion opens headroom at the next tick.
+        at.tick(&mut mem, Nanos::from_secs(1));
+        assert!(at.demotions() > 0, "background demoter ran");
+        assert!(mem.tier_free(TierId::TOP) > 0);
+        // Next fault succeeds.
+        at.on_hint_fault(&mut mem, hot, AccessKind::Read);
+        assert_eq!(at.promotions(), 1);
+    }
+
+    #[test]
+    fn history_folds_faults_and_shifts() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let mut at = AutoTiering::opm(mem.topology());
+        let f = map_in_tier(&mut mem, &mut at, 1, TierId::TOP);
+        at.on_hint_fault(&mut mem, f, AccessKind::Read);
+        at.tick(&mut mem, Nanos::from_secs(1));
+        assert_eq!(at.history_of(f) & 1, 1, "fault recorded");
+        at.tick(&mut mem, Nanos::from_secs(2));
+        assert_eq!(at.history_of(f) & 1, 0, "history shifted");
+        assert_eq!(at.history_of(f) & 2, 2);
+    }
+
+    #[test]
+    fn opm_protects_pages_with_history_from_background_demotion() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(16, 64));
+        let mut at = AutoTiering::opm(mem.topology());
+        let mut frames = Vec::new();
+        let mut v = 0u64;
+        while let Ok(f) = mem.alloc_page_in_tier(PageKind::Anon, TierId::TOP) {
+            mem.map(VPage::new(v), f).unwrap();
+            at.on_page_mapped(&mut mem, f);
+            frames.push(f);
+            v += 1;
+        }
+        // Give the first three pages fault history.
+        for f in frames.iter().take(3) {
+            at.on_hint_fault(&mut mem, *f, AccessKind::Read);
+        }
+        at.tick(&mut mem, Nanos::from_secs(1));
+        for f in frames.iter().take(3) {
+            assert_eq!(
+                mem.frame(*f).tier(),
+                TierId::TOP,
+                "faulted page must not be demoted by the background pass"
+            );
+        }
+        assert!(at.demotions() > 0, "cold pages were demoted for headroom");
+    }
+
+    #[test]
+    fn pressure_reclaims_lowest_tier_by_eviction() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(16, 32));
+        let mut at = AutoTiering::cpm(mem.topology());
+        let mut v = 0u64;
+        while let Ok(f) = mem.alloc_page(PageKind::Anon) {
+            mem.map(VPage::new(v), f).unwrap();
+            at.on_page_mapped(&mut mem, f);
+            v += 1;
+        }
+        at.on_pressure(&mut mem, TierId::new(1), Nanos::ZERO);
+        assert!(mem.stats().evictions > 0);
+        assert!(mem.tier_balanced(TierId::new(1)));
+    }
+
+    #[test]
+    fn traits_differ_by_mode_name_only() {
+        let mem = MemorySystem::new(MemConfig::two_tier(16, 64));
+        let cpm = AutoTiering::cpm(mem.topology());
+        let opm = AutoTiering::opm(mem.topology());
+        assert_eq!(cpm.traits().page_access_tracking, "Software Page Fault");
+        assert!(cpm.traits().space_overhead);
+        assert_ne!(cpm.traits().name, opm.traits().name);
+        assert_eq!(cpm.mode().label(), "AT-CPM");
+        assert_eq!(opm.mode().label(), "AT-OPM");
+    }
+}

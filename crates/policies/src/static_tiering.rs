@@ -1,0 +1,204 @@
+//! Static tiering: the normalisation baseline.
+//!
+//! "A memory page, once mapped to a tier, may not get reassigned to a
+//! different tier during its lifetime" (§II-D). Allocation is DRAM-first
+//! (the substrate already does that); there is no promotion and no
+//! demotion. Under memory pressure a tier reclaims with plain CLOCK
+//! second-chance *eviction* — pages leave to backing storage, never to
+//! another tier, like a stock non-tiering kernel.
+
+use mc_clock::IndexedList;
+use mc_mem::{
+    AccessKind, FrameId, MemorySystem, Nanos, PolicyTraits, TickOutcome, TierId, TieringPolicy,
+    Topology,
+};
+
+/// The static tiering baseline policy.
+#[derive(Debug)]
+pub struct StaticTiering {
+    /// One reclaim list per tier (CLOCK order, front = next candidate).
+    lists: Vec<IndexedList>,
+    /// Pages evicted by this policy.
+    evictions: u64,
+}
+
+impl StaticTiering {
+    /// Creates the policy for a topology.
+    pub fn new(topology: &Topology) -> Self {
+        StaticTiering {
+            lists: (0..topology.tier_count())
+                .map(|_| IndexedList::new())
+                .collect(),
+            evictions: 0,
+        }
+    }
+
+    /// Pages evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The reclaim list of one tier (for tests).
+    pub fn list(&self, tier: TierId) -> &IndexedList {
+        &self.lists[tier.index()]
+    }
+}
+
+impl TieringPolicy for StaticTiering {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn traits(&self) -> PolicyTraits {
+        PolicyTraits {
+            name: "Static-Tiering",
+            page_access_tracking: "N/A",
+            selection_promotion: "N/A",
+            selection_demotion: "N/A",
+            numa_aware: true,
+            space_overhead: false,
+            generality: "All",
+            key_insight: "Straight forward",
+        }
+    }
+
+    fn on_page_mapped(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        let tier = mem.frame(frame).tier();
+        self.lists[tier.index()].push_back(frame);
+    }
+
+    fn on_page_unmapped(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        let tier = mem.frame(frame).tier();
+        self.lists[tier.index()].remove(frame);
+    }
+
+    fn on_supervised_access(
+        &mut self,
+        _mem: &mut MemorySystem,
+        _frame: FrameId,
+        _kind: AccessKind,
+    ) {
+        // Reference bits in the PTE are enough; nothing to do eagerly.
+    }
+
+    fn tick(&mut self, _mem: &mut MemorySystem, _now: Nanos) -> TickOutcome {
+        TickOutcome::default()
+    }
+
+    fn on_pressure(&mut self, mem: &mut MemorySystem, tier: TierId, _now: Nanos) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        let mut budget = 4096usize;
+        while !mem.tier_balanced(tier) && budget > 0 {
+            let Some(frame) = self.lists[tier.index()].pop_front() else {
+                break;
+            };
+            budget -= 1;
+            out.pages_scanned += 1;
+            if mem.harvest_referenced(frame) || !mem.frame(frame).migratable() {
+                // Second chance.
+                self.lists[tier.index()].push_back(frame);
+                continue;
+            }
+            match mem.evict(frame) {
+                Ok(()) => {
+                    self.evictions += 1;
+                }
+                Err(_) => self.lists[tier.index()].push_back(frame),
+            }
+        }
+        out
+    }
+
+    fn tick_interval(&self) -> Option<Nanos> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_mem::{MemConfig, PageKind, VPage};
+
+    #[test]
+    fn never_migrates() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(16, 64));
+        let mut p = StaticTiering::new(mem.topology());
+        let mut v = 0u64;
+        let mut frames = Vec::new();
+        while let Ok(f) = mem.alloc_page(PageKind::Anon) {
+            mem.map(VPage::new(v), f).unwrap();
+            p.on_page_mapped(&mut mem, f);
+            frames.push((v, f, mem.frame(f).tier()));
+            v += 1;
+        }
+        // Touch everything, run many ticks: nothing moves.
+        for (v, _, _) in &frames {
+            mem.access(VPage::new(*v), AccessKind::Read).unwrap();
+        }
+        for s in 1..=5 {
+            p.tick(&mut mem, Nanos::from_secs(s));
+        }
+        assert_eq!(mem.stats().promotions, 0);
+        assert_eq!(mem.stats().demotions, 0);
+        for (v, _, tier) in &frames {
+            let nf = mem.translate(VPage::new(*v)).unwrap();
+            assert_eq!(mem.frame(nf).tier(), *tier, "page {v} must not move");
+        }
+    }
+
+    #[test]
+    fn pressure_evicts_within_tier() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(16, 64));
+        let mut p = StaticTiering::new(mem.topology());
+        let mut v = 0u64;
+        while let Ok(f) = mem.alloc_page_in_tier(PageKind::Anon, TierId::TOP) {
+            mem.map(VPage::new(v), f).unwrap();
+            p.on_page_mapped(&mut mem, f);
+            v += 1;
+        }
+        assert!(mem.tier_under_pressure(TierId::TOP));
+        p.on_pressure(&mut mem, TierId::TOP, Nanos::ZERO);
+        assert!(p.evictions() > 0, "static reclaim evicts");
+        assert_eq!(mem.stats().demotions, 0, "never demotes");
+        assert!(mem.tier_balanced(TierId::TOP));
+    }
+
+    #[test]
+    fn second_chance_prefers_unreferenced_victims() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(16, 64));
+        let mut p = StaticTiering::new(mem.topology());
+        let mut pages = Vec::new();
+        let mut v = 0u64;
+        while let Ok(f) = mem.alloc_page_in_tier(PageKind::Anon, TierId::TOP) {
+            mem.map(VPage::new(v), f).unwrap();
+            p.on_page_mapped(&mut mem, f);
+            pages.push(v);
+            v += 1;
+        }
+        // Reference the first half.
+        let half = pages.len() / 2;
+        for pv in &pages[..half] {
+            mem.access(VPage::new(*pv), AccessKind::Read).unwrap();
+        }
+        p.on_pressure(&mut mem, TierId::TOP, Nanos::ZERO);
+        let referenced_evicted = pages[..half]
+            .iter()
+            .filter(|pv| mem.is_swapped(VPage::new(**pv)))
+            .count();
+        let cold_evicted = pages[half..]
+            .iter()
+            .filter(|pv| mem.is_swapped(VPage::new(**pv)))
+            .count();
+        assert!(cold_evicted > referenced_evicted);
+    }
+
+    #[test]
+    fn traits_match_table_one() {
+        let mem = MemorySystem::new(MemConfig::two_tier(16, 64));
+        let p = StaticTiering::new(mem.topology());
+        let t = p.traits();
+        assert_eq!(t.name, "Static-Tiering");
+        assert_eq!(t.selection_promotion, "N/A");
+        assert_eq!(p.tick_interval(), None);
+    }
+}

@@ -1,0 +1,679 @@
+//! The simulation engine: implements [`Memory`] over the tiering
+//! substrate, interleaving application accesses with daemon ticks in
+//! virtual time.
+
+use crate::config::{SimConfig, SystemKind};
+use crate::metrics::Metrics;
+use mc_mem::{
+    AccessKind, MemorySystem, Nanos, PageKind, TierId, TieringPolicy, VAddr, VPage, VirtualClock,
+    PAGE_SIZE,
+};
+use mc_policies::{
+    Amp, AutoNuma, AutoTiering, AutoTieringConfig, AutoTieringMode, MemoryModeCache, Nimble,
+    NimbleConfig, OracleKind, OraclePolicy, StaticTiering,
+};
+use mc_workloads::Memory;
+use multi_clock::{MultiClock, MultiClockConfig};
+use std::collections::HashMap;
+
+/// The system frontend: an OS tiering policy, or the Memory-mode cache.
+enum Frontend {
+    Tiered {
+        policy: Box<dyn TieringPolicy>,
+        oracle_visibility: bool,
+    },
+    MemoryMode(MemoryModeCache),
+}
+
+impl std::fmt::Debug for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Frontend::Tiered { policy, .. } => write!(f, "Tiered({})", policy.name()),
+            Frontend::MemoryMode(_) => write!(f, "MemoryMode"),
+        }
+    }
+}
+
+/// A running simulation. Implements [`Memory`] so workloads drive it
+/// directly.
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    mem: MemorySystem,
+    frontend: Frontend,
+    clock: VirtualClock,
+    next_tick: Option<Nanos>,
+    next_free_page: u64,
+    /// Mapped regions: start page -> (pages, kind).
+    regions: Vec<(u64, u64, PageKind)>,
+    data: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    metrics: Metrics,
+}
+
+impl Simulation {
+    /// Builds a simulation for the configured system.
+    pub fn new(cfg: SimConfig) -> Self {
+        let mem = MemorySystem::new(cfg.mem.clone());
+        let topo = mem.topology();
+        let frontend = match cfg.system {
+            SystemKind::Static => Frontend::Tiered {
+                policy: Box::new(StaticTiering::new(topo)),
+                oracle_visibility: false,
+            },
+            SystemKind::MultiClock => Frontend::Tiered {
+                policy: Box::new(MultiClock::new(
+                    MultiClockConfig {
+                        scan_interval: cfg.scan_interval,
+                        scan_batch: cfg.scan_batch,
+                        write_weight: cfg.write_weight,
+                        adaptive_interval: cfg.adaptive_interval,
+                        // Adaptive bounds scale with the configured
+                        // interval (the defaults are paper-scale).
+                        min_interval: Nanos::from_nanos(cfg.scan_interval.as_nanos() / 10),
+                        max_interval: cfg.scan_interval.saturating_mul(60),
+                        ..Default::default()
+                    },
+                    topo,
+                )),
+                oracle_visibility: false,
+            },
+            SystemKind::Nimble => Frontend::Tiered {
+                policy: Box::new(Nimble::new(
+                    NimbleConfig {
+                        scan_interval: cfg.scan_interval,
+                        scan_batch: cfg.scan_batch,
+                        ..Default::default()
+                    },
+                    topo,
+                )),
+                oracle_visibility: false,
+            },
+            SystemKind::AtCpm | SystemKind::AtOpm => {
+                let mode = if cfg.system == SystemKind::AtCpm {
+                    AutoTieringMode::Cpm
+                } else {
+                    AutoTieringMode::Opm
+                };
+                Frontend::Tiered {
+                    policy: Box::new(AutoTiering::new(
+                        mode,
+                        AutoTieringConfig {
+                            scan_interval: cfg.scan_interval,
+                            sample_batch: cfg.scan_batch,
+                            ..Default::default()
+                        },
+                        topo,
+                    )),
+                    oracle_visibility: false,
+                }
+            }
+            SystemKind::AutoNuma => Frontend::Tiered {
+                policy: Box::new(AutoNuma::new(topo, cfg.scan_interval, cfg.scan_batch)),
+                oracle_visibility: false,
+            },
+            SystemKind::Amp => Frontend::Tiered {
+                policy: Box::new(Amp::new(topo, cfg.scan_interval, cfg.scan_batch, 42)),
+                oracle_visibility: false,
+            },
+            SystemKind::OracleLru | SystemKind::OracleLfu => {
+                let kind = if cfg.system == SystemKind::OracleLru {
+                    OracleKind::Lru
+                } else {
+                    OracleKind::Lfu
+                };
+                Frontend::Tiered {
+                    policy: Box::new(OraclePolicy::new(kind, topo)),
+                    oracle_visibility: true,
+                }
+            }
+            SystemKind::MemoryMode => {
+                let dram_pages = topo.tier(TierId::TOP).pages();
+                Frontend::MemoryMode(MemoryModeCache::new(dram_pages))
+            }
+        };
+        let next_tick = match &frontend {
+            Frontend::Tiered { policy, .. } => policy.tick_interval(),
+            Frontend::MemoryMode(_) => None,
+        };
+        let window = cfg.window;
+        let horizon = cfg.scan_interval;
+        Simulation {
+            cfg,
+            mem,
+            frontend,
+            clock: VirtualClock::new(),
+            next_tick,
+            next_free_page: 0,
+            regions: Vec::new(),
+            data: HashMap::new(),
+            metrics: Metrics::with_horizon(window, horizon),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The substrate (counters, topology).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Memory-mode cache statistics, when running Memory-mode.
+    pub fn memory_mode_stats(&self) -> Option<mc_policies::MemoryModeStats> {
+        match &self.frontend {
+            Frontend::MemoryMode(c) => Some(c.stats()),
+            _ => None,
+        }
+    }
+
+    /// Records a completed application-level operation (throughput
+    /// accounting for the experiment drivers).
+    pub fn record_op(&mut self) {
+        self.metrics.on_op(self.clock.now());
+    }
+
+    /// Finalises metrics (settles pending re-access bookkeeping).
+    pub fn finish(&mut self) {
+        self.metrics.finish(self.clock.now());
+    }
+
+    /// The kind of the region containing `vpage`.
+    fn region_kind(&self, vpage: VPage) -> PageKind {
+        let p = vpage.raw();
+        self.regions
+            .iter()
+            .rev()
+            .find(|(start, pages, _)| p >= *start && p < start + pages)
+            .map(|(_, _, k)| *k)
+            .unwrap_or(PageKind::Anon)
+    }
+
+    /// Absorbs substrate side effects: the cost ledger into the clock and
+    /// cost breakdown, migration events into the windowed metrics.
+    fn absorb_substrate(
+        mem: &mut MemorySystem,
+        clock: &mut VirtualClock,
+        metrics: &mut Metrics,
+        daemon_contention: f64,
+    ) {
+        let ledger = mem.ledger_mut().take();
+        // Application stalls (TLB shootdowns, swap-ins) hit the app fully.
+        clock.advance(ledger.app_stall);
+        metrics.costs_mut().stall_time += ledger.app_stall;
+        // Daemon CPU leaks a contention fraction into the app.
+        let leak =
+            Nanos::from_nanos((ledger.daemon_cpu.as_nanos() as f64 * daemon_contention) as u64);
+        clock.advance(leak);
+        metrics.costs_mut().daemon_time += ledger.daemon_cpu;
+        metrics.costs_mut().background_time += ledger.background;
+        let now = clock.now();
+        for ev in mem.drain_events() {
+            match ev {
+                mc_mem::MemEvent::Migrated {
+                    vpage, src, dst, ..
+                } => {
+                    if dst < src {
+                        if let Some(v) = vpage {
+                            metrics.on_promotion(v, now);
+                        }
+                    } else {
+                        metrics.on_demotion(now);
+                    }
+                }
+                mc_mem::MemEvent::Evicted { .. } | mc_mem::MemEvent::SwappedIn { .. } => {}
+            }
+        }
+    }
+
+    /// Runs any due daemon ticks.
+    fn maybe_tick(&mut self) {
+        loop {
+            let Some(due) = self.next_tick else { return };
+            if self.clock.now() < due {
+                return;
+            }
+            let Frontend::Tiered { policy, .. } = &mut self.frontend else {
+                self.next_tick = None;
+                return;
+            };
+            let out = policy.tick(&mut self.mem, due);
+            // Scan CPU cost.
+            let scan_cost =
+                Nanos::from_nanos(out.pages_scanned * self.mem.latency().scan_per_page.as_nanos());
+            self.mem.ledger_mut().charge_daemon(scan_cost);
+            Self::absorb_substrate(
+                &mut self.mem,
+                &mut self.clock,
+                &mut self.metrics,
+                self.cfg.daemon_contention,
+            );
+            self.metrics.settle(self.clock.now());
+            let interval = policy.tick_interval().unwrap_or(self.cfg.scan_interval);
+            self.next_tick = Some(due + interval);
+        }
+    }
+
+    /// Faults a page in (allocation with direct reclaim) and performs one
+    /// device access. The heart of the engine.
+    fn access_page(&mut self, vpage: VPage, kind: AccessKind, bytes: usize) {
+        let region_kind = self.region_kind(vpage);
+        match &mut self.frontend {
+            Frontend::MemoryMode(cache) => {
+                // Everything lives in PM; DRAM is a transparent cache.
+                let (lat, bg) = cache.access(vpage, kind, self.mem.latency());
+                self.clock.advance(lat);
+                self.metrics.costs_mut().access_time += lat;
+                self.metrics.costs_mut().background_time += bg;
+                if bytes > 64 {
+                    // Stream the rest from wherever it now is (the cache).
+                    let extra = self.mem.latency().stream(TierId::TOP, kind, bytes - 64);
+                    self.clock.advance(extra);
+                    self.metrics.costs_mut().access_time += extra;
+                }
+                self.metrics.on_access(vpage, self.clock.now());
+            }
+            Frontend::Tiered {
+                policy,
+                oracle_visibility,
+            } => {
+                // Fault path: allocate (with direct reclaim) and map.
+                if self.mem.translate(vpage).is_none() {
+                    self.mem.note_swap_in(vpage);
+                    let mut attempts = 0;
+                    let frame = loop {
+                        match self.mem.alloc_page(region_kind) {
+                            Ok(f) => break f,
+                            Err(_) => {
+                                attempts += 1;
+                                assert!(attempts <= 3, "simulated OOM: every tier exhausted");
+                                let tiers = self.mem.topology().tier_count();
+                                for t in (0..tiers).rev() {
+                                    policy.on_pressure(
+                                        &mut self.mem,
+                                        TierId::new(t as u8),
+                                        self.clock.now(),
+                                    );
+                                }
+                            }
+                        }
+                    };
+                    self.mem.map(vpage, frame).expect("fresh page maps");
+                    policy.on_page_mapped(&mut self.mem, frame);
+                    self.clock.advance(self.cfg.minor_fault);
+                    self.metrics.costs_mut().stall_time += self.cfg.minor_fault;
+                    self.metrics.costs_mut().minor_faults += 1;
+                }
+                let out = self.mem.access(vpage, kind).expect("page is mapped");
+                self.clock.advance(out.latency);
+                self.metrics.costs_mut().access_time += out.latency;
+                if bytes > 64 {
+                    let extra = self.mem.latency().stream(out.tier, kind, bytes - 64);
+                    self.clock.advance(extra);
+                    self.metrics.costs_mut().access_time += extra;
+                }
+                if out.hint_fault {
+                    let hf = self.mem.latency().hint_fault;
+                    self.clock.advance(hf);
+                    self.metrics.costs_mut().stall_time += hf;
+                    self.metrics.costs_mut().hint_faults += 1;
+                    policy.on_hint_fault(&mut self.mem, out.frame, kind);
+                }
+                if *oracle_visibility {
+                    policy.on_supervised_access(&mut self.mem, out.frame, kind);
+                }
+                self.metrics.on_access(vpage, self.clock.now());
+            }
+        }
+        Self::absorb_substrate(
+            &mut self.mem,
+            &mut self.clock,
+            &mut self.metrics,
+            self.cfg.daemon_contention,
+        );
+        self.maybe_tick();
+    }
+
+    fn touch(&mut self, addr: VAddr, len: usize, kind: AccessKind) {
+        let len = len.max(1);
+        let mut page = addr.page();
+        let last = addr.add(len as u64 - 1).page();
+        let mut offset = addr.page_offset();
+        let mut remaining = len;
+        loop {
+            let in_page = (PAGE_SIZE - offset).min(remaining);
+            self.access_page(page, kind, in_page);
+            remaining -= in_page;
+            if page == last {
+                break;
+            }
+            page = page.next();
+            offset = 0;
+        }
+    }
+}
+
+impl Memory for Simulation {
+    fn mmap(&mut self, bytes: usize, kind: PageKind) -> VAddr {
+        assert!(bytes > 0, "cannot map an empty region");
+        let pages = bytes.div_ceil(PAGE_SIZE) as u64;
+        let start = self.next_free_page;
+        self.next_free_page += pages;
+        self.regions.push((start, pages, kind));
+        VAddr::new(start * PAGE_SIZE as u64)
+    }
+
+    fn read(&mut self, addr: VAddr, len: usize) {
+        self.touch(addr, len, AccessKind::Read);
+    }
+
+    fn write(&mut self, addr: VAddr, len: usize) {
+        self.touch(addr, len, AccessKind::Write);
+    }
+
+    fn write_bytes(&mut self, addr: VAddr, data: &[u8]) {
+        self.touch(addr, data.len(), AccessKind::Write);
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr.add(off as u64);
+            let page = a.page().raw();
+            let in_page = a.page_offset();
+            let n = (PAGE_SIZE - in_page).min(data.len() - off);
+            let slot = self
+                .data
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            slot[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+        }
+    }
+
+    fn read_bytes(&mut self, addr: VAddr, buf: &mut [u8]) {
+        self.touch(addr, buf.len(), AccessKind::Read);
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr.add(off as u64);
+            let page = a.page().raw();
+            let in_page = a.page_offset();
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            match self.data.get(&page) {
+                Some(slot) => buf[off..off + n].copy_from_slice(&slot[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
+    fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    fn compute(&mut self, t: Nanos) {
+        self.clock.advance(t);
+        self.maybe_tick();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(system: SystemKind) -> Simulation {
+        Simulation::new(SimConfig::new(system, 256, 2048))
+    }
+
+    #[test]
+    fn first_touch_faults_in_dram_first() {
+        let mut s = sim(SystemKind::MultiClock);
+        let a = s.mmap(PAGE_SIZE * 4, PageKind::Anon);
+        s.read(a, 8);
+        let frame = s.mem().translate(a.page()).unwrap();
+        assert_eq!(s.mem().frame(frame).tier(), TierId::TOP);
+        assert_eq!(s.metrics().costs().minor_faults, 1);
+        // Second access: no new fault.
+        s.read(a, 8);
+        assert_eq!(s.metrics().costs().minor_faults, 1);
+    }
+
+    #[test]
+    fn dram_access_is_faster_than_pm_access() {
+        let mut s = sim(SystemKind::Static);
+        // Fill DRAM so later touches land in PM.
+        let region = s.mmap(PAGE_SIZE * 4096, PageKind::Anon);
+        let mut i = 0u64;
+        loop {
+            let addr = region.add(i * PAGE_SIZE as u64);
+            s.read(addr, 8);
+            let f = s.mem().translate(addr.page()).unwrap();
+            if s.mem().frame(f).tier() != TierId::TOP {
+                break;
+            }
+            i += 1;
+            assert!(i < 300, "DRAM must fill eventually");
+        }
+        let dram_addr = region;
+        let pm_addr = region.add(i * PAGE_SIZE as u64);
+        let t0 = s.now();
+        s.read(dram_addr, 8);
+        let dram_cost = s.now() - t0;
+        let t1 = s.now();
+        s.read(pm_addr, 8);
+        let pm_cost = s.now() - t1;
+        assert!(pm_cost > dram_cost, "pm={pm_cost} dram={dram_cost}");
+    }
+
+    #[test]
+    fn ticks_fire_on_schedule() {
+        let mut s = sim(SystemKind::MultiClock);
+        let a = s.mmap(PAGE_SIZE, PageKind::Anon);
+        s.read(a, 8);
+        // 2.5 virtual seconds of compute: two ticks should have fired.
+        s.compute(Nanos::from_millis(2_500));
+        // The scan daemon has examined the one mapped page repeatedly.
+        assert!(s.metrics().costs().daemon_time > Nanos::ZERO);
+    }
+
+    #[test]
+    fn static_system_never_ticks() {
+        let mut s = sim(SystemKind::Static);
+        let a = s.mmap(PAGE_SIZE, PageKind::Anon);
+        s.read(a, 8);
+        s.compute(Nanos::from_secs(10));
+        assert_eq!(s.metrics().costs().daemon_time, Nanos::ZERO);
+    }
+
+    #[test]
+    fn multi_clock_promotes_hot_pm_page_end_to_end() {
+        let mut s = sim(SystemKind::MultiClock);
+        // Fill DRAM with one-touch pages.
+        let filler = s.mmap(PAGE_SIZE * 4096, PageKind::Anon);
+        let mut i = 0u64;
+        loop {
+            let addr = filler.add(i * PAGE_SIZE as u64);
+            s.read(addr, 8);
+            let f = s.mem().translate(addr.page()).unwrap();
+            if s.mem().frame(f).tier() != TierId::TOP {
+                break;
+            }
+            i += 1;
+        }
+        let hot = filler.add(i * PAGE_SIZE as u64);
+        assert_eq!(
+            s.mem().frame(s.mem().translate(hot.page()).unwrap()).tier(),
+            TierId::new(1)
+        );
+        // Touch it every 100 ms for 8 virtual seconds.
+        for _ in 0..80 {
+            s.read(hot, 8);
+            s.compute(Nanos::from_millis(100));
+        }
+        let f = s.mem().translate(hot.page()).unwrap();
+        assert_eq!(s.mem().frame(f).tier(), TierId::TOP, "hot page promoted");
+        assert!(s.metrics().total_promotions() >= 1);
+    }
+
+    #[test]
+    fn memory_mode_caches_hot_pages() {
+        let mut s = sim(SystemKind::MemoryMode);
+        let a = s.mmap(PAGE_SIZE * 8, PageKind::Anon);
+        let t0 = s.now();
+        s.read(a, 8); // miss
+        let miss_cost = s.now() - t0;
+        let t1 = s.now();
+        s.read(a, 8); // hit
+        let hit_cost = s.now() - t1;
+        assert!(miss_cost > hit_cost);
+        let st = s.memory_mode_stats().unwrap();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+    }
+
+    #[test]
+    fn data_plane_round_trips_across_fault_and_migration() {
+        let mut s = sim(SystemKind::MultiClock);
+        let a = s.mmap(PAGE_SIZE * 2, PageKind::Anon);
+        let payload = vec![7u8; 5000]; // spans two pages
+        s.write_bytes(a, &payload);
+        let mut out = vec![0u8; 5000];
+        s.read_bytes(a, &mut out);
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn oracle_visibility_reaches_policy() {
+        let mut s = sim(SystemKind::OracleLru);
+        // Fill DRAM, then touch one PM page once: the oracle sees it and
+        // promotes at the next tick.
+        let filler = s.mmap(PAGE_SIZE * 4096, PageKind::Anon);
+        let mut i = 0u64;
+        loop {
+            let addr = filler.add(i * PAGE_SIZE as u64);
+            s.read(addr, 8);
+            let f = s.mem().translate(addr.page()).unwrap();
+            if s.mem().frame(f).tier() != TierId::TOP {
+                break;
+            }
+            i += 1;
+        }
+        let pm_page = filler.add(i * PAGE_SIZE as u64);
+        s.read(pm_page, 8);
+        s.compute(Nanos::from_millis(1_100));
+        let f = s.mem().translate(pm_page.page()).unwrap();
+        assert_eq!(s.mem().frame(f).tier(), TierId::TOP);
+    }
+
+    #[test]
+    fn hint_faults_charged_for_autotiering() {
+        let mut s = sim(SystemKind::AtOpm);
+        let a = s.mmap(PAGE_SIZE * 16, PageKind::Anon);
+        for i in 0..16u64 {
+            s.read(a.add(i * PAGE_SIZE as u64), 8);
+        }
+        // Let a tick poison PTEs, then touch the pages again.
+        s.compute(Nanos::from_millis(1_100));
+        for i in 0..16u64 {
+            s.read(a.add(i * PAGE_SIZE as u64), 8);
+        }
+        assert!(s.metrics().costs().hint_faults > 0);
+        assert!(s.metrics().costs().stall_time > Nanos::ZERO);
+    }
+
+    #[test]
+    fn spanning_read_touches_every_page() {
+        let mut s = sim(SystemKind::Static);
+        let a = s.mmap(PAGE_SIZE * 3, PageKind::Anon);
+        s.read(a, 3 * PAGE_SIZE);
+        assert_eq!(s.metrics().costs().minor_faults, 3);
+    }
+
+    #[test]
+    fn adaptive_interval_config_reaches_the_policy() {
+        let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
+        cfg.scan_interval = Nanos::from_millis(5);
+        cfg.adaptive_interval = true;
+        let mut s = Simulation::new(cfg);
+        let a = s.mmap(PAGE_SIZE, PageKind::Anon);
+        s.read(a, 8);
+        // A long idle phase: the adaptive daemon backs off, so it scans
+        // far fewer times than the fixed-interval equivalent would.
+        s.compute(Nanos::from_secs(2));
+        let adaptive_daemon = s.metrics().costs().daemon_time;
+
+        let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
+        cfg.scan_interval = Nanos::from_millis(5);
+        let mut f = Simulation::new(cfg);
+        let b = f.mmap(PAGE_SIZE, PageKind::Anon);
+        f.read(b, 8);
+        f.compute(Nanos::from_secs(2));
+        let fixed_daemon = f.metrics().costs().daemon_time;
+        assert!(
+            adaptive_daemon < fixed_daemon,
+            "adaptive {adaptive_daemon} must scan less than fixed {fixed_daemon} when idle"
+        );
+    }
+
+    #[test]
+    fn write_weight_config_reaches_the_policy() {
+        // Plumbing check: a >1 weight must not change behaviour for an
+        // all-clean access stream (priority only reorders dirty pages).
+        let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
+        cfg.write_weight = 2.0;
+        let mut s = Simulation::new(cfg);
+        let a = s.mmap(PAGE_SIZE * 8, PageKind::Anon);
+        for i in 0..8u64 {
+            s.read(a.add(i * PAGE_SIZE as u64), 8);
+        }
+        s.compute(Nanos::from_secs(2));
+        // No panic and normal operation is all this asserts; the
+        // behavioural effect is covered by the ablation microbench.
+        assert!(s.now() > Nanos::from_secs(2));
+    }
+
+    #[test]
+    fn memory_mode_footprint_beyond_dram_still_serves_all_pages() {
+        let mut s = sim(SystemKind::MemoryMode);
+        // 4x the DRAM cache size.
+        let a = s.mmap(PAGE_SIZE * 1024, PageKind::Anon);
+        for i in 0..1024u64 {
+            s.read(a.add(i * PAGE_SIZE as u64), 8);
+        }
+        let st = s.memory_mode_stats().unwrap();
+        assert_eq!(st.hits + st.misses, 1024);
+        assert!(st.misses >= 768, "direct-mapped cache cannot hold 4x its size");
+    }
+
+    #[test]
+    fn autonuma_never_touches_file_pages_through_the_engine() {
+        let mut s = sim(SystemKind::AutoNuma);
+        let file = s.mmap(PAGE_SIZE * 64, PageKind::File);
+        for i in 0..64u64 {
+            s.read(file.add(i * PAGE_SIZE as u64), 8);
+        }
+        s.compute(Nanos::from_secs(3));
+        for i in 0..64u64 {
+            s.read(file.add(i * PAGE_SIZE as u64), 8);
+        }
+        assert_eq!(
+            s.metrics().costs().hint_faults,
+            0,
+            "file pages are invisible to NUMA balancing"
+        );
+    }
+
+    #[test]
+    fn record_op_buckets_by_window() {
+        let mut s = sim(SystemKind::Static);
+        s.record_op();
+        s.compute(Nanos::from_secs(25));
+        s.record_op();
+        s.finish();
+        assert_eq!(s.metrics().windows()[0].ops, 1);
+        assert_eq!(s.metrics().windows()[1].ops, 1);
+    }
+}

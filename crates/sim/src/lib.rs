@@ -1,0 +1,41 @@
+//! # mc-sim — the simulation engine
+//!
+//! Wires the pieces together: a [`Simulation`] owns the memory substrate
+//! ([`mc_mem::MemorySystem`]), a system frontend (a tiering policy or the
+//! Memory-mode cache), a virtual clock and the metrics collectors, and
+//! implements [`mc_workloads::Memory`] so any workload can drive it.
+//!
+//! Time model:
+//!
+//! * every application access advances virtual time by the device latency
+//!   of the tier holding the page (plus streaming cost for large spans);
+//! * daemon work (scans) is charged at a configurable contention factor —
+//!   the daemon runs on its own core, but migrations' unmap/TLB costs and
+//!   hint faults stall the application in full;
+//! * daemon ticks fire when virtual time crosses the policy's interval.
+//!
+//! [`experiments`] contains the canned experiment drivers the `mc-bench`
+//! figure binaries and the integration tests share.
+//!
+//! ```
+//! use mc_sim::{SimConfig, Simulation, SystemKind};
+//! use mc_workloads::{kv::KvStore, Memory};
+//!
+//! let mut sim = Simulation::new(SimConfig::new(SystemKind::MultiClock, 256, 2048));
+//! let mut kv = KvStore::new(&mut sim, 100);
+//! kv.set(&mut sim, 1, b"hello");
+//! assert_eq!(kv.get(&mut sim, 1).as_deref(), Some(&b"hello"[..]));
+//! assert!(sim.now().as_nanos() > 0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod experiments;
+pub mod latency_hist;
+pub mod metrics;
+pub mod report;
+
+pub use config::{SimConfig, SystemKind};
+pub use engine::Simulation;
+pub use latency_hist::LatencyHistogram;
+pub use metrics::{CostBreakdown, Metrics, WindowStats};

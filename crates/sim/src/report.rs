@@ -1,0 +1,180 @@
+//! Report formatting for the figure binaries: normalisation against
+//! static tiering and aligned-text tables (the figures are emitted as
+//! data series, like the paper's plots).
+
+use crate::experiments::RunSummary;
+use mc_mem::Nanos;
+
+/// Normalises YCSB throughputs to the static-tiering run in the set
+/// (Fig. 5's Y axis). Returns `(label, normalized_throughput)` rows.
+///
+/// # Panics
+///
+/// Panics if the set contains no static run or throughput is zero.
+pub fn normalize_throughput(rows: &[RunSummary]) -> Vec<(&'static str, f64)> {
+    let base = rows
+        .iter()
+        .find(|r| r.system == crate::SystemKind::Static)
+        .expect("comparison sets include static tiering")
+        .ops_per_sec;
+    assert!(base > 0.0, "static throughput must be positive");
+    rows.iter()
+        .map(|r| (r.system.label(), r.ops_per_sec / base))
+        .collect()
+}
+
+/// Normalises GAPBS execution times to static tiering (Fig. 6's Y axis —
+/// lower is better).
+///
+/// # Panics
+///
+/// Panics if the set contains no static run or its time is zero.
+pub fn normalize_time(rows: &[RunSummary]) -> Vec<(&'static str, f64)> {
+    let base = rows
+        .iter()
+        .find(|r| r.system == crate::SystemKind::Static)
+        .expect("comparison sets include static tiering")
+        .trial_time;
+    assert!(base > Nanos::ZERO, "static trial time must be positive");
+    rows.iter()
+        .map(|r| {
+            (
+                r.system.label(),
+                r.trial_time.as_nanos() as f64 / base.as_nanos() as f64,
+            )
+        })
+        .collect()
+}
+
+/// Formats a simple aligned table: a header row and data rows.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a heat-map matrix (Fig. 1) as a text grid with intensity
+/// characters, plus the raw CSV-ish numbers.
+pub fn format_heatmap(matrix: &[Vec<u32>]) -> String {
+    let ramp = [' ', '.', ':', '+', '*', '#', '@'];
+    let max = matrix
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let pages = matrix.first().map_or(0, |r| r.len());
+    let mut out = String::new();
+    // One text row per page (Y axis), one column per time slice (X axis).
+    for p in (0..pages).rev() {
+        out.push_str(&format!("page {p:>3} |"));
+        for slice in matrix {
+            let v = slice[p] as usize * (ramp.len() - 1) / max as usize;
+            out.push(ramp[v.min(ramp.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          +{} time ->\n",
+        "-".repeat(matrix.len())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemKind;
+
+    fn row(system: SystemKind, tput: f64, time_ms: u64) -> RunSummary {
+        RunSummary {
+            system,
+            ops_per_sec: tput,
+            trial_time: Nanos::from_millis(time_ms),
+            promotions: 0,
+            demotions: 0,
+            reaccess_pct: None,
+            hint_faults: 0,
+            top_tier_share: None,
+            p50: None,
+            p99: None,
+            windows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_normalisation() {
+        let rows = vec![
+            row(SystemKind::Static, 100.0, 0),
+            row(SystemKind::MultiClock, 220.0, 0),
+        ];
+        let n = normalize_throughput(&rows);
+        assert_eq!(n[0], ("Static", 1.0));
+        assert_eq!(n[1].0, "MULTI-CLOCK");
+        assert!((n[1].1 - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_normalisation() {
+        let rows = vec![
+            row(SystemKind::Static, 0.0, 100),
+            row(SystemKind::MultiClock, 0.0, 60),
+        ];
+        let n = normalize_time(&rows);
+        assert!((n[1].1 - 0.6).abs() < 1e-9, "lower is better");
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn heatmap_renders_all_pages() {
+        let m = vec![vec![0u32, 10], vec![10, 0]];
+        let h = format_heatmap(&m);
+        assert!(h.contains("page   0"));
+        assert!(h.contains("page   1"));
+        assert!(h.contains('@'), "max intensity appears");
+    }
+
+    #[test]
+    #[should_panic(expected = "static")]
+    fn normalisation_requires_static_baseline() {
+        let rows = vec![row(SystemKind::MultiClock, 10.0, 0)];
+        let _ = normalize_throughput(&rows);
+    }
+}

@@ -1,0 +1,243 @@
+//! The trace data structure and its binary codec.
+
+use mc_mem::{AccessKind, Nanos, VPage};
+use std::io::{self, Read, Write};
+
+/// One recorded page touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the access.
+    pub at: Nanos,
+    /// The page touched.
+    pub vpage: VPage,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Bytes touched within the page (1..=4096).
+    pub bytes: u16,
+}
+
+/// A recorded page-access trace.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    /// Total pages the traced address space had mapped (for replay
+    /// pre-sizing); zero if unknown.
+    pub mapped_pages: u64,
+}
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 8] = b"MCTRACE1";
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event. Events must be appended in non-decreasing time
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous event or `bytes` is zero or
+    /// exceeds a page.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(ev.at >= last.at, "trace events must be time-ordered");
+        }
+        assert!(
+            (1..=mc_mem::PAGE_SIZE as u16).contains(&ev.bytes),
+            "bytes must be within a page"
+        );
+        self.events.push(ev);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Duration from first to last event.
+    pub fn duration(&self) -> Nanos {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.at - a.at,
+            _ => Nanos::ZERO,
+        }
+    }
+
+    /// Distinct pages touched.
+    pub fn unique_pages(&self) -> usize {
+        let mut pages: Vec<u64> = self.events.iter().map(|e| e.vpage.raw()).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages.len()
+    }
+
+    /// Writes the compact binary form (fixed 19 bytes per event after a
+    /// 24-byte header).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.mapped_pages.to_le_bytes())?;
+        w.write_all(&(self.events.len() as u64).to_le_bytes())?;
+        for e in &self.events {
+            w.write_all(&e.at.as_nanos().to_le_bytes())?;
+            w.write_all(&e.vpage.raw().to_le_bytes())?;
+            w.write_all(&e.bytes.to_le_bytes())?;
+            w.write_all(&[u8::from(e.kind.is_write())])?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace previously written with [`Self::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for bad magic, corrupt fields or truncation.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
+        }
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u64buf)?;
+        let mapped_pages = u64::from_le_bytes(u64buf);
+        r.read_exact(&mut u64buf)?;
+        let n = u64::from_le_bytes(u64buf) as usize;
+        let mut trace = Trace {
+            events: Vec::with_capacity(n),
+            mapped_pages,
+        };
+        let mut u16buf = [0u8; 2];
+        let mut u8buf = [0u8; 1];
+        let mut prev = Nanos::ZERO;
+        for _ in 0..n {
+            r.read_exact(&mut u64buf)?;
+            let at = Nanos::from_nanos(u64::from_le_bytes(u64buf));
+            r.read_exact(&mut u64buf)?;
+            let vpage = VPage::new(u64::from_le_bytes(u64buf));
+            r.read_exact(&mut u16buf)?;
+            let bytes = u16::from_le_bytes(u16buf);
+            r.read_exact(&mut u8buf)?;
+            let kind = if u8buf[0] != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            if at < prev || bytes == 0 || bytes as usize > mc_mem::PAGE_SIZE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "corrupt trace event",
+                ));
+            }
+            prev = at;
+            trace.events.push(TraceEvent {
+                at,
+                vpage,
+                kind,
+                bytes,
+            });
+        }
+        Ok(trace)
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
+        let mut t = Trace::new();
+        for e in iter {
+            t.push(e);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, page: u64, write: bool) -> TraceEvent {
+        TraceEvent {
+            at: Nanos::from_nanos(at),
+            vpage: VPage::new(page),
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn push_and_stats() {
+        let t: Trace = [ev(10, 1, false), ev(20, 2, true), ev(30, 1, false)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.unique_pages(), 2);
+        assert_eq!(t.duration().as_nanos(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_rejected() {
+        let mut t = Trace::new();
+        t.push(ev(20, 1, false));
+        t.push(ev(10, 1, false));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut t: Trace = (0..500u64).map(|i| ev(i * 7, i % 37, i % 3 == 0)).collect();
+        t.mapped_pages = 37;
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 24 + 500 * 19);
+        let back = Trace::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut buf = Vec::new();
+        Trace::new().write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(Trace::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let t: Trace = [ev(1, 1, false), ev(2, 2, false)].into_iter().collect();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(Trace::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let mut buf = Vec::new();
+        Trace::new().write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&mut buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.duration(), Nanos::ZERO);
+    }
+}

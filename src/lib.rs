@@ -1,0 +1,8 @@
+//! Workspace root crate: re-exports for examples and integration tests.
+pub use mc_clock as clock;
+pub use mc_mem as mem;
+pub use mc_policies as policies;
+pub use mc_sim as sim;
+pub use mc_trace as trace;
+pub use mc_workloads as workloads;
+pub use multi_clock;
