@@ -64,6 +64,7 @@ impl ListSet {
             WhichList::Inactive => &self.inactive,
             WhichList::Active => &self.active,
             WhichList::Promote => &self.promote,
+            // lint: allow(panic) - documented "# Panics" contract; Unevictable is per tier
             WhichList::Unevictable => panic!("unevictable list is per tier, not per kind"),
         }
     }
@@ -78,6 +79,7 @@ impl ListSet {
             WhichList::Inactive => &mut self.inactive,
             WhichList::Active => &mut self.active,
             WhichList::Promote => &mut self.promote,
+            // lint: allow(panic) - documented "# Panics" contract; Unevictable is per tier
             WhichList::Unevictable => panic!("unevictable list is per tier, not per kind"),
         }
     }

@@ -32,6 +32,10 @@ pub struct MultiClock {
     pub(crate) idle_ticks: u32,
     /// Re-entrancy guard for the pressure path, one slot per tier.
     pub(crate) pressure_guard: Vec<bool>,
+    /// Pages detached from their list mid-step (drained promote
+    /// candidates awaiting migration). Invariant validation is suspended
+    /// while this is non-zero: tracked-but-listless is legal in flight.
+    pub(crate) in_flight: usize,
 }
 
 impl MultiClock {
@@ -54,6 +58,7 @@ impl MultiClock {
             current_interval,
             idle_ticks: 0,
             pressure_guard: vec![false; topology.tier_count()],
+            in_flight: 0,
         }
     }
 
@@ -128,6 +133,7 @@ impl MultiClock {
         );
         let tier = mem.frame(frame).tier();
         let kind = mem.frame(frame).kind();
+        // fig4: 5 — a new mapping enters at the bottom of the ladder.
         self.tiers[tier.index()]
             .set_mut(kind)
             .inactive
@@ -141,6 +147,7 @@ impl MultiClock {
     pub(crate) fn untrack(&mut self, mem: &mut MemorySystem, frame: FrameId) {
         if self.states[frame.index()].take().is_some() {
             let tier = mem.frame(frame).tier();
+            // fig4: 4 — tracking ends; the page leaves every list.
             self.tiers[tier.index()].remove(frame);
             mem.frame_flags_mut(frame).remove(
                 PageFlags::LRU
@@ -168,6 +175,7 @@ impl MultiClock {
         }
         let tier = mem.frame(frame).tier();
         let kind = mem.frame(frame).kind();
+        // fig4: 2, 6, 7, 10, 12 — each observed access climbs one edge.
         for _ in 0..steps {
             let new = st.on_access();
             if new == st {
@@ -178,9 +186,16 @@ impl MultiClock {
                 set.list_mut(st.list()).remove(frame);
                 set.list_mut(new.list()).push_back(frame);
                 match new {
-                    PageState::ActiveUnref => self.stats.activations += 1,
-                    PageState::Promote => self.stats.promote_enqueues += 1,
-                    _ => {}
+                    PageState::ActiveUnref => self.stats.activations += 1, // fig4: 6
+                    PageState::Promote => self.stats.promote_enqueues += 1, // fig4: 10
+                    // Accesses never move a page into the remaining
+                    // states across a list boundary: (2) and (12) stay
+                    // inside their list and ActiveRef is reached only by
+                    // the list-internal edge (7).
+                    PageState::InactiveUnref
+                    | PageState::InactiveRef
+                    | PageState::ActiveRef
+                    | PageState::Unevictable => {}
                 }
             }
             st = new;

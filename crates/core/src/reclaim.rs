@@ -144,6 +144,7 @@ impl MultiClock {
         out.pages_scanned += self.rebalance_lists(mem, tier, &mut budget, force);
 
         self.pressure_guard[tier.index()] = false;
+        self.debug_validate(mem);
         out
     }
 
@@ -186,7 +187,8 @@ impl MultiClock {
         for kind in PageKind::ALL {
             let pages = self.tiers[tier.index()].set_mut(kind).promote.drain();
             for frame in pages {
-                // Promote pages were referenced repeatedly; parking them
+                // fig4: 11 — flush: promote pages rejoin the active
+                // list. Promote pages were referenced repeatedly; parking them
                 // as ActiveRef keeps the hot core two decay steps away
                 // from deactivation (otherwise reclaim would demote the
                 // hottest pages of the tier right after flushing them).
@@ -231,9 +233,11 @@ impl MultiClock {
             // decays the page one step per rotation like the kernel's
             // direct-reclaim second chance.
             if force {
+                // fig4: 8 — forced decay, one step per rotation.
                 self.transition(mem, frame, PageState::ActiveUnref);
             }
         } else {
+            // fig4: 9 — deactivation to the inactive list.
             self.stats.deactivations += 1;
             self.transition(mem, frame, PageState::InactiveUnref);
         }
@@ -273,6 +277,7 @@ impl MultiClock {
                 .inactive
                 .push_back(frame);
             if force {
+                // fig4: 1 — forced decay of the software referenced state.
                 self.transition(mem, frame, PageState::InactiveUnref);
             }
             return ShrinkResult::Rotated;
@@ -301,6 +306,7 @@ impl MultiClock {
             Some(lower) => {
                 match mem.migrate(frame, lower) {
                     Ok(new_frame) => {
+                        // fig4: 3 — demotion lands cold on the lower tier.
                         self.retrack_after_migration(
                             mem,
                             frame,

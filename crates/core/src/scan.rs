@@ -61,6 +61,7 @@ impl MultiClock {
 
         self.stats.pages_scanned += out.pages_scanned;
         self.adapt_interval(out.promoted + out.demoted);
+        self.debug_validate(mem);
         out
     }
 
@@ -84,7 +85,7 @@ impl MultiClock {
                 let steps = self.access_steps(mem, frame);
                 self.apply_access(mem, frame, steps);
             } else if self.state_of(frame) == Some(PageState::InactiveRef) {
-                // CLOCK decay (transition 1, downward): a page not
+                // CLOCK decay (fig4: 1, downward): a page not
                 // referenced since the last scan loses its referenced
                 // state, so only pages referenced in *several recent*
                 // scans ever reach the promote list.
@@ -113,7 +114,7 @@ impl MultiClock {
                 let steps = self.access_steps(mem, frame);
                 self.apply_access(mem, frame, steps);
             } else if self.state_of(frame) == Some(PageState::ActiveRef) {
-                // CLOCK decay on the active rung as well.
+                // CLOCK decay on the active rung as well (fig4: 8).
                 self.stats.ladder_decays += 1;
                 self.transition(mem, frame, PageState::ActiveUnref);
             }
@@ -137,7 +138,7 @@ impl MultiClock {
                 .promote
                 .push_back(frame);
             if !mem.harvest_referenced(frame) {
-                // Transition 11: unaccessed promote pages return to active.
+                // fig4: 11 — unaccessed promote pages age back to active.
                 self.stats.promote_ages += 1;
                 self.transition(mem, frame, PageState::ActiveUnref);
             }
@@ -184,10 +185,14 @@ impl MultiClock {
                     std::cmp::Reverse(mem.frame(*f).flags().contains(mc_mem::PageFlags::DIRTY))
                 });
             }
+            // The drained candidates are tracked but on no list until each
+            // is retracked below; suspend invariant validation meanwhile.
+            self.in_flight += candidates.len();
             for frame in candidates {
                 // drain() detached the page; state table still says Promote.
                 match mem.migrate(frame, upper) {
                     Ok(new_frame) => {
+                        // fig4: 13 — promotion lands active-referenced.
                         self.retrack_after_migration(mem, frame, new_frame, PageState::ActiveRef);
                         self.stats.promotions += 1;
                         promoted += 1;
@@ -221,8 +226,10 @@ impl MultiClock {
                     }
                     Err(_) => self.promote_fallback(mem, frame, tier, kind),
                 }
+                self.in_flight -= 1;
             }
         }
+        self.debug_validate(mem);
         promoted
     }
 
@@ -236,6 +243,7 @@ impl MultiClock {
         kind: PageKind,
     ) {
         self.stats.promote_fallbacks += 1;
+        // fig4: 11 — no room upstairs; rejoin active as referenced.
         self.tiers[tier.index()]
             .set_mut(kind)
             .active

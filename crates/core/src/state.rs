@@ -43,11 +43,11 @@ impl PageState {
     /// (transition 12); `Unevictable` never moves.
     pub fn on_access(self) -> PageState {
         match self {
-            PageState::InactiveUnref => PageState::InactiveRef,
-            PageState::InactiveRef => PageState::ActiveUnref,
-            PageState::ActiveUnref => PageState::ActiveRef,
-            PageState::ActiveRef => PageState::Promote,
-            PageState::Promote => PageState::Promote,
+            PageState::InactiveUnref => PageState::InactiveRef, // fig4: 2
+            PageState::InactiveRef => PageState::ActiveUnref,   // fig4: 6
+            PageState::ActiveUnref => PageState::ActiveRef,     // fig4: 7
+            PageState::ActiveRef => PageState::Promote,         // fig4: 10
+            PageState::Promote => PageState::Promote,           // fig4: 12
             PageState::Unevictable => PageState::Unevictable,
         }
     }

@@ -132,6 +132,30 @@ impl MultiClock {
         violations
     }
 
+    /// Debug-build self-check, wired after every scan, migrate and
+    /// reclaim step: asserts the full invariant set via `debug_assert!`,
+    /// so release builds compile it out entirely (the check is O(frames)
+    /// and would dominate the simulation).
+    #[inline]
+    pub(crate) fn debug_validate(&self, mem: &MemorySystem) {
+        // Nested steps (a promotion making room downstairs, a demotion
+        // cascading) run while the outer step holds legitimately detached
+        // in-flight pages, so validate only at quiescent points: when no
+        // pressure run is active anywhere and nothing is mid-migration.
+        if self.in_flight > 0 || self.pressure_guard.iter().any(|g| *g) {
+            return;
+        }
+        debug_assert!(
+            self.check_invariants(mem).is_empty(),
+            "MULTI-CLOCK invariant violations:\n{}",
+            self.check_invariants(mem)
+                .iter()
+                .map(|x| format!("  {x}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
     /// Panics with a readable report if any invariant is violated.
     ///
     /// # Panics

@@ -1,0 +1,192 @@
+//! The machine-readable Fig. 4 transition table.
+//!
+//! This is the single source of truth for the MULTI-CLOCK page-state
+//! machine (paper Fig. 4): 13 numbered transitions over the five
+//! promotion-ladder states plus the untracked/unmapped pseudo-state.
+//! Three artifacts are cross-checked against it:
+//!
+//! * the implementation — every transition site in `crates/core` carries a
+//!   `// fig4: N` marker comment, and the [`crate::lints::state_machine`]
+//!   pass verifies all 13 ids appear (and no unknown id does);
+//! * the documentation — DESIGN.md embeds the same table between
+//!   `<!-- fig4:begin -->` / `<!-- fig4:end -->` markers, row-for-row;
+//! * the code's access ladder — `crates/core/tests/state_machine.rs`
+//!   asserts `PageState::on_access` agrees with every transition flagged
+//!   [`Transition::on_access_step`].
+//!
+//! State names are the `PageState` variant names; `-` is the
+//! untracked/unmapped pseudo-state and `*` means "any tracked state".
+
+/// One numbered edge of the Fig. 4 state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Fig. 4 edge number (1-based, stable across the repo).
+    pub id: u8,
+    /// Source state (`PageState` variant name, `-` or `*`).
+    pub from: &'static str,
+    /// Destination state; `A|B` lists alternatives.
+    pub to: &'static str,
+    /// What causes the edge to fire.
+    pub trigger: &'static str,
+    /// Whether this edge is one step of the `PageState::on_access` ladder
+    /// (a referenced observation moving the page up).
+    pub on_access_step: bool,
+}
+
+const fn t(
+    id: u8,
+    from: &'static str,
+    to: &'static str,
+    trigger: &'static str,
+    on_access_step: bool,
+) -> Transition {
+    Transition {
+        id,
+        from,
+        to,
+        trigger,
+        on_access_step,
+    }
+}
+
+/// The 13 transitions of Fig. 4, in edge-number order.
+pub const TRANSITIONS: [Transition; 13] = [
+    t(
+        1,
+        "InactiveRef",
+        "InactiveUnref",
+        "inactive scan finds reference bit clear (decay)",
+        false,
+    ),
+    t(
+        2,
+        "InactiveUnref",
+        "InactiveRef",
+        "referenced observation while inactive-unreferenced",
+        true,
+    ),
+    t(
+        3,
+        "*",
+        "InactiveUnref",
+        "demotion to a lower tier under watermark pressure",
+        false,
+    ),
+    t(
+        4,
+        "*",
+        "-",
+        "page unmapped or evicted (tracking ends)",
+        false,
+    ),
+    t(
+        5,
+        "-",
+        "InactiveUnref",
+        "page mapped (tracking begins at the ladder bottom)",
+        false,
+    ),
+    t(
+        6,
+        "InactiveRef",
+        "ActiveUnref",
+        "referenced observation activates the page",
+        true,
+    ),
+    t(
+        7,
+        "ActiveUnref",
+        "ActiveRef",
+        "referenced observation while active-unreferenced",
+        true,
+    ),
+    t(
+        8,
+        "ActiveRef",
+        "ActiveUnref",
+        "active scan finds reference bit clear (decay)",
+        false,
+    ),
+    t(
+        9,
+        "ActiveUnref",
+        "InactiveUnref",
+        "deactivation while shrinking the active list",
+        false,
+    ),
+    t(
+        10,
+        "ActiveRef",
+        "Promote",
+        "referenced observation at the ladder top: promotion candidate",
+        true,
+    ),
+    t(
+        11,
+        "Promote",
+        "ActiveUnref|ActiveRef",
+        "promote-list ageing or flush back to the active list",
+        false,
+    ),
+    t(
+        12,
+        "Promote",
+        "Promote",
+        "referenced observation while awaiting promotion (absorbed)",
+        true,
+    ),
+    t(
+        13,
+        "Promote",
+        "ActiveRef",
+        "promotion migration to the upper tier lands active-referenced",
+        false,
+    ),
+];
+
+/// Looks up a transition by Fig. 4 edge number.
+pub fn by_id(id: u8) -> Option<&'static Transition> {
+    TRANSITIONS.iter().find(|tr| tr.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_one_to_thirteen_in_order() {
+        for (i, tr) in TRANSITIONS.iter().enumerate() {
+            assert_eq!(tr.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn access_ladder_is_five_steps() {
+        let steps: Vec<u8> = TRANSITIONS
+            .iter()
+            .filter(|t| t.on_access_step)
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(steps, [2, 6, 7, 10, 12]);
+    }
+
+    #[test]
+    fn state_names_are_pagestate_variants() {
+        let known = [
+            "InactiveUnref",
+            "InactiveRef",
+            "ActiveUnref",
+            "ActiveRef",
+            "Promote",
+            "Unevictable",
+            "-",
+            "*",
+        ];
+        for tr in &TRANSITIONS {
+            assert!(known.contains(&tr.from), "bad from in {tr:?}");
+            for alt in tr.to.split('|') {
+                assert!(known.contains(&alt), "bad to in {tr:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The five lint classes. Each submodule exposes
+//! `check(&Workspace) -> Vec<Diagnostic>` and is independently runnable so
+//! the test harness can report them as separate cases.
+
+pub mod boundary;
+pub mod docs;
+pub mod layering;
+pub mod panics;
+pub mod state_machine;

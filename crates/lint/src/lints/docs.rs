@@ -1,0 +1,167 @@
+//! Lint 5: doc coverage on the substrate crates.
+//!
+//! Every `pub` item (functions, types, traits, constants, modules and
+//! struct fields) in `crates/{mem, clock, core}` library code must carry a
+//! `///` doc comment. `pub use` re-exports and restricted visibility
+//! (`pub(crate)`, `pub(super)`) are exempt, as is `#[cfg(test)]` code.
+//!
+//! This duplicates rustc's `missing_docs` (which the workspace also enables)
+//! on purpose: the lint runs without compiling, reports with file:line
+//! diagnostics in the same format as the other passes, and keeps working if
+//! a crate ever opts out of the workspace lint table.
+
+use crate::source::SourceFile;
+use crate::{Diagnostic, Workspace};
+
+const LINT: &str = "docs";
+
+/// Crates whose public API must be documented.
+const SCOPES: [&str; 3] = ["crates/mem/src/", "crates/clock/src/", "crates/core/src/"];
+
+const ITEM_KEYWORDS: [&str; 11] = [
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union", "async", "unsafe",
+];
+
+/// Runs the doc-coverage lint.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in ws
+        .files
+        .iter()
+        .filter(|f| SCOPES.iter().any(|s| f.rel.starts_with(s)))
+    {
+        check_file(ws, file, &mut diags);
+    }
+    diags
+}
+
+fn check_file(ws: &Workspace, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let blanked_lines: Vec<&str> = file.blanked.lines().collect();
+    let mut offset = 0usize;
+    for (idx, bline) in blanked_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let line_start = offset;
+        offset += bline.len() + 1;
+        let trimmed = bline.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        if file.in_test(line_start) {
+            continue;
+        }
+        let Some(item) = item_name(rest) else {
+            continue;
+        };
+        // `pub mod x;` is documented by `//!` inner docs in x.rs / x/mod.rs,
+        // exactly as rustc's `missing_docs` treats it.
+        if let Some(name) = rest
+            .strip_prefix("mod ")
+            .and_then(|m| m.trim().strip_suffix(';'))
+        {
+            if module_has_inner_docs(ws, file, name.trim()) {
+                continue;
+            }
+        }
+        if !is_documented(file, idx) {
+            diags.push(Diagnostic {
+                file: file.rel.clone(),
+                line: line_no,
+                lint: LINT,
+                message: format!("public {item} is missing a `///` doc comment"),
+            });
+        }
+    }
+}
+
+/// Whether the file backing `pub mod <name>;` opens with `//!` docs.
+fn module_has_inner_docs(ws: &Workspace, decl_site: &SourceFile, name: &str) -> bool {
+    let dir = decl_site.rel.rsplit_once('/').map_or("", |(d, _)| d);
+    let candidates = [format!("{dir}/{name}.rs"), format!("{dir}/{name}/mod.rs")];
+    ws.files
+        .iter()
+        .filter(|f| candidates.contains(&f.rel))
+        .any(|f| f.raw.trim_start().starts_with("//!"))
+}
+
+/// Classifies what the `pub ` line declares; `None` when it is exempt.
+fn item_name(rest: &str) -> Option<String> {
+    let first: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if first == "use" {
+        return None; // re-exports inherit their target's docs
+    }
+    if ITEM_KEYWORDS.contains(&first.as_str()) {
+        // `pub async fn`, `pub unsafe fn` etc.: name the underlying item.
+        let kw = if first == "async" || first == "unsafe" {
+            rest[first.len()..]
+                .trim_start()
+                .split_whitespace()
+                .next()
+                .unwrap_or("fn")
+                .to_string()
+        } else {
+            first
+        };
+        let name = rest
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or("")
+            .split(['{', '(', '<', ';', ':'])
+            .next()
+            .unwrap_or("")
+            .to_string();
+        return Some(format!("{kw} `{name}`"));
+    }
+    // A struct field: `pub name: Type`.
+    let after = rest[first.len()..].trim_start();
+    if !first.is_empty() && after.starts_with(':') {
+        return Some(format!("field `{first}`"));
+    }
+    None
+}
+
+/// Walks upward over attributes looking for a `///` (or `//!`) doc line.
+fn is_documented(file: &SourceFile, item_idx: usize) -> bool {
+    let mut idx = item_idx;
+    let mut budget = 32; // attributes above one item are short in practice
+    while idx > 0 && budget > 0 {
+        idx -= 1;
+        budget -= 1;
+        let raw = file.raw_line(idx + 1);
+        let t = raw.trim();
+        if t.starts_with("///") || t.starts_with("//!") || t.starts_with("#[doc") {
+            return true;
+        }
+        if t.starts_with("#[") || t.starts_with("#![") {
+            continue;
+        }
+        // Continuation of a multi-line attribute: scan up for its opener.
+        if t.ends_with(']') || t.ends_with(")]") || t.ends_with(',') || t.ends_with('(') {
+            let mut probe = idx;
+            let mut found_opener = false;
+            while probe > 0 && item_idx - probe < 16 {
+                probe -= 1;
+                let p = file.raw_line(probe + 1).trim_start();
+                if p.starts_with("#[") {
+                    idx = probe + 1; // loop continues from the opener
+                    found_opener = true;
+                    break;
+                }
+                if p.is_empty() || p.ends_with(['{', '}', ';']) {
+                    break;
+                }
+            }
+            if found_opener {
+                continue;
+            }
+        }
+        // Plain `//` comments don't document, but keep looking above them.
+        if t.starts_with("//") {
+            continue;
+        }
+        break;
+    }
+    false
+}

@@ -1,0 +1,214 @@
+//! Lint 2: the crate DAG.
+//!
+//! The workspace layers bottom-up as
+//!
+//! ```text
+//! mem <- clock <- core <- {policies, trace} <- workloads <- sim <- bench
+//! ```
+//!
+//! where each crate may depend only on crates strictly below it (and
+//! `mc-lint` on nothing at all). Both `[dependencies]` tables and `use`
+//! paths in library code are checked; `[dev-dependencies]`, per-crate
+//! `tests/`, `benches/` and `examples/` are exempt (test scaffolding may
+//! reach sideways), as is the workspace-root package, which sits on top of
+//! everything.
+
+use crate::source::is_ident_byte;
+use crate::{Diagnostic, Workspace};
+
+const LINT: &str = "layering";
+
+/// `(dir under crates/, package name, crate ident, allowed internal deps)`.
+pub const LAYERS: &[(&str, &str, &str, &[&str])] = &[
+    ("mem", "mc-mem", "mc_mem", &[]),
+    ("clock", "mc-clock", "mc_clock", &["mc-mem"]),
+    (
+        "core",
+        "multi-clock",
+        "multi_clock",
+        &["mc-mem", "mc-clock"],
+    ),
+    (
+        "policies",
+        "mc-policies",
+        "mc_policies",
+        &["mc-mem", "mc-clock", "multi-clock"],
+    ),
+    (
+        "trace",
+        "mc-trace",
+        "mc_trace",
+        &["mc-mem", "mc-clock", "multi-clock"],
+    ),
+    (
+        "workloads",
+        "mc-workloads",
+        "mc_workloads",
+        &[
+            "mc-mem",
+            "mc-clock",
+            "multi-clock",
+            "mc-policies",
+            "mc-trace",
+        ],
+    ),
+    (
+        "sim",
+        "mc-sim",
+        "mc_sim",
+        &[
+            "mc-mem",
+            "mc-clock",
+            "multi-clock",
+            "mc-policies",
+            "mc-trace",
+            "mc-workloads",
+        ],
+    ),
+    (
+        "bench",
+        "mc-bench",
+        "mc_bench",
+        &[
+            "mc-mem",
+            "mc-clock",
+            "multi-clock",
+            "mc-policies",
+            "mc-trace",
+            "mc-workloads",
+            "mc-sim",
+        ],
+    ),
+    ("lint", "mc-lint", "mc_lint", &[]),
+];
+
+/// Runs the layering lint over manifests and source imports.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_manifests(ws, &mut diags);
+    check_imports(ws, &mut diags);
+    diags
+}
+
+fn layer_of_dir(
+    dir: &str,
+) -> Option<&'static (
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static [&'static str],
+)> {
+    LAYERS.iter().find(|(d, ..)| *d == dir)
+}
+
+fn check_manifests(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for (rel, text) in &ws.manifests {
+        let dir = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or_default();
+        let Some((_, pkg, _, allowed)) = layer_of_dir(dir) else {
+            diags.push(Diagnostic {
+                file: rel.clone(),
+                line: 0,
+                lint: LINT,
+                message: format!(
+                    "crate directory `crates/{dir}` is not in the layering table; \
+                     add it to mc-lint's LAYERS with its permitted dependencies"
+                ),
+            });
+            continue;
+        };
+        let mut section = String::new();
+        for (idx, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.starts_with('[') {
+                section = trimmed.trim_matches(['[', ']']).to_string();
+                continue;
+            }
+            if section != "dependencies" || trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let dep = trimmed
+                .split(|c: char| c == '.' || c == '=' || c.is_whitespace())
+                .next()
+                .unwrap_or("")
+                .trim_matches('"');
+            let internal = LAYERS.iter().any(|(_, p, ..)| *p == dep);
+            if internal && dep != *pkg && !allowed.contains(&dep) {
+                diags.push(Diagnostic {
+                    file: rel.clone(),
+                    line: idx + 1,
+                    lint: LINT,
+                    message: format!(
+                        "`{pkg}` must not depend on `{dep}`: the layering DAG only allows {}",
+                        fmt_allowed(allowed)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_imports(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        let Some(rest) = file.rel.strip_prefix("crates/") else {
+            continue;
+        };
+        let mut parts = rest.split('/');
+        let dir = parts.next().unwrap_or_default();
+        // Only library code: per-crate tests/benches/examples are dev scope.
+        if parts.next() != Some("src") {
+            continue;
+        }
+        let Some((_, pkg, self_ident, allowed)) = layer_of_dir(dir) else {
+            continue;
+        };
+        for (_, other_pkg, ident, _) in LAYERS {
+            if ident == self_ident || allowed.contains(other_pkg) {
+                continue;
+            }
+            for off in ident_occurrences(&file.blanked, ident) {
+                if file.in_test(off) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: file.line_of(off),
+                    lint: LINT,
+                    message: format!(
+                        "`{pkg}` library code references `{ident}`; the layering DAG only \
+                         allows {}",
+                        fmt_allowed(allowed)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn fmt_allowed(allowed: &[&str]) -> String {
+    if allowed.is_empty() {
+        "no internal dependencies".to_string()
+    } else {
+        format!("{{{}}}", allowed.join(", "))
+    }
+}
+
+/// Whole-word occurrences of `ident` in blanked text.
+fn ident_occurrences(blanked: &str, ident: &str) -> Vec<usize> {
+    let bytes = blanked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = blanked[from..].find(ident) {
+        let start = from + pos;
+        let end = start + ident.len();
+        let ok_before = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let ok_after = bytes.get(end).is_none_or(|b| !is_ident_byte(*b));
+        if ok_before && ok_after {
+            out.push(start);
+        }
+        from = end;
+    }
+    out
+}

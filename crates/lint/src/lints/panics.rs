@@ -1,0 +1,134 @@
+//! Lint 4: panic hygiene.
+//!
+//! Library code in `crates/{mem, clock, core}` models an OS subsystem whose
+//! error paths are part of the reproduction — it must return `MemError`s,
+//! not crash. `unwrap()`, `expect(...)` and `panic!(...)` are therefore
+//! banned in non-test code of those crates, with a narrow, justified
+//! allowlist:
+//!
+//! * the offending line (or the line above it) carries a
+//!   `// lint: allow(panic) - <reason>` comment, **and**
+//! * the file is listed in `crates/lint/panic_allowlist.txt`.
+//!
+//! Both halves are kept honest: an annotation in an unlisted file and a
+//! listed file without any annotation are each violations, so the allowlist
+//! cannot rot silently.
+
+use crate::{Diagnostic, Workspace};
+use std::collections::BTreeSet;
+
+const LINT: &str = "panic";
+
+/// Crates whose library code must be panic-free.
+const SCOPES: [&str; 3] = ["crates/mem/src/", "crates/clock/src/", "crates/core/src/"];
+
+const MARKER: &str = "lint: allow(panic)";
+
+/// Runs the panic-hygiene lint.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let allowlist: BTreeSet<String> = ws
+        .panic_allowlist
+        .as_deref()
+        .unwrap_or("")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    let mut annotated_files: BTreeSet<String> = BTreeSet::new();
+
+    for file in ws
+        .files
+        .iter()
+        .filter(|f| SCOPES.iter().any(|s| f.rel.starts_with(s)))
+    {
+        for (needle, what) in [
+            (".unwrap()", "unwrap()"),
+            (".expect(", "expect(...)"),
+            ("panic!", "panic!"),
+        ] {
+            let mut from = 0;
+            while let Some(pos) = file.blanked[from..].find(needle) {
+                let at = from + pos;
+                from = at + needle.len();
+                if needle == "panic!" {
+                    // Word boundary: don't fire on `debug_panic!` etc.
+                    let before = at.checked_sub(1).map(|i| file.blanked.as_bytes()[i]);
+                    if before.is_some_and(|b| crate::source::is_ident_byte(b)) {
+                        continue;
+                    }
+                }
+                if file.in_test(at) {
+                    continue;
+                }
+                let line = file.line_of(at);
+                let here = justification(file.raw_line(line));
+                let above = (line > 1)
+                    .then(|| justification(file.raw_line(line - 1)))
+                    .flatten();
+                match here.or(above) {
+                    Some(reason) if reason.is_empty() => diags.push(Diagnostic {
+                        file: file.rel.clone(),
+                        line,
+                        lint: LINT,
+                        message: format!(
+                            "`{MARKER}` on this `{what}` has no justification; write \
+                             `// {MARKER} - <why this cannot fail / why dying is right>`"
+                        ),
+                    }),
+                    Some(_) => {
+                        annotated_files.insert(file.rel.clone());
+                        if !allowlist.contains(&file.rel) {
+                            diags.push(Diagnostic {
+                                file: file.rel.clone(),
+                                line,
+                                lint: LINT,
+                                message: format!(
+                                    "justified `{what}` but `{}` is not listed in \
+                                     crates/lint/panic_allowlist.txt",
+                                    file.rel
+                                ),
+                            });
+                        }
+                    }
+                    None => diags.push(Diagnostic {
+                        file: file.rel.clone(),
+                        line,
+                        lint: LINT,
+                        message: format!(
+                            "`{what}` in library code; return a `MemError` (or restructure) — \
+                             or justify with `// {MARKER} - <reason>` and an allowlist entry"
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+
+    for entry in &allowlist {
+        if !annotated_files.contains(entry) {
+            diags.push(Diagnostic {
+                file: "crates/lint/panic_allowlist.txt".into(),
+                line: 0,
+                lint: LINT,
+                message: format!(
+                    "stale allowlist entry `{entry}`: no annotated panic site found there"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// If the raw line carries the allow marker, returns its justification text
+/// (empty string when the marker has no reason).
+fn justification(raw_line: &str) -> Option<String> {
+    let comment_at = raw_line.find("//")?;
+    let comment = &raw_line[comment_at..];
+    let marker_at = comment.find(MARKER)?;
+    let reason = comment[marker_at + MARKER.len()..]
+        .trim_start_matches([' ', '-', ':', '—'])
+        .trim();
+    Some(reason.to_string())
+}

@@ -1,0 +1,402 @@
+//! Lint 1: the Fig. 4 state machine is matched exhaustively and implemented
+//! completely.
+//!
+//! Three checks:
+//!
+//! * every `match` whose arms mention `PageState::` or `WhichList::` inside
+//!   `crates/core` / `crates/clock` library code must have no wildcard or
+//!   catch-all binding arm, and (for matches directly over the enum) must
+//!   name every variant;
+//! * every Fig. 4 edge id 1..=13 must appear at least once as a
+//!   `// fig4: N` marker comment in `crates/core`/`crates/clock` sources,
+//!   and no marker may cite an unknown id;
+//! * DESIGN.md must embed the canonical transition table (between
+//!   `<!-- fig4:begin -->` and `<!-- fig4:end -->`) with exactly the ids,
+//!   sources and destinations of [`crate::fig4::TRANSITIONS`].
+
+use crate::fig4::{by_id, TRANSITIONS};
+use crate::source::{is_ident_byte, match_blocks, SourceFile};
+use crate::{Diagnostic, Workspace};
+use std::collections::BTreeMap;
+
+const LINT: &str = "state-machine";
+
+/// Directories whose library code must match the ladder exhaustively.
+const SCOPES: [&str; 2] = ["crates/core/src/", "crates/clock/src/"];
+
+/// Runs the state-machine lint over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    let page_state_variants = enum_variants(ws, "PageState");
+    let which_list_variants = enum_variants(ws, "WhichList");
+    if page_state_variants.is_empty() {
+        diags.push(file_level(
+            "crates/core/src/state.rs",
+            "could not locate `pub enum PageState`; the state-machine lint has nothing to check",
+        ));
+    }
+
+    for file in ws.files.iter().filter(in_scope) {
+        check_matches(file, "PageState", &page_state_variants, &mut diags);
+        check_matches(file, "WhichList", &which_list_variants, &mut diags);
+    }
+
+    check_fig4_markers(ws, &mut diags);
+    check_design_table(ws, &mut diags);
+    diags
+}
+
+fn in_scope(f: &&SourceFile) -> bool {
+    SCOPES.iter().any(|s| f.rel.starts_with(s))
+}
+
+fn file_level(file: &str, msg: &str) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line: 0,
+        lint: LINT,
+        message: msg.to_string(),
+    }
+}
+
+/// Extracts the variant names of `pub enum <name>` from core sources.
+fn enum_variants(ws: &Workspace, name: &str) -> Vec<String> {
+    for file in ws.files_under("crates/core/src/") {
+        let needle = format!("enum {name}");
+        let Some(pos) = file.blanked.find(&needle) else {
+            continue;
+        };
+        let after = pos + needle.len();
+        let Some(open_rel) = file.blanked[after..].find('{') else {
+            continue;
+        };
+        let open = after + open_rel;
+        let bytes = file.blanked.as_bytes();
+        let mut depth = 0i32;
+        let mut end = open;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let body = &file.blanked[open + 1..end];
+        let mut variants = Vec::new();
+        for piece in split_top_level(body, b',') {
+            // First identifier token that is not part of an attribute.
+            let piece = piece.trim();
+            let mut chars = piece.char_indices().peekable();
+            while let Some(&(i, c)) = chars.peek() {
+                if c == '#' {
+                    // Skip `#[...]`.
+                    let rest = &piece[i..];
+                    let skip = rest.find(']').map_or(rest.len(), |n| n + 1);
+                    for _ in 0..skip {
+                        chars.next();
+                    }
+                } else if c.is_ascii_alphabetic() || c == '_' {
+                    let start = i;
+                    let mut end = piece.len();
+                    for (j, d) in piece[start..].char_indices() {
+                        if !(d.is_ascii_alphanumeric() || d == '_') {
+                            end = start + j;
+                            break;
+                        }
+                    }
+                    variants.push(piece[start..end].to_string());
+                    break;
+                } else {
+                    chars.next();
+                }
+            }
+        }
+        if !variants.is_empty() {
+            return variants;
+        }
+    }
+    Vec::new()
+}
+
+/// Splits `text` on `sep` at zero paren/bracket/brace depth.
+fn split_top_level(text: &str, sep: u8) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let (mut p, mut k, mut b) = (0i32, 0i32, 0i32);
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, &c) in bytes.iter().enumerate() {
+        match c {
+            b'(' => p += 1,
+            b')' => p -= 1,
+            b'[' => k += 1,
+            b']' => k -= 1,
+            b'{' => b += 1,
+            b'}' => b -= 1,
+            _ => {}
+        }
+        if c == sep && p == 0 && k == 0 && b == 0 {
+            out.push(&text[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < text.len() {
+        out.push(&text[start..]);
+    }
+    out
+}
+
+/// A catch-all arm: `_`, `_ if ...`, or a bare lowercase binding.
+fn is_catch_all(pat: &str) -> bool {
+    let head = pat.split_whitespace().next().unwrap_or("");
+    if head == "_" {
+        return true;
+    }
+    let is_binding = !head.is_empty()
+        && head
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !matches!(head, "true" | "false");
+    // A binding counts as a catch-all only when it is the whole pattern
+    // (modulo a guard), e.g. `other` or `s if s.is_active()`.
+    is_binding && (pat == head || pat[head.len()..].trim_start().starts_with("if "))
+}
+
+fn check_matches(
+    file: &SourceFile,
+    enum_name: &str,
+    variants: &[String],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let qualifier = format!("{enum_name}::");
+    for block in match_blocks(&file.blanked) {
+        if file.in_test(block.offset) {
+            continue;
+        }
+        if !block.arms.iter().any(|(p, _)| p.contains(&qualifier)) {
+            continue;
+        }
+        // No wildcard / catch-all arm anywhere in an enum-bearing match.
+        for (pat, off) in &block.arms {
+            if is_catch_all(pat) {
+                diags.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: file.line_of(*off),
+                    lint: LINT,
+                    message: format!(
+                        "catch-all arm `{pat}` in a match over `{enum_name}`; \
+                         Fig. 4 matches must name every state explicitly"
+                    ),
+                });
+            }
+        }
+        // For matches directly over the enum (every arm speaks its
+        // language), require full variant coverage.
+        let direct = !variants.is_empty()
+            && block
+                .arms
+                .iter()
+                .all(|(p, _)| p.contains(&qualifier) || is_catch_all(p));
+        if direct {
+            let missing: Vec<&String> = variants
+                .iter()
+                .filter(|v| {
+                    let full = format!("{qualifier}{v}");
+                    !block.arms.iter().any(|(p, _)| mentions(p, &full))
+                })
+                .collect();
+            if !missing.is_empty() && !block.arms.iter().any(|(p, _)| is_catch_all(p)) {
+                // Unreachable for code that compiles, but it makes the lint
+                // self-contained when run over patched snippets.
+                diags.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: file.line_of(block.offset),
+                    lint: LINT,
+                    message: format!(
+                        "match over `{enum_name}` does not cover {}",
+                        missing
+                            .iter()
+                            .map(|v| format!("`{qualifier}{v}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True when `pat` contains `full` as a whole path segment (not a prefix of
+/// a longer identifier).
+fn mentions(pat: &str, full: &str) -> bool {
+    let bytes = pat.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = pat[from..].find(full) {
+        let start = from + pos;
+        let end = start + full.len();
+        let ok_before = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let ok_after = bytes.get(end).is_none_or(|b| !is_ident_byte(*b));
+        if ok_before && ok_after {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Collects `// fig4: N[, M...]` markers and checks the edge set.
+fn check_fig4_markers(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeMap<u8, Vec<(String, usize)>> = BTreeMap::new();
+    for file in ws.files.iter().filter(in_scope) {
+        for (idx, line) in file.raw.lines().enumerate() {
+            let Some(comment_at) = line.find("//") else {
+                continue;
+            };
+            let comment = &line[comment_at..];
+            let Some(marker_at) = comment.find("fig4:") else {
+                continue;
+            };
+            let rest = &comment[marker_at + "fig4:".len()..];
+            let mut found_any = false;
+            for token in rest.split(|c: char| c == ',' || c.is_whitespace()) {
+                if token.is_empty() {
+                    continue;
+                }
+                match token.parse::<u8>() {
+                    Ok(id) if by_id(id).is_some() => {
+                        found_any = true;
+                        seen.entry(id)
+                            .or_default()
+                            .push((file.rel.clone(), idx + 1));
+                    }
+                    Ok(id) => diags.push(Diagnostic {
+                        file: file.rel.clone(),
+                        line: idx + 1,
+                        lint: LINT,
+                        message: format!(
+                            "fig4 marker cites unknown transition id {id} (valid: 1..=13)"
+                        ),
+                    }),
+                    Err(_) => break, // prose after the ids
+                }
+            }
+            if !found_any && rest.trim_start().starts_with(|c: char| c.is_ascii_digit()) {
+                // Parsed nothing valid but looked numeric — already reported
+                // above via the Ok(id) out-of-range arm when applicable.
+            }
+        }
+    }
+    for tr in &TRANSITIONS {
+        if !seen.contains_key(&tr.id) {
+            diags.push(file_level(
+                "crates/core/src",
+                &format!(
+                    "Fig. 4 transition ({}) `{}` -> `{}` ({}) has no `// fig4: {}` marker at an \
+                     implementation site",
+                    tr.id, tr.from, tr.to, tr.trigger, tr.id
+                ),
+            ));
+        }
+    }
+}
+
+/// Cross-checks DESIGN.md's embedded transition table against the canonical
+/// one.
+fn check_design_table(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(design) = &ws.design_md else {
+        diags.push(file_level(
+            "DESIGN.md",
+            "DESIGN.md not found; cannot cross-check the Fig. 4 table",
+        ));
+        return;
+    };
+    let (Some(begin), Some(end)) = (
+        design.find("<!-- fig4:begin -->"),
+        design.find("<!-- fig4:end -->"),
+    ) else {
+        diags.push(file_level(
+            "DESIGN.md",
+            "missing `<!-- fig4:begin -->` / `<!-- fig4:end -->` markers around the Fig. 4 table",
+        ));
+        return;
+    };
+    if end < begin {
+        diags.push(file_level(
+            "DESIGN.md",
+            "fig4:end marker precedes fig4:begin",
+        ));
+        return;
+    }
+    let base_line = design[..begin].lines().count();
+    let mut rows: BTreeMap<u8, (usize, String, String)> = BTreeMap::new();
+    for (i, line) in design[begin..end].lines().enumerate() {
+        // `\|` escapes a literal pipe inside a markdown table cell.
+        let unescaped = line.trim().replace("\\|", "\u{1}");
+        let cells: Vec<String> = unescaped
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim().replace('\u{1}', "|"))
+            .collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let Ok(id) = cells[0].parse::<u8>() else {
+            continue;
+        };
+        let line_no = base_line + i;
+        if rows
+            .insert(id, (line_no, cells[1].clone(), cells[2].clone()))
+            .is_some()
+        {
+            diags.push(Diagnostic {
+                file: "DESIGN.md".into(),
+                line: line_no,
+                lint: LINT,
+                message: format!("duplicate Fig. 4 table row for transition ({id})"),
+            });
+        }
+    }
+    for tr in &TRANSITIONS {
+        match rows.remove(&tr.id) {
+            None => diags.push(file_level(
+                "DESIGN.md",
+                &format!("Fig. 4 table is missing row ({})", tr.id),
+            )),
+            Some((line, from, to)) => {
+                if clean(&from) != tr.from || clean(&to) != tr.to {
+                    diags.push(Diagnostic {
+                        file: "DESIGN.md".into(),
+                        line,
+                        lint: LINT,
+                        message: format!(
+                            "Fig. 4 table row ({}) says `{from}` -> `{to}` but the canonical \
+                             table says `{}` -> `{}`",
+                            tr.id, tr.from, tr.to
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for (id, (line, ..)) in rows {
+        diags.push(Diagnostic {
+            file: "DESIGN.md".into(),
+            line,
+            lint: LINT,
+            message: format!("Fig. 4 table row ({id}) does not exist in the canonical table"),
+        });
+    }
+}
+
+/// Strips markdown code formatting from a table cell.
+fn clean(cell: &str) -> String {
+    cell.replace('`', "").trim().to_string()
+}

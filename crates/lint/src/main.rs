@@ -1,0 +1,44 @@
+//! `cargo run -p mc-lint` — runs every lint class over the workspace and
+//! exits non-zero with `file:line: [lint] message` diagnostics on any
+//! violation.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(&d).to_path_buf())
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| Path::new(".").to_path_buf());
+    let Some(root) = mc_lint::find_workspace_root(&start) else {
+        eprintln!(
+            "mc-lint: could not locate the workspace root from {}",
+            start.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    let ws = match mc_lint::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "mc-lint: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = mc_lint::run_all(&ws);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!(
+            "mc-lint: {} files clean (state-machine, layering, boundary, panic, docs)",
+            ws.files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("mc-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

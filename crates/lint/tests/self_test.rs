@@ -1,0 +1,277 @@
+//! Negative tests: each lint class must fire, with a file:line diagnostic,
+//! when fed a deliberately violating source tree — and stay quiet on the
+//! equivalent compliant code. These are the linter's own regression suite;
+//! the real tree is covered by `workspace_clean.rs`.
+
+use mc_lint::source::SourceFile;
+use mc_lint::{lints, Workspace};
+
+/// A tiny synthetic workspace: a PageState enum plus one file under test.
+fn ws_with(files: &[(&str, &str)]) -> Workspace {
+    let mut ws = Workspace::default();
+    ws.files.push(SourceFile::from_source(
+        "crates/core/src/state.rs",
+        "/// States.\npub enum PageState {\n    InactiveUnref,\n    InactiveRef,\n    ActiveUnref,\n    ActiveRef,\n    Promote,\n    Unevictable,\n}\n",
+    ));
+    for (rel, src) in files {
+        ws.files.push(SourceFile::from_source(rel, src));
+    }
+    ws
+}
+
+#[test]
+fn state_machine_flags_wildcard_arms() {
+    let ws = ws_with(&[(
+        "crates/core/src/bad.rs",
+        "fn f(s: PageState) -> u32 {\n    match s {\n        PageState::Promote => 1,\n        _ => 0,\n    }\n}\n",
+    )]);
+    let diags = lints::state_machine::check(&ws);
+    let hit = diags
+        .iter()
+        .find(|d| d.file == "crates/core/src/bad.rs")
+        .expect("wildcard arm must be reported");
+    assert_eq!(hit.line, 4, "diagnostic must point at the `_` arm line");
+    assert!(hit.message.contains("catch-all"));
+}
+
+#[test]
+fn state_machine_flags_binding_catch_alls_but_not_guards() {
+    let ws = ws_with(&[(
+        "crates/core/src/bad.rs",
+        "fn f(s: PageState) -> u32 {\n    match s {\n        PageState::Promote if true => 1,\n        other => 0,\n    }\n}\n",
+    )]);
+    let diags = lints::state_machine::check(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.file == "crates/core/src/bad.rs" && d.message.contains("`other`")),
+        "a bare binding arm is a catch-all: {diags:?}"
+    );
+}
+
+#[test]
+fn state_machine_ignores_test_code_and_other_crates() {
+    let wildcard =
+        "fn f(s: PageState) -> u32 {\n    match s {\n        PageState::Promote => 1,\n        _ => 0,\n    }\n}\n";
+    let in_test = format!("#[cfg(test)]\nmod tests {{\n{wildcard}\n}}\n");
+    let ws = ws_with(&[
+        ("crates/core/src/ok.rs", in_test.as_str()),
+        ("crates/sim/src/other.rs", wildcard),
+    ]);
+    let diags = lints::state_machine::check(&ws);
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.file.ends_with("ok.rs") || d.file.ends_with("other.rs")),
+        "test code and out-of-scope crates are exempt: {diags:?}"
+    );
+}
+
+#[test]
+fn state_machine_flags_unknown_fig4_ids() {
+    let ws = ws_with(&[("crates/core/src/bad.rs", "// fig4: 14\nfn g() {}\n")]);
+    let diags = lints::state_machine::check(&ws);
+    assert!(
+        diags.iter().any(|d| d.file == "crates/core/src/bad.rs"
+            && d.line == 1
+            && d.message.contains("unknown transition id 14")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn design_table_mismatch_is_reported() {
+    let mut ws = ws_with(&[]);
+    ws.design_md = Some(
+        "x\n<!-- fig4:begin -->\n| 1 | ActiveRef | Promote | wrong |\n<!-- fig4:end -->\n".into(),
+    );
+    let diags = lints::state_machine::check(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.file == "DESIGN.md" && d.message.contains("canonical table")),
+        "row (1) contradicts the canonical table: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("missing row (2)")),
+        "absent rows must be reported: {diags:?}"
+    );
+}
+
+#[test]
+fn layering_flags_upward_imports() {
+    let mut ws = ws_with(&[(
+        "crates/mem/src/bad.rs",
+        "use multi_clock::MultiClock;\n\npub fn f() -> usize {\n    multi_clock::SIZE\n}\n",
+    )]);
+    ws.manifests.push((
+        "crates/mem/Cargo.toml".into(),
+        "[package]\nname = \"mc-mem\"\n\n[dependencies]\nmulti-clock.workspace = true\n".into(),
+    ));
+    let diags = lints::layering::check(&ws);
+    let manifest_hit = diags
+        .iter()
+        .find(|d| d.file == "crates/mem/Cargo.toml")
+        .expect("manifest dependency must be reported");
+    assert_eq!(manifest_hit.line, 5);
+    assert!(
+        diags
+            .iter()
+            .filter(|d| d.file == "crates/mem/src/bad.rs")
+            .count()
+            >= 2,
+        "both source references must be reported: {diags:?}"
+    );
+}
+
+#[test]
+fn layering_allows_downward_and_dev_scope() {
+    let mut ws = ws_with(&[
+        ("crates/sim/src/ok.rs", "use mc_workloads::Memory;\n"),
+        ("crates/mem/tests/ok.rs", "use multi_clock::MultiClock;\n"),
+    ]);
+    ws.manifests.push((
+        "crates/sim/Cargo.toml".into(),
+        "[package]\nname = \"mc-sim\"\n\n[dependencies]\nmc-workloads.workspace = true\n\n[dev-dependencies]\nmc-bench = { path = \"x\" }\n".into(),
+    ));
+    let diags = lints::layering::check(&ws);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn boundary_flags_foreign_list_mutation() {
+    let ws = ws_with(&[(
+        "crates/sim/src/bad.rs",
+        "fn f(mc: &mut M) {\n    mc.tiers[0].anon.inactive.push_back(frame);\n}\n",
+    )]);
+    let diags = lints::boundary::check(&ws);
+    let hit = diags
+        .iter()
+        .find(|d| d.file == "crates/sim/src/bad.rs")
+        .expect("must fire");
+    assert_eq!(hit.line, 2);
+    assert!(hit.message.contains("push_back"));
+}
+
+#[test]
+fn boundary_flags_mut_accessors_and_assignment() {
+    let ws = ws_with(&[(
+        "crates/core/src/validate_bad.rs",
+        "fn f(mc: &mut M) {\n    mc.tiers[0].set_mut(kind);\n    mc.lists.active = new_list;\n}\n",
+    )]);
+    let diags = lints::boundary::check(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 2 && d.message.contains("set_mut")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 3 && d.message.contains("assigns")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn boundary_exempts_own_fields_and_reads() {
+    let ws = ws_with(&[
+        (
+            "crates/policies/src/own.rs",
+            "struct MyLists {\n    inactive: Vec<u32>,\n}\nfn f(s: &mut S) {\n    s.tiers[0].inactive.push_back(frame);\n}\n",
+        ),
+        (
+            "crates/sim/src/reads.rs",
+            "fn g(mc: &M) -> usize {\n    mc.lists.inactive.len() + mc.lists.active.iter().count()\n}\n",
+        ),
+    ]);
+    let diags = lints::boundary::check(&ws);
+    assert!(
+        diags.is_empty(),
+        "own lists and read-only access are fine: {diags:?}"
+    );
+}
+
+#[test]
+fn panic_lint_requires_annotation_and_allowlist() {
+    let bare = (
+        "crates/mem/src/bad.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let ws = ws_with(&[bare]);
+    let diags = lints::panics::check(&ws);
+    let hit = diags
+        .iter()
+        .find(|d| d.file == "crates/mem/src/bad.rs")
+        .expect("must fire");
+    assert_eq!(hit.line, 2);
+
+    // Annotated but not allowlisted: still a violation (different message).
+    let annotated = (
+        "crates/mem/src/bad.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    // lint: allow(panic) - checked above\n    x.unwrap()\n}\n",
+    );
+    let ws = ws_with(&[annotated]);
+    let diags = lints::panics::check(&ws);
+    assert!(
+        diags.iter().any(|d| d.message.contains("not listed")),
+        "{diags:?}"
+    );
+
+    // Annotated and allowlisted: clean.
+    let mut ws = ws_with(&[annotated]);
+    ws.panic_allowlist = Some("crates/mem/src/bad.rs\n".into());
+    assert!(lints::panics::check(&ws).is_empty());
+
+    // Stale allowlist entry: flagged.
+    let mut ws = ws_with(&[]);
+    ws.panic_allowlist = Some("crates/mem/src/gone.rs\n".into());
+    let diags = lints::panics::check(&ws);
+    assert!(
+        diags.iter().any(|d| d.message.contains("stale")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn panic_lint_ignores_tests_and_unwrap_or() {
+    let ws = ws_with(&[(
+        "crates/mem/src/ok.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        Some(1).unwrap();\n        panic!(\"fine here\");\n    }\n}\n",
+    )]);
+    let diags = lints::panics::check(&ws);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn docs_lint_flags_undocumented_pub_items() {
+    let ws = ws_with(&[(
+        "crates/mem/src/bad.rs",
+        "/// Documented.\npub fn ok() {}\n\npub fn bad() {}\n\n/// Documented struct.\npub struct S {\n    /// Documented field.\n    pub a: u32,\n    pub b: u32,\n}\n",
+    )]);
+    let diags = lints::docs::check(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 4 && d.message.contains("fn `bad`")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 10 && d.message.contains("field `b`")),
+        "{diags:?}"
+    );
+    assert_eq!(diags.len(), 2, "documented items are clean: {diags:?}");
+}
+
+#[test]
+fn docs_lint_accepts_attributes_between_doc_and_item() {
+    let ws = ws_with(&[(
+        "crates/mem/src/ok.rs",
+        "/// Documented through attributes.\n#[derive(Debug, Clone)]\n#[allow(dead_code)]\npub struct S;\n\n/// Inner-doc module file form is covered separately.\npub mod sub {}\n",
+    )]);
+    let diags = lints::docs::check(&ws);
+    assert!(diags.is_empty(), "{diags:?}");
+}

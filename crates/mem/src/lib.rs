@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod access;
 pub mod error;
 pub mod flags;
 pub mod frame;
@@ -51,6 +52,7 @@ pub mod time;
 pub mod topology;
 pub mod watermark;
 
+pub use access::{Memory, SimpleMemory};
 pub use error::MemError;
 pub use flags::PageFlags;
 pub use frame::{Frame, FrameState, PageKind};

@@ -292,7 +292,7 @@ impl MemorySystem {
         let frame = self.nodes[node.index()]
             .free
             .pop()
-            .expect("node with free pages must pop");
+            .ok_or(MemError::TierFull(tier))?;
         self.frames[frame.index()].mark_allocated(kind);
         self.stats.allocs += 1;
         Ok(frame)

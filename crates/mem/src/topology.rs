@@ -153,6 +153,7 @@ impl TopologyBuilder {
         let mut nodes = Vec::with_capacity(self.nodes.len());
         let mut next_frame = 0u32;
         for (i, (kind, pages)) in self.nodes.iter().enumerate() {
+            // lint: allow(panic) - kinds was deduped from these same nodes just above
             let tier_idx = kinds.iter().position(|k| k == kind).expect("kind present");
             nodes.push(NodeDesc {
                 id: NodeId::new(i as u8),

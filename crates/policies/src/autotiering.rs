@@ -337,8 +337,7 @@ impl TieringPolicy for AutoTiering {
         let total: usize = self.rings.iter().map(|r| r.len()).sum();
         if total > 0 {
             for t in 0..self.rings.len() {
-                let tier_share =
-                    (self.cfg.sample_batch * self.rings[t].len()).div_ceil(total);
+                let tier_share = (self.cfg.sample_batch * self.rings[t].len()).div_ceil(total);
                 let n = tier_share.min(self.rings[t].len());
                 for _ in 0..n {
                     let Some(frame) = self.rings[t].pop_front() else {

@@ -645,7 +645,10 @@ mod tests {
         }
         let st = s.memory_mode_stats().unwrap();
         assert_eq!(st.hits + st.misses, 1024);
-        assert!(st.misses >= 768, "direct-mapped cache cannot hold 4x its size");
+        assert!(
+            st.misses >= 768,
+            "direct-mapped cache cannot hold 4x its size"
+        );
     }
 
     #[test]

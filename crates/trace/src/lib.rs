@@ -5,13 +5,13 @@
 //! identifiers, and traced the accesses to these sampled pages". This
 //! crate provides that methodology as reusable infrastructure:
 //!
-//! * [`Recorder`] — a [`mc_workloads::Memory`] decorator that records every page touch
+//! * [`Recorder`] — a [`mc_mem::Memory`] decorator that records every page touch
 //!   of the workload running above it (optionally restricted to a sampled
 //!   page set, like the paper's tracer) while passing accesses through to
 //!   the underlying memory;
 //! * [`Trace`] — the recorded event sequence, with a compact binary
 //!   serialisation for storing and sharing traces;
-//! * [`replay()`](replay::replay) — drives any [`mc_workloads::Memory`] (including the full tiering
+//! * [`replay()`](replay::replay) — drives any [`mc_mem::Memory`] (including the full tiering
 //!   simulation) from a trace, reproducing the original page-touch
 //!   sequence without the original application;
 //! * [`Heatmap`] — per-page × per-window access counts computed from a
@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use mc_trace::{Recorder, replay};
-//! use mc_workloads::{Memory, SimpleMemory};
+//! use mc_mem::{Memory, SimpleMemory};
 //! use mc_mem::PageKind;
 //!
 //! // Record a workload.

@@ -1,8 +1,8 @@
 //! Trace recording: a [`Memory`] decorator.
 
 use crate::trace::{Trace, TraceEvent};
+use mc_mem::Memory;
 use mc_mem::{AccessKind, Nanos, PageKind, VAddr, VPage, PAGE_SIZE};
-use mc_workloads::Memory;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -175,7 +175,7 @@ impl<M: Memory> Memory for Recorder<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mc_workloads::SimpleMemory;
+    use mc_mem::SimpleMemory;
 
     #[test]
     fn records_all_touches_with_time_and_kind() {

@@ -1,8 +1,8 @@
 //! Trace replay: drive any [`Memory`] from a recorded trace.
 
 use crate::trace::Trace;
+use mc_mem::Memory;
 use mc_mem::{AccessKind, Nanos, PageKind, PAGE_SIZE};
-use mc_workloads::Memory;
 
 /// What a replay did.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -64,8 +64,8 @@ mod tests {
     use super::*;
     use crate::record::Recorder;
     use crate::trace::TraceEvent;
+    use mc_mem::SimpleMemory;
     use mc_mem::VPage;
-    use mc_workloads::SimpleMemory;
 
     fn ev(at: u64, page: u64, bytes: u16) -> TraceEvent {
         TraceEvent {

@@ -1,0 +1,177 @@
+//! Offline, std-only stand-in for the subset of `criterion` this
+//! workspace's benches use.
+//!
+//! The build environment has no network access to crates.io. This stub
+//! keeps `benches/*.rs` compiling and producing *useful* (if statistically
+//! unsophisticated) numbers: each benchmark runs a short warm-up, then a
+//! fixed number of timed iterations, and prints the mean wall-clock time
+//! per iteration. There are no plots, no outlier analysis, and no saved
+//! baselines — swap the real `criterion` back in (networked build) for
+//! publication-grade statistics without changing bench source.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimiser from deleting benchmarked
+/// work (mirrors `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs closures under a simple timing loop (mirrors
+/// `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.last_mean_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark context handed to `criterion_group!` targets (mirrors
+/// `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{name:<40} {:>12}/iter", human(b.last_mean_ns));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration (mirrors
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the target measurement time — accepted for API compatibility,
+    /// ignored by this stub.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(self.parent.sample_size),
+            last_mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        println!("  {:<38} {:>12}/iter", id.0, human(b.last_mean_ns));
+        self
+    }
+
+    /// Runs one unparameterised benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(self.parent.sample_size),
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("  {name:<38} {:>12}/iter", human(b.last_mean_ns));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group (mirrors
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter.
+    pub fn from_parameter<D: Display>(param: D) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<D: Display>(name: &str, param: D) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Bundles bench functions into a runnable group (mirrors
+/// `criterion::criterion_group!`; only the simple form is supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

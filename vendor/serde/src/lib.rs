@@ -1,0 +1,28 @@
+//! Offline, dependency-free stand-in for the `serde` traits.
+//!
+//! The build environment has no network access to crates.io. The workspace
+//! only uses `serde` as `#[derive(Serialize, Deserialize)]` annotations on
+//! config/stat structs so downstream users *could* serialise them — no code
+//! in-tree ever exercises a serialiser (there is no `serde_json` or similar
+//! in the dependency set). This stub keeps those annotations compiling:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits with blanket impls,
+//!   so any bound `T: Serialize` is trivially satisfied;
+//! * the `derive` feature re-exports no-op derive macros from the sibling
+//!   `serde_derive` stub.
+//!
+//! Swapping the real `serde` back in (in a networked build) requires no
+//! source change anywhere in the workspace.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so derive annotations and bounds compile unchanged.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented for
+/// all sized types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
