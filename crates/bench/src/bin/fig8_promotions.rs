@@ -5,12 +5,24 @@
 //! every window (it selects on a single recency observation).
 //!
 //! Regenerate with `cargo run -p mc-bench --release --bin fig8_promotions`.
+//! Pass `--obs <dir>` to also dump the MULTI-CLOCK run's tracepoint
+//! events, per-tick counter CSV and run report into `<dir>` (readable
+//! with `cargo run -p mc-obs --bin mc-obs-report -- <dir>`).
 
 use mc_bench::{banner, scale_from_args};
-use mc_sim::experiments::run_ycsb;
+use mc_sim::experiments::{run_ycsb, run_ycsb_observed};
 use mc_sim::report::format_table;
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
+use std::path::PathBuf;
+
+fn obs_dir_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--obs")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
 
 fn main() {
     let scale = scale_from_args();
@@ -19,12 +31,23 @@ fn main() {
         "pages promoted per 20 s window, MULTI-CLOCK vs Nimble (YCSB-A)",
         &scale,
     );
-    let mc = run_ycsb(
-        SystemKind::MultiClock,
-        YcsbWorkload::A,
-        &scale,
-        scale.scan_interval(),
-    );
+    let obs_dir = obs_dir_from_args();
+    let mc = match &obs_dir {
+        Some(dir) => run_ycsb_observed(
+            SystemKind::MultiClock,
+            YcsbWorkload::A,
+            &scale,
+            scale.scan_interval(),
+            dir,
+        )
+        .expect("obs artifacts are writable"),
+        None => run_ycsb(
+            SystemKind::MultiClock,
+            YcsbWorkload::A,
+            &scale,
+            scale.scan_interval(),
+        ),
+    };
     let nim = run_ycsb(
         SystemKind::Nimble,
         YcsbWorkload::A,
@@ -55,4 +78,10 @@ fn main() {
         "totals: MULTI-CLOCK {} vs Nimble {} (expected: Nimble promotes more)",
         mc.promotions, nim.promotions
     );
+    if let Some(dir) = obs_dir {
+        println!(
+            "obs artifacts (events.jsonl, ticks.csv, report.txt) written to {}",
+            dir.display()
+        );
+    }
 }

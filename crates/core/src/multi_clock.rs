@@ -11,6 +11,7 @@ use mc_mem::{
     AccessKind, FrameId, MemorySystem, Nanos, PageFlags, PolicyTraits, TickOutcome, TierId,
     TieringPolicy, Topology,
 };
+use mc_obs::{saturating_bump, EventKind};
 
 /// The MULTI-CLOCK dynamic tiering policy.
 ///
@@ -140,6 +141,11 @@ impl MultiClock {
             .push_back(frame);
         self.states[frame.index()] = Some(PageState::InactiveUnref);
         self.sync_flags(mem, frame, PageState::InactiveUnref);
+        mem.recorder_mut().emit(|| EventKind::Fig4 {
+            edge: 5,
+            frame: frame.index() as u64,
+            tier: tier.index() as u8,
+        });
     }
 
     /// Stops tracking a page (it is being unmapped/freed): Fig. 4
@@ -156,6 +162,11 @@ impl MultiClock {
                     | PageFlags::REFERENCED
                     | PageFlags::UNEVICTABLE,
             );
+            mem.recorder_mut().emit(|| EventKind::Fig4 {
+                edge: 4,
+                frame: frame.index() as u64,
+                tier: tier.index() as u8,
+            });
         }
     }
 
@@ -178,7 +189,18 @@ impl MultiClock {
         // fig4: 2, 6, 7, 10, 12 — each observed access climbs one edge.
         for _ in 0..steps {
             let new = st.on_access();
+            let edge = Self::access_edge(st);
             if new == st {
+                // The only self-edge of the ladder is (12): an observation
+                // absorbed by the promote list. Record it — it is the
+                // signal that a candidate stayed hot while queued.
+                if st == PageState::Promote {
+                    mem.recorder_mut().emit(|| EventKind::Fig4 {
+                        edge,
+                        frame: frame.index() as u64,
+                        tier: tier.index() as u8,
+                    });
+                }
                 break;
             }
             if new.list() != st.list() {
@@ -186,8 +208,8 @@ impl MultiClock {
                 set.list_mut(st.list()).remove(frame);
                 set.list_mut(new.list()).push_back(frame);
                 match new {
-                    PageState::ActiveUnref => self.stats.activations += 1, // fig4: 6
-                    PageState::Promote => self.stats.promote_enqueues += 1, // fig4: 10
+                    PageState::ActiveUnref => saturating_bump(&mut self.stats.activations), // fig4: 6
+                    PageState::Promote => saturating_bump(&mut self.stats.promote_enqueues), // fig4: 10
                     // Accesses never move a page into the remaining
                     // states across a list boundary: (2) and (12) stay
                     // inside their list and ActiveRef is reached only by
@@ -198,10 +220,29 @@ impl MultiClock {
                     | PageState::Unevictable => {}
                 }
             }
+            mem.recorder_mut().emit(|| EventKind::Fig4 {
+                edge,
+                frame: frame.index() as u64,
+                tier: tier.index() as u8,
+            });
             st = new;
         }
         self.states[frame.index()] = Some(st);
         self.sync_flags(mem, frame, st);
+    }
+
+    /// The Fig. 4 edge an observed access fires from each ladder state
+    /// (0 for [`PageState::Unevictable`], which absorbs accesses before
+    /// the ladder is consulted).
+    fn access_edge(st: PageState) -> u8 {
+        match st {
+            PageState::InactiveUnref => 2,
+            PageState::InactiveRef => 6,
+            PageState::ActiveUnref => 7,
+            PageState::ActiveRef => 10,
+            PageState::Promote => 12,
+            PageState::Unevictable => 0,
+        }
     }
 
     /// How many ladder steps one observed access of this frame is worth.
@@ -301,6 +342,23 @@ impl TieringPolicy for MultiClock {
 
     fn tick_interval(&self) -> Option<Nanos> {
         Some(self.current_interval)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("mc_ticks", self.stats.ticks),
+            ("mc_pages_scanned", self.stats.pages_scanned),
+            ("mc_activations", self.stats.activations),
+            ("mc_deactivations", self.stats.deactivations),
+            ("mc_promote_enqueues", self.stats.promote_enqueues),
+            ("mc_promote_ages", self.stats.promote_ages),
+            ("mc_ladder_decays", self.stats.ladder_decays),
+            ("mc_promotions", self.stats.promotions),
+            ("mc_promote_fallbacks", self.stats.promote_fallbacks),
+            ("mc_demotions", self.stats.demotions),
+            ("mc_evictions", self.stats.evictions),
+            ("mc_pressure_runs", self.stats.pressure_runs),
+        ]
     }
 }
 

@@ -14,6 +14,7 @@ use crate::multi_clock::MultiClock;
 use crate::state::PageState;
 use mc_clock::balance::inactive_is_low;
 use mc_mem::{FrameId, MemError, MemorySystem, PageKind, TickOutcome, TierId};
+use mc_obs::{saturating_bump, EventKind};
 
 /// What one inactive-list shrink step achieved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +68,8 @@ impl MultiClock {
             return out;
         }
         self.pressure_guard[tier.index()] = true;
-        self.stats.pressure_runs += 1;
+        saturating_bump(&mut self.stats.pressure_runs);
+        let evictions_before = self.stats.evictions;
 
         // Step 1: the promote list goes first — up if possible, otherwise
         // those pages join the active list.
@@ -145,6 +147,11 @@ impl MultiClock {
 
         self.pressure_guard[tier.index()] = false;
         self.debug_validate(mem);
+        let freed = out.demoted + (self.stats.evictions - evictions_before);
+        mem.recorder_mut().emit(|| EventKind::PressureRun {
+            tier: tier.index() as u8,
+            freed: freed.min(u64::from(u32::MAX)) as u32,
+        });
         out
     }
 
@@ -198,6 +205,11 @@ impl MultiClock {
                     .push_back(frame);
                 self.states[frame.index()] = Some(PageState::ActiveRef);
                 self.sync_flags(mem, frame, PageState::ActiveRef);
+                mem.recorder_mut().emit(|| EventKind::Fig4 {
+                    edge: 11,
+                    frame: frame.index() as u64,
+                    tier: tier.index() as u8,
+                });
             }
         }
     }
@@ -235,11 +247,21 @@ impl MultiClock {
             if force {
                 // fig4: 8 — forced decay, one step per rotation.
                 self.transition(mem, frame, PageState::ActiveUnref);
+                mem.recorder_mut().emit(|| EventKind::Fig4 {
+                    edge: 8,
+                    frame: frame.index() as u64,
+                    tier: tier.index() as u8,
+                });
             }
         } else {
             // fig4: 9 — deactivation to the inactive list.
-            self.stats.deactivations += 1;
+            saturating_bump(&mut self.stats.deactivations);
             self.transition(mem, frame, PageState::InactiveUnref);
+            mem.recorder_mut().emit(|| EventKind::Fig4 {
+                edge: 9,
+                frame: frame.index() as u64,
+                tier: tier.index() as u8,
+            });
         }
         true
     }
@@ -279,6 +301,11 @@ impl MultiClock {
             if force {
                 // fig4: 1 — forced decay of the software referenced state.
                 self.transition(mem, frame, PageState::InactiveUnref);
+                mem.recorder_mut().emit(|| EventKind::Fig4 {
+                    edge: 1,
+                    frame: frame.index() as u64,
+                    tier: tier.index() as u8,
+                });
             }
             return ShrinkResult::Rotated;
         }
@@ -313,7 +340,12 @@ impl MultiClock {
                             new_frame,
                             PageState::InactiveUnref,
                         );
-                        self.stats.demotions += 1;
+                        saturating_bump(&mut self.stats.demotions);
+                        mem.recorder_mut().emit(|| EventKind::Fig4 {
+                            edge: 3,
+                            frame: new_frame.index() as u64,
+                            tier: lower.index() as u8,
+                        });
                         ShrinkResult::Demoted
                     }
                     Err(MemError::TierFull(_)) => {
@@ -330,7 +362,12 @@ impl MultiClock {
                                     new_frame,
                                     PageState::InactiveUnref,
                                 );
-                                self.stats.demotions += 1;
+                                saturating_bump(&mut self.stats.demotions);
+                                mem.recorder_mut().emit(|| EventKind::Fig4 {
+                                    edge: 3,
+                                    frame: new_frame.index() as u64,
+                                    tier: lower.index() as u8,
+                                });
                                 ShrinkResult::Demoted
                             }
                             Err(_) => {
@@ -353,8 +390,14 @@ impl MultiClock {
             }
             None => match mem.evict(frame) {
                 Ok(()) => {
+                    // fig4: 4 — eviction ends tracking like an unmap does.
                     self.states[frame.index()] = None;
-                    self.stats.evictions += 1;
+                    saturating_bump(&mut self.stats.evictions);
+                    mem.recorder_mut().emit(|| EventKind::Fig4 {
+                        edge: 4,
+                        frame: frame.index() as u64,
+                        tier: tier.index() as u8,
+                    });
                     ShrinkResult::Evicted
                 }
                 Err(_) => {

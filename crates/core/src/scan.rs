@@ -4,6 +4,7 @@
 use crate::multi_clock::MultiClock;
 use crate::state::PageState;
 use mc_mem::{MemError, MemorySystem, Nanos, PageKind, TickOutcome, TierId};
+use mc_obs::{saturating_add, saturating_bump, EventKind};
 
 impl MultiClock {
     /// One `kpromoted` wake-up:
@@ -17,8 +18,11 @@ impl MultiClock {
     ///    DRAM in the same kpromoted run");
     /// 3. run the reclaim path on any tier below its low watermark;
     /// 4. optionally adapt the scan interval (§VII extension).
-    pub(crate) fn kpromoted_run(&mut self, mem: &mut MemorySystem, _now: Nanos) -> TickOutcome {
-        self.stats.ticks += 1;
+    pub(crate) fn kpromoted_run(&mut self, mem: &mut MemorySystem, now: Nanos) -> TickOutcome {
+        saturating_bump(&mut self.stats.ticks);
+        let tick = self.stats.ticks;
+        mem.recorder_mut().set_now(now.as_nanos());
+        mem.recorder_mut().emit(|| EventKind::TickBegin { tick });
         let mut out = TickOutcome::default();
         let tier_count = self.tiers.len();
 
@@ -59,9 +63,15 @@ impl MultiClock {
             }
         }
 
-        self.stats.pages_scanned += out.pages_scanned;
+        saturating_add(&mut self.stats.pages_scanned, out.pages_scanned);
         self.adapt_interval(out.promoted + out.demoted);
         self.debug_validate(mem);
+        mem.recorder_mut().emit(|| EventKind::TickEnd {
+            tick,
+            scanned: out.pages_scanned,
+            promoted: out.promoted,
+            demoted: out.demoted,
+        });
         out
     }
 
@@ -89,9 +99,21 @@ impl MultiClock {
                 // referenced since the last scan loses its referenced
                 // state, so only pages referenced in *several recent*
                 // scans ever reach the promote list.
-                self.stats.ladder_decays += 1;
+                saturating_bump(&mut self.stats.ladder_decays);
                 self.transition(mem, frame, PageState::InactiveUnref);
+                mem.recorder_mut().emit(|| EventKind::Fig4 {
+                    edge: 1,
+                    frame: frame.index() as u64,
+                    tier: tier.index() as u8,
+                });
             }
+        }
+        if scanned > 0 {
+            mem.recorder_mut().emit(|| EventKind::ScanList {
+                tier: tier.index() as u8,
+                list: "inactive",
+                scanned: scanned as u32,
+            });
         }
         scanned
     }
@@ -115,9 +137,21 @@ impl MultiClock {
                 self.apply_access(mem, frame, steps);
             } else if self.state_of(frame) == Some(PageState::ActiveRef) {
                 // CLOCK decay on the active rung as well (fig4: 8).
-                self.stats.ladder_decays += 1;
+                saturating_bump(&mut self.stats.ladder_decays);
                 self.transition(mem, frame, PageState::ActiveUnref);
+                mem.recorder_mut().emit(|| EventKind::Fig4 {
+                    edge: 8,
+                    frame: frame.index() as u64,
+                    tier: tier.index() as u8,
+                });
             }
+        }
+        if scanned > 0 {
+            mem.recorder_mut().emit(|| EventKind::ScanList {
+                tier: tier.index() as u8,
+                list: "active",
+                scanned: scanned as u32,
+            });
         }
         scanned
     }
@@ -139,9 +173,21 @@ impl MultiClock {
                 .push_back(frame);
             if !mem.harvest_referenced(frame) {
                 // fig4: 11 — unaccessed promote pages age back to active.
-                self.stats.promote_ages += 1;
+                saturating_bump(&mut self.stats.promote_ages);
                 self.transition(mem, frame, PageState::ActiveUnref);
+                mem.recorder_mut().emit(|| EventKind::Fig4 {
+                    edge: 11,
+                    frame: frame.index() as u64,
+                    tier: tier.index() as u8,
+                });
             }
+        }
+        if scanned > 0 {
+            mem.recorder_mut().emit(|| EventKind::ScanList {
+                tier: tier.index() as u8,
+                list: "promote",
+                scanned: scanned as u32,
+            });
         }
         scanned
     }
@@ -188,14 +234,26 @@ impl MultiClock {
             // The drained candidates are tracked but on no list until each
             // is retracked below; suspend invariant validation meanwhile.
             self.in_flight += candidates.len();
+            let drained = candidates.len();
+            if drained > 0 {
+                mem.recorder_mut().emit(|| EventKind::PromoteDrain {
+                    tier: tier.index() as u8,
+                    drained: drained as u32,
+                });
+            }
             for frame in candidates {
                 // drain() detached the page; state table still says Promote.
                 match mem.migrate(frame, upper) {
                     Ok(new_frame) => {
                         // fig4: 13 — promotion lands active-referenced.
                         self.retrack_after_migration(mem, frame, new_frame, PageState::ActiveRef);
-                        self.stats.promotions += 1;
+                        saturating_bump(&mut self.stats.promotions);
                         promoted += 1;
+                        mem.recorder_mut().emit(|| EventKind::Fig4 {
+                            edge: 13,
+                            frame: new_frame.index() as u64,
+                            tier: upper.index() as u8,
+                        });
                     }
                     Err(MemError::TierFull(_)) => {
                         // "If the higher-performing tier is also under
@@ -218,8 +276,13 @@ impl MultiClock {
                                     new_frame,
                                     PageState::ActiveRef,
                                 );
-                                self.stats.promotions += 1;
+                                saturating_bump(&mut self.stats.promotions);
                                 promoted += 1;
+                                mem.recorder_mut().emit(|| EventKind::Fig4 {
+                                    edge: 13,
+                                    frame: new_frame.index() as u64,
+                                    tier: upper.index() as u8,
+                                });
                             }
                             Err(_) => self.promote_fallback(mem, frame, tier, kind),
                         }
@@ -242,7 +305,7 @@ impl MultiClock {
         tier: TierId,
         kind: PageKind,
     ) {
-        self.stats.promote_fallbacks += 1;
+        saturating_bump(&mut self.stats.promote_fallbacks);
         // fig4: 11 — no room upstairs; rejoin active as referenced.
         self.tiers[tier.index()]
             .set_mut(kind)
@@ -250,6 +313,11 @@ impl MultiClock {
             .push_back(frame);
         self.states[frame.index()] = Some(PageState::ActiveRef);
         self.sync_flags(mem, frame, PageState::ActiveRef);
+        mem.recorder_mut().emit(|| EventKind::Fig4 {
+            edge: 11,
+            frame: frame.index() as u64,
+            tier: tier.index() as u8,
+        });
     }
 
     /// The §VII adaptive-interval extension: back off exponentially while

@@ -1,8 +1,8 @@
 //! Lint 5: doc coverage on the substrate crates.
 //!
 //! Every `pub` item (functions, types, traits, constants, modules and
-//! struct fields) in `crates/{mem, clock, core}` library code must carry a
-//! `///` doc comment. `pub use` re-exports and restricted visibility
+//! struct fields) in `crates/{obs, mem, clock, core}` library code must
+//! carry a `///` doc comment. `pub use` re-exports and restricted visibility
 //! (`pub(crate)`, `pub(super)`) are exempt, as is `#[cfg(test)]` code.
 //!
 //! This duplicates rustc's `missing_docs` (which the workspace also enables)
@@ -16,7 +16,12 @@ use crate::{Diagnostic, Workspace};
 const LINT: &str = "docs";
 
 /// Crates whose public API must be documented.
-const SCOPES: [&str; 3] = ["crates/mem/src/", "crates/clock/src/", "crates/core/src/"];
+const SCOPES: [&str; 4] = [
+    "crates/obs/src/",
+    "crates/mem/src/",
+    "crates/clock/src/",
+    "crates/core/src/",
+];
 
 const ITEM_KEYWORDS: [&str; 11] = [
     "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union", "async", "unsafe",

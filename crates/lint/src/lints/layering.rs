@@ -3,11 +3,12 @@
 //! The workspace layers bottom-up as
 //!
 //! ```text
-//! mem <- clock <- core <- {policies, trace} <- workloads <- sim <- bench
+//! obs <- mem <- clock <- core <- {policies, trace} <- workloads <- sim <- bench
 //! ```
 //!
 //! where each crate may depend only on crates strictly below it (and
-//! `mc-lint` on nothing at all). Both `[dependencies]` tables and `use`
+//! `mc-lint` on nothing at all). `mc-obs` sits at the very bottom — it
+//! speaks raw integers so even the substrate can emit into it. Both `[dependencies]` tables and `use`
 //! paths in library code are checked; `[dev-dependencies]`, per-crate
 //! `tests/`, `benches/` and `examples/` are exempt (test scaffolding may
 //! reach sideways), as is the workspace-root package, which sits on top of
@@ -20,31 +21,33 @@ const LINT: &str = "layering";
 
 /// `(dir under crates/, package name, crate ident, allowed internal deps)`.
 pub const LAYERS: &[(&str, &str, &str, &[&str])] = &[
-    ("mem", "mc-mem", "mc_mem", &[]),
-    ("clock", "mc-clock", "mc_clock", &["mc-mem"]),
+    ("obs", "mc-obs", "mc_obs", &[]),
+    ("mem", "mc-mem", "mc_mem", &["mc-obs"]),
+    ("clock", "mc-clock", "mc_clock", &["mc-obs", "mc-mem"]),
     (
         "core",
         "multi-clock",
         "multi_clock",
-        &["mc-mem", "mc-clock"],
+        &["mc-obs", "mc-mem", "mc-clock"],
     ),
     (
         "policies",
         "mc-policies",
         "mc_policies",
-        &["mc-mem", "mc-clock", "multi-clock"],
+        &["mc-obs", "mc-mem", "mc-clock", "multi-clock"],
     ),
     (
         "trace",
         "mc-trace",
         "mc_trace",
-        &["mc-mem", "mc-clock", "multi-clock"],
+        &["mc-obs", "mc-mem", "mc-clock", "multi-clock"],
     ),
     (
         "workloads",
         "mc-workloads",
         "mc_workloads",
         &[
+            "mc-obs",
             "mc-mem",
             "mc-clock",
             "multi-clock",
@@ -57,6 +60,7 @@ pub const LAYERS: &[(&str, &str, &str, &[&str])] = &[
         "mc-sim",
         "mc_sim",
         &[
+            "mc-obs",
             "mc-mem",
             "mc-clock",
             "multi-clock",
@@ -70,6 +74,7 @@ pub const LAYERS: &[(&str, &str, &str, &[&str])] = &[
         "mc-bench",
         "mc_bench",
         &[
+            "mc-obs",
             "mc-mem",
             "mc-clock",
             "multi-clock",

@@ -102,6 +102,14 @@ pub trait TieringPolicy {
 
     /// The daemon period. `None` disables ticks (static tiering).
     fn tick_interval(&self) -> Option<Nanos>;
+
+    /// The policy's internal counters as `(name, value)` pairs — its slice
+    /// of the `/proc/vmstat` analogue. The observability layer snapshots
+    /// these per tick into the run's time series; names must be stable and
+    /// the set identical on every call. Default: no counters.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// A policy that does nothing — static tiering in its purest form, and a

@@ -1,7 +1,9 @@
 //! Counters, cost accounting and event reporting.
 
 use crate::ids::{FrameId, TierId, VPage};
+use crate::tier::TierKind;
 use crate::time::Nanos;
+use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
 /// Monotonic operation counters maintained by the substrate — the analogue
@@ -33,15 +35,46 @@ pub struct MemStats {
 }
 
 impl MemStats {
-    /// Fraction of accesses served by the top tier; `None` before any
-    /// access.
-    pub fn top_tier_share(&self) -> Option<f64> {
+    /// Fraction of accesses served by tier 0 specifically; `None` before
+    /// any access.
+    ///
+    /// Tier 0 is the single fastest tier, which on the paper's two-tier
+    /// DRAM+PM testbed is also "the DRAM side" — but on multi-DRAM-tier
+    /// topologies (HBM + DRAM + PM, or multiple DRAM tiers) tier 0 is
+    /// only one slice of fast memory. Use [`MemStats::fast_tier_share`]
+    /// with the machine's [`Topology`] when "served from fast memory"
+    /// is the question being asked.
+    pub fn tier0_share(&self) -> Option<f64> {
         let total: u64 = self.tier_accesses.iter().sum();
         if total == 0 {
             None
         } else {
             Some(self.tier_accesses.first().copied().unwrap_or(0) as f64 / total as f64)
         }
+    }
+
+    /// Fraction of accesses served by fast tiers — every tier whose kind
+    /// is not [`TierKind::Pm`] (HBM and all DRAM tiers). `None` before
+    /// any access. Equals [`MemStats::tier0_share`] on two-tier DRAM+PM
+    /// machines.
+    pub fn fast_tier_share(&self, topology: &Topology) -> Option<f64> {
+        let total: u64 = self.tier_accesses.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let fast: u64 = self
+            .tier_accesses
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| {
+                topology
+                    .tiers()
+                    .get(*idx)
+                    .is_some_and(|t| t.kind() != TierKind::Pm)
+            })
+            .map(|(_, count)| *count)
+            .sum();
+        Some(fast as f64 / total as f64)
     }
 }
 
@@ -136,6 +169,24 @@ impl MemEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::TopologyBuilder;
+
+    #[test]
+    fn fast_tier_share_counts_all_non_pm_tiers() {
+        let topo = TopologyBuilder::new()
+            .node(TierKind::Hbm, 8)
+            .node(TierKind::Dram, 8)
+            .node(TierKind::Pm, 8)
+            .build();
+        let mut s = MemStats::default();
+        assert_eq!(s.fast_tier_share(&topo), None);
+        assert_eq!(s.tier0_share(), None);
+        s.tier_accesses = vec![10, 30, 60];
+        // tier0_share sees only the HBM slice...
+        assert!((s.tier0_share().unwrap() - 0.10).abs() < 1e-9);
+        // ...fast_tier_share sees HBM + DRAM.
+        assert!((s.fast_tier_share(&topo).unwrap() - 0.40).abs() < 1e-9);
+    }
 
     #[test]
     fn ledger_take_resets() {

@@ -12,6 +12,7 @@ use crate::tier::TierKind;
 use crate::time::Nanos;
 use crate::topology::{Topology, TopologyBuilder};
 use crate::watermark::Watermarks;
+use mc_obs::{saturating_bump, EventKind, Recorder};
 use std::collections::HashSet;
 
 /// Configuration for a [`MemorySystem`].
@@ -104,6 +105,7 @@ pub struct MemorySystem {
     stats: MemStats,
     ledger: CostLedger,
     events: Vec<MemEvent>,
+    recorder: Recorder,
 }
 
 impl MemorySystem {
@@ -142,7 +144,22 @@ impl MemorySystem {
             stats: MemStats::default(),
             ledger: CostLedger::default(),
             events: Vec::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// The trace recorder. Disabled by default; the simulation engine (or
+    /// any driver) enables it to capture substrate tracepoints.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mutable recorder access — used to enable tracing, advance the
+    /// virtual timestamp, and by instrumented layers above (the policy
+    /// crates emit their tracepoints into the same ring so one JSONL dump
+    /// interleaves the whole pipeline).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
     }
 
     /// The machine topology.
@@ -294,7 +311,11 @@ impl MemorySystem {
             .pop()
             .ok_or(MemError::TierFull(tier))?;
         self.frames[frame.index()].mark_allocated(kind);
-        self.stats.allocs += 1;
+        saturating_bump(&mut self.stats.allocs);
+        self.recorder.emit(|| EventKind::Alloc {
+            frame: frame.index() as u64,
+            tier: tier.index() as u8,
+        });
         Ok(frame)
     }
 
@@ -313,7 +334,7 @@ impl MemorySystem {
         let node = self.frames[frame.index()].node();
         self.frames[frame.index()].mark_free();
         self.nodes[node.index()].free.push(frame);
-        self.stats.frees += 1;
+        saturating_bump(&mut self.stats.frees);
         Ok(())
     }
 
@@ -377,18 +398,22 @@ impl MemorySystem {
             self.frames[frame.index()]
                 .flags_mut()
                 .insert(PageFlags::DIRTY);
-            self.stats.writes += 1;
+            saturating_bump(&mut self.stats.writes);
         } else {
-            self.stats.reads += 1;
-        }
-        if hint_fault {
-            self.stats.hint_faults += 1;
+            saturating_bump(&mut self.stats.reads);
         }
         let tier = self.frames[frame.index()].tier();
+        if hint_fault {
+            saturating_bump(&mut self.stats.hint_faults);
+            self.recorder.emit(|| EventKind::HintFault {
+                vpage: vpage.raw(),
+                tier: tier.index() as u8,
+            });
+        }
         if self.stats.tier_accesses.len() <= tier.index() {
             self.stats.tier_accesses.resize(tier.index() + 1, 0);
         }
-        self.stats.tier_accesses[tier.index()] += 1;
+        saturating_bump(&mut self.stats.tier_accesses[tier.index()]);
         Ok(AccessOutcome {
             frame,
             tier,
@@ -439,15 +464,26 @@ impl MemorySystem {
         if src.state() != FrameState::Allocated {
             return Err(MemError::FrameNotAllocated(frame));
         }
+        let src_tier = src.tier();
         if src.flags().contains(PageFlags::LOCKED) {
-            self.stats.migration_failures += 1;
+            saturating_bump(&mut self.stats.migration_failures);
+            self.recorder.emit(|| EventKind::MigrateFail {
+                frame: frame.index() as u64,
+                src: src_tier.index() as u8,
+                reason: "locked",
+            });
             return Err(MemError::FrameLocked(frame));
         }
+        let src = &self.frames[frame.index()];
         if src.flags().contains(PageFlags::UNEVICTABLE) {
-            self.stats.migration_failures += 1;
+            saturating_bump(&mut self.stats.migration_failures);
+            self.recorder.emit(|| EventKind::MigrateFail {
+                frame: frame.index() as u64,
+                src: src_tier.index() as u8,
+                reason: "unevictable",
+            });
             return Err(MemError::FrameUnevictable(frame));
         }
-        let src_tier = src.tier();
         if src_tier == dst_tier {
             return Err(MemError::SameTier(frame, dst_tier));
         }
@@ -458,7 +494,12 @@ impl MemorySystem {
         let new_frame = match self.alloc_page_in_tier(kind, dst_tier) {
             Ok(f) => f,
             Err(e) => {
-                self.stats.migration_failures += 1;
+                saturating_bump(&mut self.stats.migration_failures);
+                self.recorder.emit(|| EventKind::MigrateFail {
+                    frame: frame.index() as u64,
+                    src: src_tier.index() as u8,
+                    reason: "tier-full",
+                });
                 return Err(e);
             }
         };
@@ -479,12 +520,12 @@ impl MemorySystem {
         let src_node = self.frames[frame.index()].node();
         self.frames[frame.index()].mark_free();
         self.nodes[src_node.index()].free.push(frame);
-        self.stats.frees += 1;
+        saturating_bump(&mut self.stats.frees);
 
         if dst_tier < src_tier {
-            self.stats.promotions += 1;
+            saturating_bump(&mut self.stats.promotions);
         } else {
-            self.stats.demotions += 1;
+            saturating_bump(&mut self.stats.demotions);
         }
         self.events.push(MemEvent::Migrated {
             new_frame,
@@ -492,6 +533,11 @@ impl MemorySystem {
             vpage,
             src: src_tier,
             dst: dst_tier,
+        });
+        self.recorder.emit(|| EventKind::Migrate {
+            vpage: vpage.map(VPage::raw),
+            src: src_tier.index() as u8,
+            dst: dst_tier.index() as u8,
         });
         Ok(new_frame)
     }
@@ -526,12 +572,13 @@ impl MemorySystem {
             self.page_table.unmap(v);
             self.swapped.insert(v);
             self.events.push(MemEvent::Evicted { vpage: v });
+            self.recorder.emit(|| EventKind::Evict { vpage: v.raw() });
         }
         let node = self.frames[frame.index()].node();
         self.frames[frame.index()].mark_free();
         self.nodes[node.index()].free.push(frame);
-        self.stats.frees += 1;
-        self.stats.evictions += 1;
+        saturating_bump(&mut self.stats.frees);
+        saturating_bump(&mut self.stats.evictions);
         Ok(())
     }
 
@@ -546,8 +593,10 @@ impl MemorySystem {
         if self.swapped.remove(&vpage) {
             let t = self.latency.swap_page;
             self.ledger.charge_app_stall(t);
-            self.stats.swap_ins += 1;
+            saturating_bump(&mut self.stats.swap_ins);
             self.events.push(MemEvent::SwappedIn { vpage });
+            self.recorder
+                .emit(|| EventKind::SwapIn { vpage: vpage.raw() });
         }
     }
 }

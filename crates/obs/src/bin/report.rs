@@ -1,0 +1,173 @@
+//! `mc-obs-report` — validates and summarises an observability export.
+//!
+//! Usage:
+//!
+//! ```text
+//! mc-obs-report <dir>                  # expects <dir>/events.jsonl + <dir>/ticks.csv
+//! mc-obs-report --events E --ticks T   # explicit paths (either may be omitted)
+//! ```
+//!
+//! The binary parses every JSONL line, parses the per-tick CSV, checks
+//! that counter columns never decrease, and prints a summary (event
+//! counts by type, Fig. 4 edge coverage, tick count). It exits non-zero
+//! on any parse failure or monotonicity violation, which lets CI use it
+//! as the assertion that a run's exports are well-formed.
+
+use mc_obs::{json, ReportBuilder, TimeSeries};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (events_path, ticks_path) = match parse_args(&args) {
+        Ok(paths) => paths,
+        Err(msg) => {
+            eprintln!("mc-obs-report: {msg}");
+            eprintln!("usage: mc-obs-report <dir> | --events <jsonl> --ticks <csv>");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut report = ReportBuilder::new("mc-obs export check");
+
+    if let Some(path) = &events_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => failures += check_events(path, &text, &mut report),
+            Err(e) => {
+                eprintln!("mc-obs-report: cannot read {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(path) = &ticks_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => failures += check_ticks(path, &text, &mut report),
+            Err(e) => {
+                eprintln!("mc-obs-report: cannot read {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if events_path.is_none() && ticks_path.is_none() {
+        eprintln!("mc-obs-report: nothing to check");
+        return ExitCode::FAILURE;
+    }
+
+    report.section("verdict");
+    report.kv("failures", failures);
+    print!("{}", report.finish());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(Option<String>, Option<String>), String> {
+    let mut events = None;
+    let mut ticks = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => {
+                events = Some(it.next().ok_or("--events needs a path")?.clone());
+            }
+            "--ticks" => {
+                ticks = Some(it.next().ok_or("--ticks needs a path")?.clone());
+            }
+            dir if !dir.starts_with('-') => {
+                events = Some(format!("{dir}/events.jsonl"));
+                ticks = Some(format!("{dir}/ticks.csv"));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if events.is_none() && ticks.is_none() {
+        return Err("no inputs given".to_string());
+    }
+    Ok((events, ticks))
+}
+
+/// Parses every JSONL line; returns the number of failures found.
+fn check_events(path: &str, text: &str, report: &mut ReportBuilder) -> usize {
+    let mut failures = 0;
+    let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+    let mut edges: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut lines = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        match json::parse_flat_object(line) {
+            Ok(obj) => {
+                let Some(name) = json::get_str(&obj, "ev") else {
+                    eprintln!("{path}:{}: event missing `ev` field", lineno + 1);
+                    failures += 1;
+                    continue;
+                };
+                if json::get_num(&obj, "seq").is_none() || json::get_num(&obj, "at_ns").is_none() {
+                    eprintln!("{path}:{}: event missing seq/at_ns", lineno + 1);
+                    failures += 1;
+                }
+                *by_name.entry(name.to_string()).or_default() += 1;
+                if name == "fig4_transition" {
+                    if let Some(edge) = json::get_num(&obj, "edge") {
+                        *edges.entry(edge as u64).or_default() += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", lineno + 1);
+                failures += 1;
+            }
+        }
+    }
+    report.section("events");
+    report.kv("file", path);
+    report.kv("lines", lines);
+    let rows: Vec<Vec<String>> = by_name
+        .iter()
+        .map(|(name, count)| vec![name.clone(), count.to_string()])
+        .collect();
+    report.table(&["event", "count"], &rows);
+    if !edges.is_empty() {
+        let covered: Vec<String> = edges.keys().map(u64::to_string).collect();
+        report.kv("fig4 edges seen", covered.join(" "));
+    }
+    failures
+}
+
+/// Parses the per-tick CSV and checks counter monotonicity; returns the
+/// number of failures found.
+fn check_ticks(path: &str, text: &str, report: &mut ReportBuilder) -> usize {
+    let mut failures = 0;
+    report.section("tick series");
+    report.kv("file", path);
+    match TimeSeries::from_csv(text) {
+        Ok(series) => {
+            report.kv("rows", series.len());
+            report.kv("columns", series.columns().len());
+            let ts = series.timestamps();
+            if ts.windows(2).any(|w| w[1] < w[0]) {
+                eprintln!("{path}: at_ns column is not sorted");
+                failures += 1;
+            }
+            for (col, row) in series.non_monotonic_columns() {
+                // Gauge columns are exported with a `gauge_` prefix; only
+                // bare counter columns are required to be monotone.
+                if col.starts_with("gauge_") {
+                    continue;
+                }
+                eprintln!("{path}: counter column `{col}` decreases at row {row}");
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            failures += 1;
+        }
+    }
+    failures
+}

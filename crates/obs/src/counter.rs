@@ -1,0 +1,55 @@
+//! Overflow-safe counter helpers for the workspace's vmstat-style
+//! counter structs (`MultiClockStats`, `MemStats`, ...).
+//!
+//! Long soak runs bump these counters billions of times; a silent wrap
+//! would corrupt every derived rate. All bump sites go through these
+//! helpers, which saturate instead of wrapping and flag the overflow in
+//! debug builds.
+
+/// Increments a counter by one, saturating at `u64::MAX`.
+///
+/// Debug builds assert on saturation — hitting 2^64 increments in a
+/// simulation is a sign of a runaway loop, not a long run.
+#[inline]
+pub fn saturating_bump(counter: &mut u64) {
+    saturating_add(counter, 1);
+}
+
+/// Adds `n` to a counter, saturating at `u64::MAX`.
+#[inline]
+pub fn saturating_add(counter: &mut u64, n: u64) {
+    let (sum, overflow) = counter.overflowing_add(n);
+    debug_assert!(!overflow, "counter overflow: {counter} + {n}");
+    *counter = if overflow { u64::MAX } else { sum };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_increments() {
+        let mut c = 0u64;
+        saturating_bump(&mut c);
+        saturating_bump(&mut c);
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn saturates_instead_of_wrapping() {
+        let mut c = u64::MAX - 1;
+        saturating_add(&mut c, 5);
+        assert_eq!(c, u64::MAX);
+        saturating_bump(&mut c);
+        assert_eq!(c, u64::MAX);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "counter overflow")]
+    fn debug_asserts_on_overflow() {
+        let mut c = u64::MAX;
+        saturating_bump(&mut c);
+    }
+}

@@ -1,0 +1,301 @@
+//! Structured trace events — the reproduction's tracepoint payloads.
+//!
+//! Each variant mirrors a kernel tracepoint the paper's evaluation relies
+//! on (`trace_mm_lru_activate`, `trace_mm_migrate_pages`, ...) or a
+//! MULTI-CLOCK-specific event (Fig. 4 state-machine transitions, promote
+//! drains, pressure runs). Payloads are raw integers because `mc-obs`
+//! sits below every other crate in the layering DAG.
+
+use crate::json;
+
+/// Number of edges in the Fig. 4 state machine (ids 1..=13).
+pub const FIG4_EDGES: usize = 13;
+
+/// A recorded trace event: a monotone sequence number, the virtual
+/// timestamp the recorder carried when the event fired, and the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone per-recorder sequence number (gap-free until the ring
+    /// overwrites; gaps then indicate dropped events).
+    pub seq: u64,
+    /// Virtual time of the event in nanoseconds, as last set via
+    /// [`crate::Recorder::set_now`].
+    pub at_ns: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// The tracepoint payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A `kpromoted` tick started.
+    TickBegin {
+        /// Tick ordinal (the policy's `ticks` counter value).
+        tick: u64,
+    },
+    /// A `kpromoted` tick finished.
+    TickEnd {
+        /// Tick ordinal (matches the preceding [`EventKind::TickBegin`]).
+        tick: u64,
+        /// Pages examined during this tick.
+        scanned: u64,
+        /// Pages promoted during this tick.
+        promoted: u64,
+        /// Pages demoted during this tick.
+        demoted: u64,
+    },
+    /// One list scan step (inactive/active/promote list of one tier).
+    ScanList {
+        /// Tier whose list was scanned.
+        tier: u8,
+        /// Static list name: `"inactive"`, `"active"` or `"promote"`.
+        list: &'static str,
+        /// Pages examined in this step.
+        scanned: u32,
+    },
+    /// A Fig. 4 state-machine transition fired for a page.
+    Fig4 {
+        /// Edge id, 1..=13, matching the `// fig4: N` source markers and
+        /// the DESIGN.md transition table.
+        edge: u8,
+        /// Frame index of the page that moved.
+        frame: u64,
+        /// Tier holding the page when the transition fired.
+        tier: u8,
+    },
+    /// A promote-list drain batch completed (transition 13 batches).
+    PromoteDrain {
+        /// Tier whose promote list was drained.
+        tier: u8,
+        /// Candidates taken off the list in this batch.
+        drained: u32,
+    },
+    /// A pressure/reclaim pass ran over a tier.
+    PressureRun {
+        /// Tier the pass ran against.
+        tier: u8,
+        /// Pages freed (demoted or evicted) by the pass.
+        freed: u32,
+    },
+    /// The substrate allocated a page.
+    Alloc {
+        /// Frame index chosen.
+        frame: u64,
+        /// Tier the frame belongs to.
+        tier: u8,
+    },
+    /// The substrate migrated a page between tiers.
+    Migrate {
+        /// Virtual page that moved, if the frame was mapped.
+        vpage: Option<u64>,
+        /// Source tier.
+        src: u8,
+        /// Destination tier.
+        dst: u8,
+    },
+    /// A migration attempt failed.
+    MigrateFail {
+        /// Frame index that stayed put.
+        frame: u64,
+        /// Tier holding the frame.
+        src: u8,
+        /// Static failure reason (`"locked"`, `"unevictable"`,
+        /// `"tier-full"`).
+        reason: &'static str,
+    },
+    /// A page was evicted from the lowest tier to backing storage.
+    Evict {
+        /// Virtual page evicted.
+        vpage: u64,
+    },
+    /// A page was faulted back in from backing storage.
+    SwapIn {
+        /// Virtual page brought back.
+        vpage: u64,
+    },
+    /// A hint page fault (poisoned PTE) was taken on an access.
+    HintFault {
+        /// Virtual page accessed.
+        vpage: u64,
+        /// Tier serving the access.
+        tier: u8,
+    },
+    /// A policy-defined event (e.g. an AutoNUMA poison batch).
+    Custom {
+        /// Static tag naming the event; kept short and kebab-case.
+        tag: &'static str,
+        /// First payload word (meaning is tag-specific).
+        a: u64,
+        /// Second payload word (meaning is tag-specific).
+        b: u64,
+    },
+}
+
+impl EventKind {
+    /// The event's stable name, used as the `"ev"` field in JSONL dumps
+    /// and as the tracepoint name in DESIGN.md's mapping table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TickBegin { .. } => "tick_begin",
+            EventKind::TickEnd { .. } => "tick_end",
+            EventKind::ScanList { .. } => "scan_list",
+            EventKind::Fig4 { .. } => "fig4_transition",
+            EventKind::PromoteDrain { .. } => "promote_drain",
+            EventKind::PressureRun { .. } => "pressure_run",
+            EventKind::Alloc { .. } => "alloc",
+            EventKind::Migrate { .. } => "migrate",
+            EventKind::MigrateFail { .. } => "migrate_fail",
+            EventKind::Evict { .. } => "evict",
+            EventKind::SwapIn { .. } => "swap_in",
+            EventKind::HintFault { .. } => "hint_fault",
+            EventKind::Custom { tag, .. } => tag,
+        }
+    }
+}
+
+impl Event {
+    /// Serialises the event as one flat JSON object (one JSONL line,
+    /// without the trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = json::ObjectWriter::new();
+        w.str_field("ev", self.kind.name());
+        w.num_field("seq", self.seq);
+        w.num_field("at_ns", self.at_ns);
+        match self.kind {
+            EventKind::TickBegin { tick } => {
+                w.num_field("tick", tick);
+            }
+            EventKind::TickEnd {
+                tick,
+                scanned,
+                promoted,
+                demoted,
+            } => {
+                w.num_field("tick", tick);
+                w.num_field("scanned", scanned);
+                w.num_field("promoted", promoted);
+                w.num_field("demoted", demoted);
+            }
+            EventKind::ScanList {
+                tier,
+                list,
+                scanned,
+            } => {
+                w.num_field("tier", u64::from(tier));
+                w.str_field("list", list);
+                w.num_field("scanned", u64::from(scanned));
+            }
+            EventKind::Fig4 { edge, frame, tier } => {
+                w.num_field("edge", u64::from(edge));
+                w.num_field("frame", frame);
+                w.num_field("tier", u64::from(tier));
+            }
+            EventKind::PromoteDrain { tier, drained } => {
+                w.num_field("tier", u64::from(tier));
+                w.num_field("drained", u64::from(drained));
+            }
+            EventKind::PressureRun { tier, freed } => {
+                w.num_field("tier", u64::from(tier));
+                w.num_field("freed", u64::from(freed));
+            }
+            EventKind::Alloc { frame, tier } => {
+                w.num_field("frame", frame);
+                w.num_field("tier", u64::from(tier));
+            }
+            EventKind::Migrate { vpage, src, dst } => {
+                match vpage {
+                    Some(v) => w.num_field("vpage", v),
+                    None => w.null_field("vpage"),
+                }
+                w.num_field("src", u64::from(src));
+                w.num_field("dst", u64::from(dst));
+            }
+            EventKind::MigrateFail { frame, src, reason } => {
+                w.num_field("frame", frame);
+                w.num_field("src", u64::from(src));
+                w.str_field("reason", reason);
+            }
+            EventKind::Evict { vpage } => {
+                w.num_field("vpage", vpage);
+            }
+            EventKind::SwapIn { vpage } => {
+                w.num_field("vpage", vpage);
+            }
+            EventKind::HintFault { vpage, tier } => {
+                w.num_field("vpage", vpage);
+                w.num_field("tier", u64::from(tier));
+            }
+            EventKind::Custom { a, b, .. } => {
+                w.num_field("a", a);
+                w.num_field("b", b);
+            }
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_parse_back() {
+        let events = [
+            EventKind::TickBegin { tick: 1 },
+            EventKind::Fig4 {
+                edge: 13,
+                frame: 42,
+                tier: 1,
+            },
+            EventKind::Migrate {
+                vpage: None,
+                src: 0,
+                dst: 1,
+            },
+            EventKind::MigrateFail {
+                frame: 9,
+                src: 1,
+                reason: "tier-full",
+            },
+            EventKind::Custom {
+                tag: "poison_batch",
+                a: 7,
+                b: 0,
+            },
+        ];
+        for (i, kind) in events.into_iter().enumerate() {
+            let ev = Event {
+                seq: i as u64,
+                at_ns: 1_000 + i as u64,
+                kind,
+            };
+            let line = ev.to_json();
+            let obj = json::parse_flat_object(&line).expect("valid json");
+            assert_eq!(json::get_str(&obj, "ev"), Some(kind.name()), "line: {line}");
+            assert_eq!(json::get_num(&obj, "seq"), Some(i as f64));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EventKind::TickBegin { tick: 0 }.name(), "tick_begin");
+        assert_eq!(
+            EventKind::Fig4 {
+                edge: 1,
+                frame: 0,
+                tier: 0
+            }
+            .name(),
+            "fig4_transition"
+        );
+        assert_eq!(
+            EventKind::Custom {
+                tag: "x",
+                a: 0,
+                b: 0
+            }
+            .name(),
+            "x"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-tick counter time series — the analogue of sampling
+//! `/proc/vmstat` once per `kpromoted` wake-up and diffing the rows.
+
+/// A time series of named u64 columns sampled at monotone timestamps.
+///
+/// Columns are fixed by the first [`TimeSeries::push_row`]; later rows
+/// must supply the same columns in the same order (the per-tick snapshot
+/// path always does, since it reads the same counter structs each tick).
+#[derive(Debug, Default, Clone)]
+pub struct TimeSeries {
+    columns: Vec<String>,
+    at_ns: Vec<u64>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl TimeSeries {
+    /// An empty series with no columns yet.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample. The first call fixes the column set; subsequent
+    /// calls return an error naming the first mismatched column instead
+    /// of silently mis-aligning data.
+    pub fn push_row(&mut self, at_ns: u64, sample: &[(&str, u64)]) -> Result<(), String> {
+        if self.columns.is_empty() && self.rows.is_empty() {
+            self.columns = sample.iter().map(|(name, _)| name.to_string()).collect();
+        } else {
+            if sample.len() != self.columns.len() {
+                return Err(format!(
+                    "row has {} columns, series has {}",
+                    sample.len(),
+                    self.columns.len()
+                ));
+            }
+            for ((name, _), col) in sample.iter().zip(&self.columns) {
+                if name != col {
+                    return Err(format!("column mismatch: got `{name}`, want `{col}`"));
+                }
+            }
+        }
+        self.at_ns.push(at_ns);
+        self.rows.push(sample.iter().map(|(_, v)| *v).collect());
+        Ok(())
+    }
+
+    /// Column names (empty before the first row).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the series holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The values of one column, in row order; `None` for unknown names.
+    pub fn column(&self, name: &str) -> Option<Vec<u64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Row timestamps, in row order.
+    pub fn timestamps(&self) -> &[u64] {
+        &self.at_ns
+    }
+
+    /// Columns that ever decrease across consecutive rows, with the row
+    /// index of the first violation. Monotone counters must return an
+    /// empty list; gauges (e.g. list lengths) are expected to appear.
+    pub fn non_monotonic_columns(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for (idx, name) in self.columns.iter().enumerate() {
+            for row in 1..self.rows.len() {
+                if self.rows[row][idx] < self.rows[row - 1][idx] {
+                    out.push((name.clone(), row));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialises as CSV with an `at_ns` first column and a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("at_ns");
+        for col in &self.columns {
+            out.push(',');
+            out.push_str(col);
+        }
+        out.push('\n');
+        for (at, row) in self.at_ns.iter().zip(&self.rows) {
+            out.push_str(&at.to_string());
+            for v in row {
+                out.push(',');
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses CSV produced by [`TimeSeries::to_csv`] (used by the report
+    /// binary and the round-trip tests).
+    pub fn from_csv(text: &str) -> Result<TimeSeries, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty csv")?;
+        let mut cols = header.split(',');
+        if cols.next() != Some("at_ns") {
+            return Err("first csv column must be `at_ns`".to_string());
+        }
+        let columns: Vec<String> = cols.map(str::to_string).collect();
+        let mut series = TimeSeries {
+            columns: columns.clone(),
+            at_ns: Vec::new(),
+            rows: Vec::new(),
+        };
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let at: u64 = fields
+                .next()
+                .unwrap_or_default()
+                .parse()
+                .map_err(|_| format!("line {}: bad at_ns", lineno + 2))?;
+            let row: Result<Vec<u64>, String> = fields
+                .map(|f| {
+                    f.parse::<u64>()
+                        .map_err(|_| format!("line {}: bad value `{f}`", lineno + 2))
+                })
+                .collect();
+            let row = row?;
+            if row.len() != columns.len() {
+                return Err(format!(
+                    "line {}: {} values, expected {}",
+                    lineno + 2,
+                    row.len(),
+                    columns.len()
+                ));
+            }
+            series.at_ns.push(at);
+            series.rows.push(row);
+        }
+        Ok(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let mut s = TimeSeries::new();
+        s.push_row(10, &[("a", 1), ("b", 2)]).unwrap();
+        s.push_row(20, &[("a", 3), ("b", 2)]).unwrap();
+        let csv = s.to_csv();
+        let back = TimeSeries::from_csv(&csv).unwrap();
+        assert_eq!(back.columns(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(back.column("a"), Some(vec![1, 3]));
+        assert_eq!(back.timestamps(), &[10, 20]);
+    }
+
+    #[test]
+    fn column_mismatch_is_an_error() {
+        let mut s = TimeSeries::new();
+        s.push_row(0, &[("a", 1)]).unwrap();
+        assert!(s.push_row(1, &[("b", 1)]).is_err());
+        assert!(s.push_row(1, &[("a", 1), ("b", 1)]).is_err());
+    }
+
+    #[test]
+    fn detects_non_monotonic_columns() {
+        let mut s = TimeSeries::new();
+        s.push_row(0, &[("ctr", 5), ("gauge", 9)]).unwrap();
+        s.push_row(1, &[("ctr", 7), ("gauge", 3)]).unwrap();
+        let bad = s.non_monotonic_columns();
+        assert_eq!(bad, vec![("gauge".to_string(), 1)]);
+    }
+
+    #[test]
+    fn rejects_malformed_csv() {
+        assert!(TimeSeries::from_csv("").is_err());
+        assert!(TimeSeries::from_csv("t,a\n1,2\n").is_err());
+        assert!(TimeSeries::from_csv("at_ns,a\nx,2\n").is_err());
+        assert!(TimeSeries::from_csv("at_ns,a\n1,2,3\n").is_err());
+    }
+}

@@ -19,6 +19,7 @@ use mc_mem::{
     AccessKind, FrameId, MemorySystem, Nanos, PageKind, PolicyTraits, TickOutcome, TierId,
     TieringPolicy, Topology,
 };
+use mc_obs::EventKind;
 
 /// The AutoNUMA-Tiering baseline.
 #[derive(Debug)]
@@ -135,6 +136,12 @@ impl TieringPolicy for AutoNuma {
                 }
             }
         }
+        let poisoned = out.pages_scanned;
+        mem.recorder_mut().emit(|| EventKind::Custom {
+            tag: "autonuma_poison_batch",
+            a: poisoned,
+            b: total as u64,
+        });
         for t in 0..self.rings.len() {
             let tier = TierId::new(t as u8);
             if mem.tier_under_pressure(tier) {
@@ -187,6 +194,13 @@ impl TieringPolicy for AutoNuma {
 
     fn tick_interval(&self) -> Option<Nanos> {
         Some(self.scan_interval)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("autonuma_promotions", self.promotions),
+            ("autonuma_demotions", self.demotions),
+        ]
     }
 }
 

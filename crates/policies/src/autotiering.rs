@@ -23,6 +23,7 @@ use mc_mem::{
     AccessKind, FrameId, MemError, MemorySystem, Nanos, PolicyTraits, TickOutcome, TierId,
     TieringPolicy, Topology,
 };
+use mc_obs::EventKind;
 
 /// Which AutoTiering variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -351,6 +352,12 @@ impl TieringPolicy for AutoTiering {
                 }
             }
         }
+        let poisoned = out.pages_scanned;
+        mem.recorder_mut().emit(|| EventKind::Custom {
+            tag: "autotiering_poison_batch",
+            a: poisoned,
+            b: total as u64,
+        });
 
         // OPM: keep promotion headroom in the top tier.
         if self.mode == AutoTieringMode::Opm {
@@ -411,6 +418,13 @@ impl TieringPolicy for AutoTiering {
 
     fn tick_interval(&self) -> Option<Nanos> {
         Some(self.cfg.scan_interval)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("autotiering_promotions", self.promotions),
+            ("autotiering_demotions", self.demotions),
+        ]
     }
 }
 

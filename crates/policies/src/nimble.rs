@@ -20,6 +20,7 @@ use mc_mem::{
     AccessKind, FrameId, MemError, MemorySystem, Nanos, PolicyTraits, TickOutcome, TierId,
     TieringPolicy, Topology,
 };
+use mc_obs::EventKind;
 
 /// Tunables for [`Nimble`]. Defaults mirror the paper's setup for the
 /// comparison: 1 s scan interval, 1024-page scan batches.
@@ -294,7 +295,13 @@ impl TieringPolicy for Nimble {
             }
         }
         for (tier, hot) in hot_by_tier {
-            out.promoted += self.promote_hot(mem, tier, hot);
+            let promoted = self.promote_hot(mem, tier, hot);
+            out.promoted += promoted;
+            mem.recorder_mut().emit(|| EventKind::Custom {
+                tag: "nimble_promote_batch",
+                a: promoted,
+                b: tier.index() as u64,
+            });
         }
         for t in 0..tier_count {
             let tier = TierId::new(t as u8);
@@ -370,6 +377,14 @@ impl TieringPolicy for Nimble {
 
     fn tick_interval(&self) -> Option<Nanos> {
         Some(self.cfg.scan_interval)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("nimble_ticks", self.ticks),
+            ("nimble_promotions", self.promotions),
+            ("nimble_demotions", self.demotions),
+        ]
     }
 }
 

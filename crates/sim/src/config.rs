@@ -1,6 +1,7 @@
 //! Simulation configuration and the system-under-test selector.
 
 use mc_mem::{MemConfig, Nanos};
+use mc_obs::ObsConfig;
 
 /// Which memory system to simulate — the paper's comparison set plus the
 /// ablation oracles.
@@ -87,6 +88,9 @@ pub struct SimConfig {
     pub write_weight: f64,
     /// Adaptive scan interval extension flag.
     pub adaptive_interval: bool,
+    /// Observability: tracepoints, per-tick time series and run reports.
+    /// Off by default; enabling never changes virtual-time results.
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
@@ -102,6 +106,7 @@ impl SimConfig {
             window: Nanos::from_secs(20),
             write_weight: 1.0,
             adaptive_interval: false,
+            obs: ObsConfig::off(),
         }
     }
 

@@ -4,6 +4,7 @@
 
 use crate::config::{SimConfig, SystemKind};
 use crate::metrics::Metrics;
+use crate::obs::ObsState;
 use mc_mem::{
     AccessKind, MemorySystem, Nanos, PageKind, TierId, TieringPolicy, VAddr, VPage, VirtualClock,
     PAGE_SIZE,
@@ -48,12 +49,13 @@ pub struct Simulation {
     regions: Vec<(u64, u64, PageKind)>,
     data: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
     metrics: Metrics,
+    obs: Option<ObsState>,
 }
 
 impl Simulation {
     /// Builds a simulation for the configured system.
     pub fn new(cfg: SimConfig) -> Self {
-        let mem = MemorySystem::new(cfg.mem.clone());
+        let mut mem = MemorySystem::new(cfg.mem.clone());
         let topo = mem.topology();
         let frontend = match cfg.system {
             SystemKind::Static => Frontend::Tiered {
@@ -135,6 +137,13 @@ impl Simulation {
             Frontend::Tiered { policy, .. } => policy.tick_interval(),
             Frontend::MemoryMode(_) => None,
         };
+        let obs = cfg
+            .obs
+            .enabled
+            .then(|| ObsState::new(cfg.obs, cfg.mem.topology.tier_count()));
+        if cfg.obs.enabled {
+            mem.recorder_mut().enable(cfg.obs.ring_capacity);
+        }
         let window = cfg.window;
         let horizon = cfg.scan_interval;
         Simulation {
@@ -147,6 +156,7 @@ impl Simulation {
             regions: Vec::new(),
             data: HashMap::new(),
             metrics: Metrics::with_horizon(window, horizon),
+            obs,
         }
     }
 
@@ -163,6 +173,47 @@ impl Simulation {
     /// The metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Observability state (per-tick series, latency histograms, access
+    /// trace); `None` unless the run was configured with obs enabled.
+    pub fn obs(&self) -> Option<&ObsState> {
+        self.obs.as_ref()
+    }
+
+    /// The retained tracepoint events as JSONL; `None` when obs is off.
+    pub fn obs_events_jsonl(&self) -> Option<String> {
+        self.obs.as_ref().map(|_| self.mem.recorder().to_jsonl())
+    }
+
+    /// The per-tick counter time series as CSV; `None` when obs is off.
+    pub fn obs_ticks_csv(&self) -> Option<String> {
+        self.obs.as_ref().map(|o| o.series().to_csv())
+    }
+
+    /// The human-readable run report; `None` when obs is off.
+    pub fn obs_report(&self) -> Option<String> {
+        self.obs
+            .as_ref()
+            .map(|o| o.render_report(&self.cfg, &self.mem, &self.metrics, self.clock.now()))
+    }
+
+    /// Writes `events.jsonl`, `ticks.csv` and `report.txt` into `dir`
+    /// (creating it), the layout `mc-obs-report` consumes. Returns
+    /// `Ok(false)` without touching the filesystem when obs is off.
+    pub fn write_obs(&self, dir: &std::path::Path) -> std::io::Result<bool> {
+        let (Some(events), Some(csv), Some(report)) = (
+            self.obs_events_jsonl(),
+            self.obs_ticks_csv(),
+            self.obs_report(),
+        ) else {
+            return Ok(false);
+        };
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("events.jsonl"), events)?;
+        std::fs::write(dir.join("ticks.csv"), csv)?;
+        std::fs::write(dir.join("report.txt"), report)?;
+        Ok(true)
     }
 
     /// Memory-mode cache statistics, when running Memory-mode.
@@ -243,6 +294,7 @@ impl Simulation {
                 self.next_tick = None;
                 return;
             };
+            self.mem.recorder_mut().set_now(due.as_nanos());
             let out = policy.tick(&mut self.mem, due);
             // Scan CPU cost.
             let scan_cost =
@@ -255,6 +307,10 @@ impl Simulation {
                 self.cfg.daemon_contention,
             );
             self.metrics.settle(self.clock.now());
+            if let Some(obs) = &mut self.obs {
+                let counters = policy.counters();
+                obs.snapshot(due, self.mem.stats(), &counters);
+            }
             let interval = policy.tick_interval().unwrap_or(self.cfg.scan_interval);
             self.next_tick = Some(due + interval);
         }
@@ -264,6 +320,7 @@ impl Simulation {
     /// device access. The heart of the engine.
     fn access_page(&mut self, vpage: VPage, kind: AccessKind, bytes: usize) {
         let region_kind = self.region_kind(vpage);
+        self.mem.recorder_mut().set_now(self.clock.now().as_nanos());
         match &mut self.frontend {
             Frontend::MemoryMode(cache) => {
                 // Everything lives in PM; DRAM is a transparent cache.
@@ -271,11 +328,24 @@ impl Simulation {
                 self.clock.advance(lat);
                 self.metrics.costs_mut().access_time += lat;
                 self.metrics.costs_mut().background_time += bg;
+                let mut dev_latency = lat;
                 if bytes > 64 {
                     // Stream the rest from wherever it now is (the cache).
                     let extra = self.mem.latency().stream(TierId::TOP, kind, bytes - 64);
                     self.clock.advance(extra);
                     self.metrics.costs_mut().access_time += extra;
+                    dev_latency += extra;
+                }
+                if let Some(obs) = &mut self.obs {
+                    // The cache fronts the top tier; attribute samples there.
+                    obs.on_access(
+                        vpage,
+                        kind,
+                        bytes,
+                        TierId::TOP,
+                        dev_latency,
+                        self.clock.now(),
+                    );
                 }
                 self.metrics.on_access(vpage, self.clock.now());
             }
@@ -313,10 +383,12 @@ impl Simulation {
                 let out = self.mem.access(vpage, kind).expect("page is mapped");
                 self.clock.advance(out.latency);
                 self.metrics.costs_mut().access_time += out.latency;
+                let mut dev_latency = out.latency;
                 if bytes > 64 {
                     let extra = self.mem.latency().stream(out.tier, kind, bytes - 64);
                     self.clock.advance(extra);
                     self.metrics.costs_mut().access_time += extra;
+                    dev_latency += extra;
                 }
                 if out.hint_fault {
                     let hf = self.mem.latency().hint_fault;
@@ -327,6 +399,9 @@ impl Simulation {
                 }
                 if *oracle_visibility {
                     policy.on_supervised_access(&mut self.mem, out.frame, kind);
+                }
+                if let Some(obs) = &mut self.obs {
+                    obs.on_access(vpage, kind, bytes, out.tier, dev_latency, self.clock.now());
                 }
                 self.metrics.on_access(vpage, self.clock.now());
             }
@@ -667,6 +742,101 @@ mod tests {
             0,
             "file pages are invisible to NUMA balancing"
         );
+    }
+
+    #[test]
+    fn obs_is_off_by_default_and_exporters_stay_silent() {
+        let s = sim(SystemKind::MultiClock);
+        assert!(s.obs().is_none());
+        assert!(s.obs_events_jsonl().is_none());
+        assert!(s.obs_ticks_csv().is_none());
+        assert!(s.obs_report().is_none());
+        assert!(!s.mem().recorder().is_enabled());
+    }
+
+    /// Drives promotions end to end with obs on and checks every exported
+    /// artifact parses and is internally consistent.
+    #[test]
+    fn obs_run_emits_parseable_events_series_and_report() {
+        let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
+        cfg.obs = crate::ObsConfig::on();
+        let mut s = Simulation::new(cfg);
+        // Fill DRAM with one-touch pages, then hammer the first PM-resident
+        // page across scan ticks so it climbs the full promote ladder.
+        let filler = s.mmap(PAGE_SIZE * 4096, PageKind::Anon);
+        let mut i = 0u64;
+        loop {
+            let addr = filler.add(i * PAGE_SIZE as u64);
+            s.read(addr, 8);
+            let f = s.mem().translate(addr.page()).unwrap();
+            if s.mem().frame(f).tier() != TierId::TOP {
+                break;
+            }
+            i += 1;
+        }
+        let hot = filler.add(i * PAGE_SIZE as u64);
+        for _ in 0..80 {
+            s.read(hot, 8);
+            s.compute(Nanos::from_millis(100));
+        }
+        s.finish();
+        assert!(s.metrics().total_promotions() >= 1);
+
+        // Every JSONL line is a parseable flat object.
+        let jsonl = s.obs_events_jsonl().unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            mc_obs::json::parse_flat_object(line).unwrap();
+        }
+
+        // The CSV round-trips; timestamps are sorted and every counter
+        // column is monotone non-decreasing.
+        let csv = s.obs_ticks_csv().unwrap();
+        let series = mc_obs::TimeSeries::from_csv(&csv).unwrap();
+        assert!(!series.is_empty());
+        assert!(series.timestamps().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(series.non_monotonic_columns(), vec![]);
+        // Substrate and policy counters both rode along.
+        assert!(series.column("promotions").is_some());
+        assert!(series.column("mc_ticks").is_some());
+
+        // The hot page's Fig. 4 ladder fired: track, access, activation,
+        // promote-enqueue and the promotion migration itself.
+        let hits = s.mem().recorder().fig4_hits();
+        for edge in [5u8, 2, 6, 7, 10, 13] {
+            assert!(hits[edge as usize] > 0, "edge {edge} never fired: {hits:?}");
+        }
+
+        // The report reproduces the windowed metrics.
+        let report = s.obs_report().unwrap();
+        assert!(report.contains("Windows (Figs. 8-9)"));
+        assert!(report.contains(&format!("promotions: {}", s.metrics().total_promotions())));
+    }
+
+    /// Observability must never perturb the simulation: identical runs
+    /// with obs on and off reach the same virtual time and migrations.
+    #[test]
+    fn obs_enabled_run_is_deterministically_identical() {
+        let run = |obs_on: bool| {
+            let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
+            if obs_on {
+                cfg.obs = crate::ObsConfig::on();
+            }
+            let mut s = Simulation::new(cfg);
+            let a = s.mmap(PAGE_SIZE * 128, PageKind::Anon);
+            for i in 0..600u64 {
+                s.read(a.add((i % 128) * PAGE_SIZE as u64), 128);
+                s.compute(Nanos::from_millis(10));
+            }
+            s.finish();
+            (
+                s.now(),
+                s.metrics().total_promotions(),
+                s.metrics().total_demotions(),
+                s.mem().stats().clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

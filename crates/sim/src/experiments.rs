@@ -222,6 +222,30 @@ pub fn run_ycsb(
     interval: Nanos,
 ) -> RunSummary {
     let cfg = base_config(system, scale, interval);
+    run_ycsb_cfg(cfg, workload, scale).0
+}
+
+/// Like [`run_ycsb`] but with observability enabled: after the run the
+/// events/ticks/report artifacts are written into `dir` (the layout the
+/// `mc-obs-report` binary consumes).
+pub fn run_ycsb_observed(
+    system: SystemKind,
+    workload: YcsbWorkload,
+    scale: &Scale,
+    interval: Nanos,
+    dir: &std::path::Path,
+) -> std::io::Result<RunSummary> {
+    let mut cfg = base_config(system, scale, interval);
+    cfg.obs = mc_obs::ObsConfig::on();
+    let (summary, sim) = run_ycsb_cfg(cfg, workload, scale);
+    sim.write_obs(dir)?;
+    Ok(summary)
+}
+
+/// The YCSB driver proper; returns the finished simulation so observed
+/// runs can export artifacts from it.
+fn run_ycsb_cfg(cfg: SimConfig, workload: YcsbWorkload, scale: &Scale) -> (RunSummary, Simulation) {
+    let system = cfg.system;
     let mut sim = Simulation::new(cfg);
     let mut client = YcsbClient::load(
         YcsbConfig {
@@ -260,7 +284,7 @@ pub fn run_ycsb(
     );
     summary.p50 = hist.percentile(50.0);
     summary.p99 = hist.percentile(99.0);
-    summary
+    (summary, sim)
 }
 
 /// Runs one GAPBS kernel on one system; reports mean trial time.
@@ -340,7 +364,7 @@ fn summarize(
         top_tier_share: sim
             .memory_mode_stats()
             .map(|s| s.hit_ratio())
-            .or_else(|| sim.mem().stats().top_tier_share()),
+            .or_else(|| sim.mem().stats().fast_tier_share(sim.mem().topology())),
         p50: None,
         p99: None,
         windows: m.windows().to_vec(),

@@ -33,9 +33,12 @@ pub mod engine;
 pub mod experiments;
 pub mod latency_hist;
 pub mod metrics;
+pub mod obs;
 pub mod report;
 
 pub use config::{SimConfig, SystemKind};
 pub use engine::Simulation;
 pub use latency_hist::LatencyHistogram;
+pub use mc_obs::ObsConfig;
 pub use metrics::{CostBreakdown, Metrics, WindowStats};
+pub use obs::ObsState;

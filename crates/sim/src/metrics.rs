@@ -310,4 +310,40 @@ mod tests {
         assert_eq!(m.windows()[0].reaccess_pct(), None);
         assert_eq!(m.overall_reaccess_pct(), None);
     }
+
+    #[test]
+    fn reaccess_pct_with_zero_settled_is_none() {
+        // Promotions recorded but none settled yet: the denominator is
+        // zero and the percentage must be absent, not NaN or 0.
+        let mut m = Metrics::new(Nanos::from_secs(20));
+        m.on_promotion(v(1), Nanos::from_secs(1));
+        let w = m.windows()[0];
+        assert_eq!(w.promotions, 1);
+        assert_eq!(w.promoted_settled, 0);
+        assert_eq!(w.reaccess_pct(), None);
+        assert_eq!(m.overall_reaccess_pct(), None);
+        // Direct struct check too (drivers build WindowStats by hand).
+        let ws = WindowStats {
+            promotions: 5,
+            ..WindowStats::default()
+        };
+        assert_eq!(ws.reaccess_pct(), None);
+    }
+
+    #[test]
+    fn reaccess_pct_with_all_reaccessed_is_exactly_100() {
+        let mut m = Metrics::new(Nanos::from_secs(20));
+        for i in 0..7 {
+            m.on_promotion(v(i), Nanos::from_secs(1));
+        }
+        for i in 0..7 {
+            m.on_access(v(i), Nanos::from_secs(2));
+        }
+        m.finish(Nanos::from_secs(60));
+        let w = m.windows()[0];
+        assert_eq!(w.promoted_settled, 7);
+        assert_eq!(w.promoted_reaccessed, 7);
+        assert_eq!(w.reaccess_pct(), Some(100.0));
+        assert_eq!(m.overall_reaccess_pct(), Some(100.0));
+    }
 }

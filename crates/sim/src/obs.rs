@@ -1,0 +1,245 @@
+//! Observability wiring for the simulation engine.
+//!
+//! When [`crate::SimConfig::obs`] is enabled the engine keeps an
+//! [`ObsState`] alongside the substrate's event [`mc_obs::Recorder`]:
+//! a per-tick [`TimeSeries`] snapshot of the substrate and policy
+//! counters (the `/proc/vmstat`-sampling analogue), per-tier access
+//! latency histograms, and a capped access [`Trace`] for heat-map
+//! reporting. Everything here is dead weight the engine never touches
+//! when observability is off.
+
+use crate::config::SimConfig;
+use crate::latency_hist::LatencyHistogram;
+use crate::metrics::Metrics;
+use mc_mem::{AccessKind, MemStats, MemorySystem, Nanos, TierId, VPage, PAGE_SIZE};
+use mc_obs::{ObsConfig, ReportBuilder, TimeSeries};
+use mc_trace::{Heatmap, Trace, TraceEvent};
+
+/// Per-run observability state owned by the engine.
+#[derive(Debug)]
+pub struct ObsState {
+    cfg: ObsConfig,
+    series: TimeSeries,
+    tier_hists: Vec<LatencyHistogram>,
+    trace: Trace,
+    trace_dropped: u64,
+}
+
+impl ObsState {
+    /// Fresh state for a machine with `tier_count` tiers.
+    pub fn new(cfg: ObsConfig, tier_count: usize) -> Self {
+        ObsState {
+            cfg,
+            series: TimeSeries::new(),
+            tier_hists: vec![LatencyHistogram::new(); tier_count],
+            trace: Trace::new(),
+            trace_dropped: 0,
+        }
+    }
+
+    /// Records one application access: latency into the tier's histogram
+    /// and, under the trace cap, an event for heat-map reporting.
+    pub fn on_access(
+        &mut self,
+        vpage: VPage,
+        kind: AccessKind,
+        bytes: usize,
+        tier: TierId,
+        latency: Nanos,
+        now: Nanos,
+    ) {
+        if let Some(h) = self.tier_hists.get_mut(tier.index()) {
+            h.record(latency);
+        }
+        if self.trace.len() < self.cfg.max_trace_events {
+            self.trace.push(TraceEvent {
+                at: now,
+                vpage,
+                kind,
+                bytes: bytes.clamp(1, PAGE_SIZE) as u16,
+            });
+        } else {
+            self.trace_dropped += 1;
+        }
+    }
+
+    /// Appends one per-tick row: the substrate counters followed by the
+    /// policy's own counters. Counter structs are append-only, so every
+    /// column is monotone non-decreasing by construction.
+    pub fn snapshot(
+        &mut self,
+        at: Nanos,
+        stats: &MemStats,
+        policy_counters: &[(&'static str, u64)],
+    ) {
+        let tier_cols: Vec<(String, u64)> = stats
+            .tier_accesses
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("tier{i}_accesses"), *v))
+            .collect();
+        let mut row: Vec<(&str, u64)> = vec![
+            ("allocs", stats.allocs),
+            ("frees", stats.frees),
+            ("reads", stats.reads),
+            ("writes", stats.writes),
+            ("promotions", stats.promotions),
+            ("demotions", stats.demotions),
+            ("evictions", stats.evictions),
+            ("swap_ins", stats.swap_ins),
+            ("hint_faults", stats.hint_faults),
+            ("migration_failures", stats.migration_failures),
+        ];
+        for (name, v) in &tier_cols {
+            row.push((name.as_str(), *v));
+        }
+        for (name, v) in policy_counters {
+            row.push((name, *v));
+        }
+        let pushed = self.series.push_row(at.as_nanos(), &row);
+        debug_assert!(
+            pushed.is_ok(),
+            "per-tick snapshot columns drifted: {pushed:?}"
+        );
+    }
+
+    /// The per-tick counter time series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Per-tier access-latency histograms, indexed by tier id.
+    pub fn tier_hists(&self) -> &[LatencyHistogram] {
+        &self.tier_hists
+    }
+
+    /// The retained access trace (capped at the configured length).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Accesses not traced because the cap was reached.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Renders the human-readable run report.
+    pub fn render_report(
+        &self,
+        cfg: &SimConfig,
+        mem: &MemorySystem,
+        metrics: &Metrics,
+        now: Nanos,
+    ) -> String {
+        let mut r = ReportBuilder::new("MULTI-CLOCK run report");
+
+        r.section("Run");
+        r.kv("system", cfg.system.label());
+        r.kv("tiers", &mem.topology().tier_count().to_string());
+        r.kv(
+            "scan_interval_ns",
+            &cfg.scan_interval.as_nanos().to_string(),
+        );
+        r.kv("virtual_time_ns", &now.as_nanos().to_string());
+
+        let c = metrics.costs();
+        r.section("Cost breakdown");
+        r.kv("access_time_ns", &c.access_time.as_nanos().to_string());
+        r.kv("stall_time_ns", &c.stall_time.as_nanos().to_string());
+        r.kv("daemon_time_ns", &c.daemon_time.as_nanos().to_string());
+        r.kv(
+            "background_time_ns",
+            &c.background_time.as_nanos().to_string(),
+        );
+        r.kv("hint_faults", &c.hint_faults.to_string());
+        r.kv("minor_faults", &c.minor_faults.to_string());
+
+        r.section("Migration");
+        let secs = (now.as_nanos() as f64 / 1e9).max(f64::MIN_POSITIVE);
+        r.kv("promotions", &metrics.total_promotions().to_string());
+        r.kv("demotions", &metrics.total_demotions().to_string());
+        r.kv(
+            "promotions_per_sec",
+            &format!("{:.3}", metrics.total_promotions() as f64 / secs),
+        );
+        r.kv(
+            "demotions_per_sec",
+            &format!("{:.3}", metrics.total_demotions() as f64 / secs),
+        );
+        r.kv(
+            "reaccess_pct_overall",
+            &metrics
+                .overall_reaccess_pct()
+                .map_or("n/a".to_string(), |p| format!("{p:.1}")),
+        );
+
+        r.section("Windows (Figs. 8-9)");
+        let rows: Vec<Vec<String>> = metrics
+            .windows()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                vec![
+                    i.to_string(),
+                    w.promotions.to_string(),
+                    w.demotions.to_string(),
+                    w.reaccess_pct()
+                        .map_or("n/a".to_string(), |p| format!("{p:.1}")),
+                    w.ops.to_string(),
+                ]
+            })
+            .collect();
+        r.table(
+            &["window", "promotions", "demotions", "reaccess_pct", "ops"],
+            &rows,
+        );
+
+        r.section("Per-tier access latency");
+        let rows: Vec<Vec<String>> = self
+            .tier_hists
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let ns =
+                    |v: Option<Nanos>| v.map_or("n/a".to_string(), |n| n.as_nanos().to_string());
+                vec![
+                    i.to_string(),
+                    h.count().to_string(),
+                    ns(h.mean()),
+                    ns(h.percentile(50.0)),
+                    ns(h.percentile(99.0)),
+                ]
+            })
+            .collect();
+        r.table(&["tier", "samples", "mean_ns", "p50_ns", "p99_ns"], &rows);
+
+        r.section("Fig. 4 transitions");
+        let hits = mem.recorder().fig4_hits();
+        let rows: Vec<Vec<String>> = (1..hits.len())
+            .map(|e| vec![e.to_string(), hits[e].to_string()])
+            .collect();
+        r.table(&["edge", "events"], &rows);
+
+        r.section("Events");
+        r.kv("emitted", &mem.recorder().total().to_string());
+        r.kv("retained", &mem.recorder().events().count().to_string());
+        r.kv("overwritten", &mem.recorder().dropped().to_string());
+        r.kv("ticks_sampled", &self.series.len().to_string());
+
+        if !self.trace.is_empty() {
+            r.section("Hottest pages");
+            let heat = Heatmap::build(&self.trace, cfg.window);
+            let rows: Vec<Vec<String>> = heat
+                .top_n(self.cfg.top_n)
+                .into_iter()
+                .map(|(p, n)| vec![p.raw().to_string(), n.to_string()])
+                .collect();
+            r.table(&["vpage", "accesses"], &rows);
+            if self.trace_dropped > 0 {
+                r.kv("untraced_accesses", &self.trace_dropped.to_string());
+            }
+        }
+
+        r.finish()
+    }
+}

@@ -68,6 +68,16 @@ impl Heatmap {
         t
     }
 
+    /// The `n` hottest pages as `(page, total accesses)`, hottest first.
+    /// Ties break toward the lower page id so the order is deterministic.
+    pub fn top_n(&self, n: usize) -> Vec<(VPage, u32)> {
+        let totals = self.totals();
+        let mut ranked: Vec<(VPage, u32)> = self.pages.iter().copied().zip(totals).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
+        ranked.truncate(n);
+        ranked
+    }
+
     /// The Fig. 2 statistic: mean accesses in the performance window for
     /// pages accessed `(once, multiple-times)` in the preceding
     /// observation window, over all adjacent window pairs.
@@ -147,5 +157,17 @@ mod tests {
         let h = Heatmap::build(&Trace::new(), Nanos::from_micros(10));
         assert!(h.pages().is_empty());
         assert_eq!(h.once_vs_multi(), (0.0, 0.0));
+        assert!(h.top_n(5).is_empty());
+    }
+
+    #[test]
+    fn top_n_ranks_hottest_first_with_deterministic_ties() {
+        let trace: Trace = [ev(0, 10), ev(1, 10), ev(2, 20), ev(3, 30), ev(4, 30)]
+            .into_iter()
+            .collect();
+        let h = Heatmap::build(&trace, Nanos::from_micros(10));
+        let top = h.top_n(2);
+        assert_eq!(top, vec![(VPage::new(10), 2), (VPage::new(30), 2)]);
+        assert_eq!(h.top_n(10).len(), 3);
     }
 }
