@@ -1,0 +1,120 @@
+//! `mc-chaos` — fault-injection robustness sweep.
+//!
+//! Runs YCSB-A on MULTI-CLOCK under increasing injected fault rates
+//! (migrations and allocations failing by seeded chance) and reports how
+//! throughput and promotion traffic degrade. The tiering daemon must
+//! degrade gracefully: no crash, no lost page, throughput falling roughly
+//! with the fault rate rather than collapsing.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p mc-bench --release --bin chaos            # default sweep
+//! mc-chaos --fault-rate 0.1            # single rate instead of the sweep
+//! mc-chaos --seed 7 --obs /tmp/chaos   # export obs artifacts per rate
+//! ```
+//!
+//! `--obs DIR` writes `events.jsonl`, `ticks.csv` and `report.txt` under
+//! `DIR/rate-<rate>/`, the layout `mc-obs-report` consumes.
+
+use mc_bench::{banner, scale_from_args};
+use mc_sim::experiments::{run_ycsb, run_ycsb_chaos, ChaosSummary};
+use mc_sim::report::format_table;
+use mc_sim::{FaultConfig, RetryPolicy, SystemKind};
+use mc_workloads::ycsb::YcsbWorkload;
+
+/// Parses `--flag value` style arguments (panics on malformed input — this
+/// is a dev tool, loud failure beats silent defaults).
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                // lint: allow(panic) - CLI argument validation in a binary
+                panic!("{flag} requires a value")
+            })
+        })
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args();
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let obs_root = arg_value(&args, "--obs").map(std::path::PathBuf::from);
+    let rates: Vec<f64> = match arg_value(&args, "--fault-rate") {
+        Some(r) => vec![r.parse().expect("--fault-rate takes a probability")],
+        None => vec![0.0, 0.05, 0.1, 0.2, 0.4],
+    };
+
+    banner(
+        "Chaos",
+        "YCSB-A throughput under injected migration/allocation faults",
+        &scale,
+    );
+    println!("fault seed {seed}; retry policy: bounded exponential backoff");
+
+    eprintln!("running fault-free baseline ...");
+    let base = run_ycsb(
+        SystemKind::MultiClock,
+        YcsbWorkload::A,
+        &scale,
+        scale.scan_interval(),
+    );
+    let base_ops = base.ops_per_sec;
+
+    let mut rows = Vec::new();
+    for rate in &rates {
+        eprintln!("running fault rate {rate} ...");
+        let obs_dir = obs_root.as_ref().map(|d| d.join(format!("rate-{rate}")));
+        let ChaosSummary {
+            summary,
+            injected_faults,
+            migration_failures,
+            promote_retries,
+            promote_gave_ups,
+        } = run_ycsb_chaos(
+            SystemKind::MultiClock,
+            YcsbWorkload::A,
+            &scale,
+            scale.scan_interval(),
+            FaultConfig::rate(seed, *rate),
+            RetryPolicy::backoff(),
+            obs_dir.as_deref(),
+        )
+        .expect("obs artifacts written");
+        rows.push(vec![
+            format!("{rate:.2}"),
+            format!("{:.2}", summary.ops_per_sec / base_ops),
+            format!("{}", summary.promotions),
+            format!("{injected_faults}"),
+            format!("{migration_failures}"),
+            format!("{promote_retries}"),
+            format!("{promote_gave_ups}"),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "fault rate",
+                "throughput (norm.)",
+                "promotions",
+                "injected",
+                "migr. failures",
+                "retries",
+                "gave up",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "baseline: {base_ops:.0} ops/s, {} promotions at rate 0 (uninjected engine)",
+        base.promotions
+    );
+    if let Some(root) = &obs_root {
+        println!("obs artifacts under {} (one dir per rate)", root.display());
+    }
+}

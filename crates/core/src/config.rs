@@ -1,5 +1,6 @@
 //! MULTI-CLOCK tunables.
 
+use mc_fault::RetryPolicy;
 use mc_mem::Nanos;
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +31,12 @@ pub struct MultiClockConfig {
     pub min_interval: Nanos,
     /// Upper bound for the adaptive interval.
     pub max_interval: Nanos,
+    /// How the promote path reacts to transient migration failures
+    /// (destination full, page transiently locked). The default,
+    /// [`RetryPolicy::immediate`], allows a single attempt — exactly the
+    /// pre-fault-layer behaviour; [`RetryPolicy::backoff`] retries with
+    /// exponential backoff before degrading to the active-list fallback.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MultiClockConfig {
@@ -42,6 +49,7 @@ impl Default for MultiClockConfig {
             adaptive_interval: false,
             min_interval: Nanos::from_millis(100),
             max_interval: Nanos::from_secs(60),
+            retry: RetryPolicy::immediate(),
         }
     }
 }
@@ -73,6 +81,10 @@ impl MultiClockConfig {
         assert!(
             self.min_interval <= self.max_interval,
             "adaptive interval bounds inverted"
+        );
+        assert!(
+            self.retry.is_valid(),
+            "retry policy must allow at least one attempt with cap >= base"
         );
     }
 }

@@ -37,6 +37,20 @@ pub struct MultiClock {
     /// candidates awaiting migration). Invariant validation is suspended
     /// while this is non-zero: tracked-but-listless is legal in flight.
     pub(crate) in_flight: usize,
+    /// Per-frame retry bookkeeping for the promote path: `Some` only
+    /// while a Promote-state page has failed at least one migration
+    /// attempt and is waiting (requeued at the promote-list tail) for its
+    /// backoff to elapse.
+    pub(crate) retry_state: Vec<Option<RetryState>>,
+}
+
+/// Retry bookkeeping for one page's current promotion episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RetryState {
+    /// Failed attempts so far (1-based after the first failure).
+    pub(crate) attempts: u32,
+    /// Tick ordinal at which the next attempt may run.
+    pub(crate) eligible_tick: u64,
 }
 
 impl MultiClock {
@@ -60,6 +74,7 @@ impl MultiClock {
             idle_ticks: 0,
             pressure_guard: vec![false; topology.tier_count()],
             in_flight: 0,
+            retry_state: vec![None; topology.total_pages()],
         }
     }
 
@@ -78,6 +93,13 @@ impl MultiClock {
         self.states[frame.index()]
     }
 
+    /// Pages detached mid-migration right now. Zero at every quiescent
+    /// point — a non-zero value between ticks means a migration path
+    /// leaked a page (the chaos tests assert this never happens).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
     /// The list structure of one tier (read-only; used by tests and the
     /// invariant checker).
     pub fn tier_lists(&self, tier: TierId) -> &TierLists {
@@ -94,6 +116,7 @@ impl MultiClock {
         self.tiers[tier.index()].remove(frame);
         self.tiers[tier.index()].unevictable.push_back(frame);
         self.states[frame.index()] = Some(PageState::Unevictable);
+        self.retry_state[frame.index()] = None;
         self.sync_flags(mem, frame, PageState::Unevictable);
     }
 
@@ -151,6 +174,7 @@ impl MultiClock {
     /// Stops tracking a page (it is being unmapped/freed): Fig. 4
     /// transition (4).
     pub(crate) fn untrack(&mut self, mem: &mut MemorySystem, frame: FrameId) {
+        self.retry_state[frame.index()] = None;
         if self.states[frame.index()].take().is_some() {
             let tier = mem.frame(frame).tier();
             // fig4: 4 — tracking ends; the page leaves every list.
@@ -271,6 +295,10 @@ impl MultiClock {
         set.list_mut(st.list()).remove(frame);
         set.list_mut(new_state.list()).push_back(frame);
         self.states[frame.index()] = Some(new_state);
+        if new_state != PageState::Promote {
+            // Leaving the promote list ends the promotion episode.
+            self.retry_state[frame.index()] = None;
+        }
         self.sync_flags(mem, frame, new_state);
     }
 
@@ -284,6 +312,8 @@ impl MultiClock {
         landing_state: PageState,
     ) {
         self.states[old_frame.index()] = None;
+        self.retry_state[old_frame.index()] = None;
+        self.retry_state[new_frame.index()] = None;
         // The old frame is already detached by the caller; defensively
         // remove in case it was not.
         for t in &mut self.tiers {
@@ -355,6 +385,8 @@ impl TieringPolicy for MultiClock {
             ("mc_ladder_decays", self.stats.ladder_decays),
             ("mc_promotions", self.stats.promotions),
             ("mc_promote_fallbacks", self.stats.promote_fallbacks),
+            ("mc_promote_retries", self.stats.promote_retries),
+            ("mc_promote_gave_ups", self.stats.promote_gave_ups),
             ("mc_demotions", self.stats.demotions),
             ("mc_evictions", self.stats.evictions),
             ("mc_pressure_runs", self.stats.pressure_runs),

@@ -21,7 +21,7 @@ impl MultiClock {
     pub(crate) fn kpromoted_run(&mut self, mem: &mut MemorySystem, now: Nanos) -> TickOutcome {
         saturating_bump(&mut self.stats.ticks);
         let tick = self.stats.ticks;
-        mem.recorder_mut().set_now(now.as_nanos());
+        mem.set_now(now.as_nanos());
         mem.recorder_mut().emit(|| EventKind::TickBegin { tick });
         let mut out = TickOutcome::default();
         let tier_count = self.tiers.len();
@@ -32,8 +32,9 @@ impl MultiClock {
                 // Ageing of unreferenced promote pages (transition 11)
                 // only ever applies to the top tier: a lower tier's
                 // promote list is drained by the promotion phase of the
-                // same run that populated it, so its pages never sit
-                // across an interval. It runs before the other scans so
+                // same run that populated it (deferred retry candidates
+                // may sit across runs, but those are waiting out a
+                // backoff, not ageing). It runs before the other scans so
                 // pages entering the promote list during this very scan
                 // are not aged before the promote phase sees them.
                 if tier.is_top() {
@@ -242,6 +243,19 @@ impl MultiClock {
                 });
             }
             for frame in candidates {
+                // A candidate still serving a retry backoff is requeued at
+                // the tail untouched; its next attempt waits for
+                // `eligible_tick`.
+                if let Some(rs) = self.retry_state[frame.index()] {
+                    if rs.eligible_tick > self.stats.ticks {
+                        self.tiers[tier.index()]
+                            .set_mut(kind)
+                            .promote
+                            .push_back(frame);
+                        self.in_flight -= 1;
+                        continue;
+                    }
+                }
                 // drain() detached the page; state table still says Promote.
                 match mem.migrate(frame, upper) {
                     Ok(new_frame) => {
@@ -284,8 +298,18 @@ impl MultiClock {
                                     tier: upper.index() as u8,
                                 });
                             }
+                            // Still-full destination and transient locks
+                            // are retryable; anything else is permanent.
+                            Err(MemError::TierFull(_) | MemError::FrameLocked(_)) => {
+                                self.promote_retry_or_fallback(mem, frame, tier, kind);
+                            }
                             Err(_) => self.promote_fallback(mem, frame, tier, kind),
                         }
+                    }
+                    // A locked page may come unlocked (the kernel's
+                    // `-EAGAIN`): retryable within the episode's budget.
+                    Err(MemError::FrameLocked(_)) => {
+                        self.promote_retry_or_fallback(mem, frame, tier, kind);
                     }
                     Err(_) => self.promote_fallback(mem, frame, tier, kind),
                 }
@@ -294,6 +318,53 @@ impl MultiClock {
         }
         self.debug_validate(mem);
         promoted
+    }
+
+    /// Books a failed-but-retryable migration attempt: while the episode's
+    /// retry budget lasts, the page is requeued at the promote-list tail
+    /// with an exponentially backed-off eligibility tick; once the budget
+    /// is exhausted the daemon gives up and degrades to the active-list
+    /// fallback. Either way the page is never dropped.
+    fn promote_retry_or_fallback(
+        &mut self,
+        mem: &mut MemorySystem,
+        frame: mc_mem::FrameId,
+        tier: TierId,
+        kind: PageKind,
+    ) {
+        let attempts = self.retry_state[frame.index()]
+            .map_or(0, |r| r.attempts)
+            .saturating_add(1);
+        if self.cfg.retry.exhausted(attempts) {
+            self.retry_state[frame.index()] = None;
+            saturating_bump(&mut self.stats.promote_gave_ups);
+            mem.recorder_mut().emit(|| EventKind::MigrateGaveUp {
+                frame: frame.index() as u64,
+                attempts,
+            });
+            self.promote_fallback(mem, frame, tier, kind);
+            return;
+        }
+        let eligible_tick = self
+            .stats
+            .ticks
+            .saturating_add(self.cfg.retry.backoff_ticks(attempts));
+        self.retry_state[frame.index()] = Some(crate::multi_clock::RetryState {
+            attempts,
+            eligible_tick,
+        });
+        saturating_bump(&mut self.stats.promote_retries);
+        // Tail requeue: fresh candidates drain first, and the page keeps
+        // its Promote state (the episode is paused, not abandoned).
+        self.tiers[tier.index()]
+            .set_mut(kind)
+            .promote
+            .push_back(frame);
+        mem.recorder_mut().emit(|| EventKind::MigrateRetry {
+            frame: frame.index() as u64,
+            attempt: attempts,
+            eligible_tick,
+        });
     }
 
     /// The failed-promotion fallback: the page moves to its tier's active
@@ -305,6 +376,7 @@ impl MultiClock {
         tier: TierId,
         kind: PageKind,
     ) {
+        self.retry_state[frame.index()] = None;
         saturating_bump(&mut self.stats.promote_fallbacks);
         // fig4: 11 — no room upstairs; rejoin active as referenced.
         self.tiers[tier.index()]
@@ -468,6 +540,124 @@ mod tests {
         assert_eq!(mc.state_of(f), Some(PageState::ActiveRef));
         assert!(mc.tier_lists(pm).anon.active.contains(f));
         assert_eq!(mc.stats().promote_fallbacks, 1);
+    }
+
+    /// Climbs a PM page to the promote list (4 supervised accesses).
+    fn make_promotable(mem: &mut MemorySystem, mc: &mut MultiClock, f: mc_mem::FrameId) {
+        for _ in 0..4 {
+            mc.on_supervised_access(mem, f, AccessKind::Read);
+        }
+        assert_eq!(mc.state_of(f), Some(PageState::Promote));
+    }
+
+    fn setup_with_retry(retry: mc_fault::RetryPolicy) -> (MemorySystem, MultiClock) {
+        let mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let cfg = MultiClockConfig {
+            retry,
+            ..Default::default()
+        };
+        let mc = MultiClock::new(cfg, mem.topology());
+        (mem, mc)
+    }
+
+    #[test]
+    fn promotion_resumes_within_one_period_after_tier_recovers() {
+        use mc_fault::{FaultInjector, FaultPlan, RetryPolicy};
+        let (mut mem, mut mc) = setup_with_retry(RetryPolicy {
+            max_attempts: 10,
+            backoff_base_ticks: 1,
+            backoff_cap_ticks: 1,
+        });
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        make_promotable(&mut mem, &mut mc, f);
+        mem.set_fault_injector(FaultInjector::new(FaultPlan::default(), 0));
+        mem.fault_injector_mut().unwrap().set_tier_offline(0, true);
+
+        let out = mc.tick(&mut mem, Nanos::from_secs(1));
+        assert_eq!(out.promoted, 0);
+        assert_eq!(mc.stats().promote_retries, 1);
+        assert_eq!(mc.state_of(f), Some(PageState::Promote), "episode paused");
+        assert!(mc.tier_lists(pm).anon.promote.contains(f), "requeued");
+        mc.assert_invariants(&mem);
+
+        // Tier back online: the very next kpromoted run promotes it.
+        mem.fault_injector_mut().unwrap().set_tier_offline(0, false);
+        let out = mc.tick(&mut mem, Nanos::from_secs(2));
+        assert_eq!(out.promoted, 1);
+        let nf = mem.translate(VPage::new(1)).unwrap();
+        assert_eq!(mem.frame(nf).tier(), TierId::TOP);
+        assert_eq!(mc.stats().promote_gave_ups, 0);
+        mc.assert_invariants(&mem);
+    }
+
+    #[test]
+    fn retries_exhaust_into_gave_up_and_active_fallback() {
+        use mc_fault::{FaultInjector, FaultPlan, RetryPolicy};
+        let (mut mem, mut mc) = setup_with_retry(RetryPolicy {
+            max_attempts: 2,
+            backoff_base_ticks: 0,
+            backoff_cap_ticks: 0,
+        });
+        mem.recorder_mut().enable(256);
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        make_promotable(&mut mem, &mut mc, f);
+        mem.set_fault_injector(FaultInjector::new(FaultPlan::default(), 0));
+        mem.fault_injector_mut().unwrap().set_tier_offline(0, true);
+
+        // Attempt 1 fails -> retry; the page must keep being referenced so
+        // the top-tier ageing scan does not intervene (it is on PM anyway).
+        mc.tick(&mut mem, Nanos::from_secs(1));
+        assert_eq!(mc.stats().promote_retries, 1);
+        // Attempt 2 fails -> budget exhausted -> graceful degradation.
+        mc.tick(&mut mem, Nanos::from_secs(2));
+        assert_eq!(mc.stats().promote_gave_ups, 1);
+        assert_eq!(mc.stats().promote_fallbacks, 1);
+        assert_eq!(mc.state_of(f), Some(PageState::ActiveRef));
+        assert!(mc.tier_lists(pm).anon.active.contains(f));
+        assert_eq!(mem.translate(VPage::new(1)), Some(f), "page never lost");
+        mc.assert_invariants(&mem);
+
+        let names: Vec<&str> = mem.recorder().events().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"migrate_retry"));
+        assert!(names.contains(&"migrate_gave_up"));
+    }
+
+    #[test]
+    fn backoff_defers_attempts_until_eligible_tick() {
+        use mc_fault::{FaultInjector, FaultPlan, RetryPolicy};
+        let (mut mem, mut mc) = setup_with_retry(RetryPolicy {
+            max_attempts: 10,
+            backoff_base_ticks: 2,
+            backoff_cap_ticks: 8,
+        });
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        make_promotable(&mut mem, &mut mc, f);
+        mem.set_fault_injector(FaultInjector::new(FaultPlan::default(), 0));
+        mem.fault_injector_mut().unwrap().set_tier_offline(0, true);
+
+        // Tick 1: attempt 1 fails (the promote path tries the migration,
+        // reclaims, and retries once, so one episode can reject more than
+        // once); eligible again at tick 3.
+        mc.tick(&mut mem, Nanos::from_secs(1));
+        let after_first = mem.fault_injector().unwrap().stats().offline_rejections;
+        assert!(after_first >= 1);
+        assert_eq!(mc.stats().promote_retries, 1);
+        // Tick 2: still backing off — no migration attempt at all.
+        mc.tick(&mut mem, Nanos::from_secs(2));
+        assert_eq!(
+            mem.fault_injector().unwrap().stats().offline_rejections,
+            after_first,
+            "deferred candidate must not touch the memory system"
+        );
+        assert!(mc.tier_lists(pm).anon.promote.contains(f));
+        // Tick 3: eligible again — attempt 2 fires (and fails).
+        mc.tick(&mut mem, Nanos::from_secs(3));
+        assert!(mem.fault_injector().unwrap().stats().offline_rejections > after_first);
+        assert_eq!(mc.stats().promote_retries, 2);
+        mc.assert_invariants(&mem);
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub struct MultiClockStats {
     /// Promotions that could not proceed (locked page or no room even
     /// after reclaim) — the page went to the active list instead.
     pub promote_fallbacks: u64,
+    /// Transient promotion failures requeued at the promote-list tail for
+    /// a later, backed-off attempt.
+    pub promote_retries: u64,
+    /// Promotion episodes whose retry budget ran out; the page degraded
+    /// gracefully to the active list (counted in `promote_fallbacks` too).
+    pub promote_gave_ups: u64,
     /// Pages migrated to a lower tier (transition 3).
     pub demotions: u64,
     /// Pages evicted from the lowest tier (writeback/swap path).

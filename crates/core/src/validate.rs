@@ -10,7 +10,9 @@
 //! 3. a page is listed under the tier and kind its frame reports;
 //! 4. untracked frames are on no list;
 //! 5. the page flags mirror the state (`ACTIVE`/`PROMOTE`/`REFERENCED`/
-//!    `UNEVICTABLE`).
+//!    `UNEVICTABLE`);
+//! 6. retry bookkeeping (a paused promotion episode) exists only for
+//!    pages in `Promote` state.
 
 use crate::lists::WhichList;
 use crate::multi_clock::MultiClock;
@@ -126,6 +128,16 @@ impl MultiClock {
                 violations.push(InvariantViolation {
                     frame,
                     message: "tracked but on no list".into(),
+                });
+            }
+            // 6. retry bookkeeping only exists for paused promotion
+            //    episodes, which by definition sit in Promote state.
+            if self.retry_state[frame.index()].is_some()
+                && self.state_of(frame) != Some(PageState::Promote)
+            {
+                violations.push(InvariantViolation {
+                    frame,
+                    message: "has retry bookkeeping but is not in Promote state".into(),
                 });
             }
         }

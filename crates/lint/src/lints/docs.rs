@@ -16,8 +16,9 @@ use crate::{Diagnostic, Workspace};
 const LINT: &str = "docs";
 
 /// Crates whose public API must be documented.
-const SCOPES: [&str; 4] = [
+const SCOPES: [&str; 5] = [
     "crates/obs/src/",
+    "crates/fault/src/",
     "crates/mem/src/",
     "crates/clock/src/",
     "crates/core/src/",

@@ -3,12 +3,13 @@
 //! The workspace layers bottom-up as
 //!
 //! ```text
-//! obs <- mem <- clock <- core <- {policies, trace} <- workloads <- sim <- bench
+//! {obs, fault} <- mem <- clock <- core <- {policies, trace} <- workloads <- sim <- bench
 //! ```
 //!
 //! where each crate may depend only on crates strictly below it (and
-//! `mc-lint` on nothing at all). `mc-obs` sits at the very bottom — it
-//! speaks raw integers so even the substrate can emit into it. Both `[dependencies]` tables and `use`
+//! `mc-lint` on nothing at all). `mc-obs` and `mc-fault` sit at the very
+//! bottom — they speak raw integers so even the substrate can emit into
+//! (and consult) them. Both `[dependencies]` tables and `use`
 //! paths in library code are checked; `[dev-dependencies]`, per-crate
 //! `tests/`, `benches/` and `examples/` are exempt (test scaffolding may
 //! reach sideways), as is the workspace-root package, which sits on top of
@@ -22,25 +23,31 @@ const LINT: &str = "layering";
 /// `(dir under crates/, package name, crate ident, allowed internal deps)`.
 pub const LAYERS: &[(&str, &str, &str, &[&str])] = &[
     ("obs", "mc-obs", "mc_obs", &[]),
-    ("mem", "mc-mem", "mc_mem", &["mc-obs"]),
-    ("clock", "mc-clock", "mc_clock", &["mc-obs", "mc-mem"]),
+    ("fault", "mc-fault", "mc_fault", &[]),
+    ("mem", "mc-mem", "mc_mem", &["mc-obs", "mc-fault"]),
+    (
+        "clock",
+        "mc-clock",
+        "mc_clock",
+        &["mc-obs", "mc-fault", "mc-mem"],
+    ),
     (
         "core",
         "multi-clock",
         "multi_clock",
-        &["mc-obs", "mc-mem", "mc-clock"],
+        &["mc-obs", "mc-fault", "mc-mem", "mc-clock"],
     ),
     (
         "policies",
         "mc-policies",
         "mc_policies",
-        &["mc-obs", "mc-mem", "mc-clock", "multi-clock"],
+        &["mc-obs", "mc-fault", "mc-mem", "mc-clock", "multi-clock"],
     ),
     (
         "trace",
         "mc-trace",
         "mc_trace",
-        &["mc-obs", "mc-mem", "mc-clock", "multi-clock"],
+        &["mc-obs", "mc-fault", "mc-mem", "mc-clock", "multi-clock"],
     ),
     (
         "workloads",
@@ -48,6 +55,7 @@ pub const LAYERS: &[(&str, &str, &str, &[&str])] = &[
         "mc_workloads",
         &[
             "mc-obs",
+            "mc-fault",
             "mc-mem",
             "mc-clock",
             "multi-clock",
@@ -61,6 +69,7 @@ pub const LAYERS: &[(&str, &str, &str, &[&str])] = &[
         "mc_sim",
         &[
             "mc-obs",
+            "mc-fault",
             "mc-mem",
             "mc-clock",
             "multi-clock",
@@ -75,6 +84,7 @@ pub const LAYERS: &[(&str, &str, &str, &[&str])] = &[
         "mc_bench",
         &[
             "mc-obs",
+            "mc-fault",
             "mc-mem",
             "mc-clock",
             "multi-clock",

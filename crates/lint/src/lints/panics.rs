@@ -20,7 +20,12 @@ use std::collections::BTreeSet;
 const LINT: &str = "panic";
 
 /// Crates whose library code must be panic-free.
-const SCOPES: [&str; 3] = ["crates/mem/src/", "crates/clock/src/", "crates/core/src/"];
+const SCOPES: [&str; 4] = [
+    "crates/fault/src/",
+    "crates/mem/src/",
+    "crates/clock/src/",
+    "crates/core/src/",
+];
 
 const MARKER: &str = "lint: allow(panic)";
 

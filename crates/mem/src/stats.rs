@@ -30,6 +30,10 @@ pub struct MemStats {
     pub hint_faults: u64,
     /// Migration attempts that failed (locked page, destination full...).
     pub migration_failures: u64,
+    /// Failures caused by the fault-injection layer (a subset of
+    /// `migration_failures` plus injected allocation failures); always `0`
+    /// when no injector is installed.
+    pub injected_faults: u64,
     /// Accesses served per tier (index = tier id).
     pub tier_accesses: Vec<u64>,
 }

@@ -12,6 +12,7 @@ use crate::tier::TierKind;
 use crate::time::Nanos;
 use crate::topology::{Topology, TopologyBuilder};
 use crate::watermark::Watermarks;
+use mc_fault::{FaultInjector, InjectedFault};
 use mc_obs::{saturating_bump, EventKind, Recorder};
 use std::collections::HashSet;
 
@@ -106,6 +107,9 @@ pub struct MemorySystem {
     ledger: CostLedger,
     events: Vec<MemEvent>,
     recorder: Recorder,
+    /// Optional fault injector. `None` (the default) leaves every path
+    /// byte-identical to an engine without the fault layer.
+    fault: Option<FaultInjector>,
 }
 
 impl MemorySystem {
@@ -145,6 +149,35 @@ impl MemorySystem {
             ledger: CostLedger::default(),
             events: Vec::new(),
             recorder: Recorder::disabled(),
+            fault: None,
+        }
+    }
+
+    /// Installs a fault injector; every subsequent allocation, migration
+    /// and access consults it. Used by the simulation engine and the chaos
+    /// harness.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Mutable access to the installed fault injector (manual offline
+    /// toggles in tests and the chaos harness).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.fault.as_mut()
+    }
+
+    /// Advances the substrate's virtual timestamp: the trace recorder and
+    /// the fault injector (whose offline/stall windows are keyed by
+    /// virtual time) move together.
+    pub fn set_now(&mut self, now_ns: u64) {
+        self.recorder.set_now(now_ns);
+        if let Some(fault) = self.fault.as_mut() {
+            fault.set_now(now_ns);
         }
     }
 
@@ -294,6 +327,12 @@ impl MemorySystem {
         if tier.index() >= self.topology.tier_count() {
             return Err(MemError::NoSuchTier(tier));
         }
+        if let Some(fault) = self.fault.as_mut() {
+            if fault.on_alloc(tier.index() as u8).is_some() {
+                saturating_bump(&mut self.stats.injected_faults);
+                return Err(MemError::TierFull(tier));
+            }
+        }
         let node = self
             .topology
             .tier(tier)
@@ -414,10 +453,17 @@ impl MemorySystem {
             self.stats.tier_accesses.resize(tier.index() + 1, 0);
         }
         saturating_bump(&mut self.stats.tier_accesses[tier.index()]);
+        let mut latency = self.latency.access(tier, kind);
+        if let Some(fault) = self.fault.as_mut() {
+            let factor = fault.on_access(tier.index() as u8);
+            if factor > 1 {
+                latency = latency.saturating_mul(u64::from(factor));
+            }
+        }
         Ok(AccessOutcome {
             frame,
             tier,
-            latency: self.latency.access(tier, kind),
+            latency,
             hint_fault,
         })
     }
@@ -486,6 +532,23 @@ impl MemorySystem {
         }
         if src_tier == dst_tier {
             return Err(MemError::SameTier(frame, dst_tier));
+        }
+        if let Some(fault) = self.fault.as_mut() {
+            if let Some(injected) = fault.on_migrate(dst_tier.index() as u8) {
+                saturating_bump(&mut self.stats.migration_failures);
+                saturating_bump(&mut self.stats.injected_faults);
+                self.recorder.emit(|| EventKind::MigrateFail {
+                    frame: frame.index() as u64,
+                    src: src_tier.index() as u8,
+                    reason: injected.reason(),
+                });
+                return Err(match injected {
+                    InjectedFault::FrameLocked => MemError::FrameLocked(frame),
+                    InjectedFault::TierFull | InjectedFault::TierOffline => {
+                        MemError::TierFull(dst_tier)
+                    }
+                });
+            }
         }
         let kind = src.kind();
         let flags = src.flags();
@@ -847,5 +910,104 @@ mod tests {
         mem.evict(f).unwrap();
         let l = mem.ledger_mut().take();
         assert_eq!(l.background, Nanos::ZERO, "clean file pages are dropped");
+    }
+
+    #[test]
+    fn injected_migrate_failure_leaves_page_intact() {
+        use mc_fault::{FaultInjector, FaultPlan};
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        let v = VPage::new(30);
+        mem.map(v, f).unwrap();
+        let plan = FaultPlan {
+            migrate_fail_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        mem.set_fault_injector(FaultInjector::new(plan, 42));
+        let err = mem.migrate(f, TierId::new(1));
+        assert_eq!(err, Err(MemError::TierFull(TierId::new(1))));
+        assert_eq!(mem.translate(v), Some(f), "mapping untouched");
+        assert_eq!(mem.frame(f).tier(), TierId::TOP, "page did not move");
+        assert_eq!(mem.stats().migration_failures, 1);
+        assert_eq!(mem.stats().injected_faults, 1);
+        assert_eq!(mem.stats().demotions, 0);
+        assert_eq!(mem.fault_injector().unwrap().stats().migrate_faults, 1);
+    }
+
+    #[test]
+    fn injected_lock_maps_to_frame_locked() {
+        use mc_fault::{FaultInjector, FaultPlan};
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        let plan = FaultPlan {
+            migrate_lock_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        mem.set_fault_injector(FaultInjector::new(plan, 1));
+        assert_eq!(
+            mem.migrate(f, TierId::new(1)),
+            Err(MemError::FrameLocked(f))
+        );
+    }
+
+    #[test]
+    fn offline_tier_rejects_alloc_and_spills_to_next() {
+        use mc_fault::{FaultInjector, FaultPlan};
+        let mut mem = small();
+        mem.set_fault_injector(FaultInjector::new(FaultPlan::default(), 0));
+        mem.fault_injector_mut().unwrap().set_tier_offline(0, true);
+        assert_eq!(
+            mem.alloc_page_in_tier(PageKind::Anon, TierId::TOP),
+            Err(MemError::TierFull(TierId::TOP))
+        );
+        // The tier-by-tier fallback lands in PM instead.
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(mem.frame(f).tier(), TierId::new(1));
+        mem.fault_injector_mut().unwrap().set_tier_offline(0, false);
+        let f2 = mem.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(mem.frame(f2).tier(), TierId::TOP, "back online");
+    }
+
+    #[test]
+    fn stall_window_scales_access_latency() {
+        use mc_fault::{FaultInjector, FaultPlan, StallWindow};
+        let mut mem = small();
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        let v = VPage::new(40);
+        mem.map(v, f).unwrap();
+        let base = mem.access(v, AccessKind::Read).unwrap().latency;
+        let plan = FaultPlan {
+            stalls: vec![StallWindow {
+                tier: 0,
+                from_ns: 0,
+                until_ns: 1_000,
+                factor: 4,
+            }],
+            ..FaultPlan::default()
+        };
+        mem.set_fault_injector(FaultInjector::new(plan, 0));
+        let stalled = mem.access(v, AccessKind::Read).unwrap().latency;
+        assert_eq!(stalled, base.saturating_mul(4));
+        mem.set_now(1_000); // window over
+        let after = mem.access(v, AccessKind::Read).unwrap().latency;
+        assert_eq!(after, base);
+        assert_eq!(mem.fault_injector().unwrap().stats().stalled_accesses, 1);
+    }
+
+    #[test]
+    fn zero_rate_injector_is_inert() {
+        use mc_fault::{FaultConfig, FaultInjector};
+        let mut cfg = FaultConfig::none();
+        cfg.enabled = true;
+        let mut mem = small();
+        mem.set_fault_injector(FaultInjector::from_config(&cfg).unwrap());
+        let f = mem.alloc_page(PageKind::Anon).unwrap();
+        mem.map(VPage::new(50), f).unwrap();
+        mem.migrate(f, TierId::new(1)).unwrap();
+        assert_eq!(mem.stats().injected_faults, 0);
+        assert_eq!(
+            *mem.fault_injector().unwrap().stats(),
+            mc_fault::FaultStats::default()
+        );
     }
 }

@@ -103,6 +103,25 @@ pub enum EventKind {
         /// `"tier-full"`).
         reason: &'static str,
     },
+    /// A failed migration was scheduled for a bounded retry: the page was
+    /// requeued at the promote-list tail with a backoff deadline.
+    MigrateRetry {
+        /// Frame index being retried.
+        frame: u64,
+        /// Failed attempts so far in this promotion episode (1-based).
+        attempt: u32,
+        /// Tick ordinal at which the page becomes eligible again.
+        eligible_tick: u64,
+    },
+    /// The retry budget for a page's promotion episode ran out (or the
+    /// failure was permanent); the daemon degraded gracefully by returning
+    /// the page to the active list.
+    MigrateGaveUp {
+        /// Frame index abandoned.
+        frame: u64,
+        /// Failed attempts the episode accumulated.
+        attempts: u32,
+    },
     /// A page was evicted from the lowest tier to backing storage.
     Evict {
         /// Virtual page evicted.
@@ -145,6 +164,8 @@ impl EventKind {
             EventKind::Alloc { .. } => "alloc",
             EventKind::Migrate { .. } => "migrate",
             EventKind::MigrateFail { .. } => "migrate_fail",
+            EventKind::MigrateRetry { .. } => "migrate_retry",
+            EventKind::MigrateGaveUp { .. } => "migrate_gave_up",
             EventKind::Evict { .. } => "evict",
             EventKind::SwapIn { .. } => "swap_in",
             EventKind::HintFault { .. } => "hint_fault",
@@ -215,6 +236,19 @@ impl Event {
                 w.num_field("src", u64::from(src));
                 w.str_field("reason", reason);
             }
+            EventKind::MigrateRetry {
+                frame,
+                attempt,
+                eligible_tick,
+            } => {
+                w.num_field("frame", frame);
+                w.num_field("attempt", u64::from(attempt));
+                w.num_field("eligible_tick", eligible_tick);
+            }
+            EventKind::MigrateGaveUp { frame, attempts } => {
+                w.num_field("frame", frame);
+                w.num_field("attempts", u64::from(attempts));
+            }
             EventKind::Evict { vpage } => {
                 w.num_field("vpage", vpage);
             }
@@ -256,6 +290,15 @@ mod tests {
                 frame: 9,
                 src: 1,
                 reason: "tier-full",
+            },
+            EventKind::MigrateRetry {
+                frame: 9,
+                attempt: 2,
+                eligible_tick: 17,
+            },
+            EventKind::MigrateGaveUp {
+                frame: 9,
+                attempts: 4,
             },
             EventKind::Custom {
                 tag: "poison_batch",

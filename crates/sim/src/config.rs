@@ -1,5 +1,6 @@
 //! Simulation configuration and the system-under-test selector.
 
+use mc_fault::{FaultConfig, RetryPolicy};
 use mc_mem::{MemConfig, Nanos};
 use mc_obs::ObsConfig;
 
@@ -91,6 +92,13 @@ pub struct SimConfig {
     /// Observability: tracepoints, per-tick time series and run reports.
     /// Off by default; enabling never changes virtual-time results.
     pub obs: ObsConfig,
+    /// Deterministic fault injection (chaos testing). The default,
+    /// [`FaultConfig::none`], installs no injector and is byte-identical
+    /// to an engine without the fault layer.
+    pub fault: FaultConfig,
+    /// Promotion retry/backoff policy handed to MULTI-CLOCK (other
+    /// systems keep their original single-attempt behaviour).
+    pub retry: RetryPolicy,
 }
 
 impl SimConfig {
@@ -107,6 +115,8 @@ impl SimConfig {
             write_weight: 1.0,
             adaptive_interval: false,
             obs: ObsConfig::off(),
+            fault: FaultConfig::none(),
+            retry: RetryPolicy::immediate(),
         }
     }
 
@@ -124,6 +134,7 @@ impl SimConfig {
         SimConfig {
             system,
             mem: self.mem.clone(),
+            fault: self.fault.clone(),
             ..*self
         }
     }
@@ -133,6 +144,7 @@ impl SimConfig {
         SimConfig {
             scan_interval: interval,
             mem: self.mem.clone(),
+            fault: self.fault.clone(),
             ..*self
         }
     }

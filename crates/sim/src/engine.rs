@@ -5,6 +5,7 @@
 use crate::config::{SimConfig, SystemKind};
 use crate::metrics::Metrics;
 use crate::obs::ObsState;
+use mc_fault::FaultInjector;
 use mc_mem::{
     AccessKind, MemorySystem, Nanos, PageKind, TierId, TieringPolicy, VAddr, VPage, VirtualClock,
     PAGE_SIZE,
@@ -69,6 +70,7 @@ impl Simulation {
                         scan_batch: cfg.scan_batch,
                         write_weight: cfg.write_weight,
                         adaptive_interval: cfg.adaptive_interval,
+                        retry: cfg.retry,
                         // Adaptive bounds scale with the configured
                         // interval (the defaults are paper-scale).
                         min_interval: Nanos::from_nanos(cfg.scan_interval.as_nanos() / 10),
@@ -144,6 +146,9 @@ impl Simulation {
         if cfg.obs.enabled {
             mem.recorder_mut().enable(cfg.obs.ring_capacity);
         }
+        if let Some(injector) = FaultInjector::from_config(&cfg.fault) {
+            mem.set_fault_injector(injector);
+        }
         let window = cfg.window;
         let horizon = cfg.scan_interval;
         Simulation {
@@ -214,6 +219,15 @@ impl Simulation {
         std::fs::write(dir.join("ticks.csv"), csv)?;
         std::fs::write(dir.join("report.txt"), report)?;
         Ok(true)
+    }
+
+    /// The frontend policy's counters (empty for Memory-mode, which has
+    /// no tiering daemon).
+    pub fn policy_counters(&self) -> Vec<(&'static str, u64)> {
+        match &self.frontend {
+            Frontend::Tiered { policy, .. } => policy.counters(),
+            Frontend::MemoryMode(_) => Vec::new(),
+        }
     }
 
     /// Memory-mode cache statistics, when running Memory-mode.
@@ -294,7 +308,7 @@ impl Simulation {
                 self.next_tick = None;
                 return;
             };
-            self.mem.recorder_mut().set_now(due.as_nanos());
+            self.mem.set_now(due.as_nanos());
             let out = policy.tick(&mut self.mem, due);
             // Scan CPU cost.
             let scan_cost =
@@ -320,7 +334,7 @@ impl Simulation {
     /// device access. The heart of the engine.
     fn access_page(&mut self, vpage: VPage, kind: AccessKind, bytes: usize) {
         let region_kind = self.region_kind(vpage);
-        self.mem.recorder_mut().set_now(self.clock.now().as_nanos());
+        self.mem.set_now(self.clock.now().as_nanos());
         match &mut self.frontend {
             Frontend::MemoryMode(cache) => {
                 // Everything lives in PM; DRAM is a transparent cache.
@@ -356,13 +370,24 @@ impl Simulation {
                 // Fault path: allocate (with direct reclaim) and map.
                 if self.mem.translate(vpage).is_none() {
                     self.mem.note_swap_in(vpage);
+                    // Without an injector three reclaim rounds always free a
+                    // frame or the machine is genuinely out of memory; with
+                    // one, each attempt can fail by injected chance, so give
+                    // chaos runs a far larger budget and degrade gracefully
+                    // (skip the access, like a fault the kernel retries
+                    // later) rather than aborting the run.
+                    let injected = self.mem.fault_injector().is_some();
+                    let budget = if injected { 64 } else { 3 };
                     let mut attempts = 0;
                     let frame = loop {
                         match self.mem.alloc_page(region_kind) {
-                            Ok(f) => break f,
+                            Ok(f) => break Some(f),
                             Err(_) => {
                                 attempts += 1;
-                                assert!(attempts <= 3, "simulated OOM: every tier exhausted");
+                                if attempts > budget {
+                                    assert!(injected, "simulated OOM: every tier exhausted");
+                                    break None;
+                                }
                                 let tiers = self.mem.topology().tier_count();
                                 for t in (0..tiers).rev() {
                                     policy.on_pressure(
@@ -373,6 +398,18 @@ impl Simulation {
                                 }
                             }
                         }
+                    };
+                    let Some(frame) = frame else {
+                        self.clock.advance(self.cfg.minor_fault);
+                        self.metrics.costs_mut().stall_time += self.cfg.minor_fault;
+                        Self::absorb_substrate(
+                            &mut self.mem,
+                            &mut self.clock,
+                            &mut self.metrics,
+                            self.cfg.daemon_contention,
+                        );
+                        self.maybe_tick();
+                        return;
                     };
                     self.mem.map(vpage, frame).expect("fresh page maps");
                     policy.on_page_mapped(&mut self.mem, frame);

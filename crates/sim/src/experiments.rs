@@ -242,6 +242,64 @@ pub fn run_ycsb_observed(
     Ok(summary)
 }
 
+/// One row of the chaos sweep: the usual [`RunSummary`] plus the fault
+/// layer's own accounting.
+#[derive(Debug, Clone)]
+pub struct ChaosSummary {
+    /// The standard run metrics.
+    pub summary: RunSummary,
+    /// Faults the injector fired (migrations + allocations).
+    pub injected_faults: u64,
+    /// All migration failures the substrate saw (injected or organic).
+    pub migration_failures: u64,
+    /// MULTI-CLOCK promotion retries (transient failures requeued).
+    pub promote_retries: u64,
+    /// Promotion episodes that exhausted their retry budget.
+    pub promote_gave_ups: u64,
+}
+
+/// Like [`run_ycsb`] but with a fault injector installed and a promotion
+/// retry policy; optionally exports obs artifacts into `obs_dir`. The
+/// chaos benchmark (`mc-chaos`) sweeps this over fault rates.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing the obs artifacts.
+pub fn run_ycsb_chaos(
+    system: SystemKind,
+    workload: YcsbWorkload,
+    scale: &Scale,
+    interval: Nanos,
+    fault: mc_fault::FaultConfig,
+    retry: mc_fault::RetryPolicy,
+    obs_dir: Option<&std::path::Path>,
+) -> std::io::Result<ChaosSummary> {
+    let mut cfg = base_config(system, scale, interval);
+    cfg.fault = fault;
+    cfg.retry = retry;
+    if obs_dir.is_some() {
+        cfg.obs = mc_obs::ObsConfig::on();
+    }
+    let (summary, sim) = run_ycsb_cfg(cfg, workload, scale);
+    if let Some(dir) = obs_dir {
+        sim.write_obs(dir)?;
+    }
+    let counters = sim.policy_counters();
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    Ok(ChaosSummary {
+        summary,
+        injected_faults: sim.mem().stats().injected_faults,
+        migration_failures: sim.mem().stats().migration_failures,
+        promote_retries: counter("mc_promote_retries"),
+        promote_gave_ups: counter("mc_promote_gave_ups"),
+    })
+}
+
 /// The YCSB driver proper; returns the finished simulation so observed
 /// runs can export artifacts from it.
 fn run_ycsb_cfg(cfg: SimConfig, workload: YcsbWorkload, scale: &Scale) -> (RunSummary, Simulation) {

@@ -39,6 +39,7 @@ pub mod report;
 pub use config::{SimConfig, SystemKind};
 pub use engine::Simulation;
 pub use latency_hist::LatencyHistogram;
+pub use mc_fault::{FaultConfig, FaultPlan, RetryPolicy};
 pub use mc_obs::ObsConfig;
 pub use metrics::{CostBreakdown, Metrics, WindowStats};
 pub use obs::ObsState;

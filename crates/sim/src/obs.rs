@@ -72,11 +72,16 @@ impl ObsState {
         stats: &MemStats,
         policy_counters: &[(&'static str, u64)],
     ) {
-        let tier_cols: Vec<(String, u64)> = stats
-            .tier_accesses
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (format!("tier{i}_accesses"), *v))
+        // `tier_accesses` grows lazily with the first access per tier, so
+        // pad to the machine's tier count: the column set must be stable
+        // from the first row even when lower tiers are still untouched.
+        let tier_cols: Vec<(String, u64)> = (0..self.tier_hists.len())
+            .map(|i| {
+                (
+                    format!("tier{i}_accesses"),
+                    stats.tier_accesses.get(i).copied().unwrap_or(0),
+                )
+            })
             .collect();
         let mut row: Vec<(&str, u64)> = vec![
             ("allocs", stats.allocs),
