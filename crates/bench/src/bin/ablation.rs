@@ -10,7 +10,7 @@
 //! Run with `cargo run -p mc-bench --release --bin ablation`.
 
 use mc_bench::{banner, scale_from_args};
-use mc_sim::experiments::{run_ycsb, Scale};
+use mc_sim::experiments::{Experiment, Scale};
 use mc_sim::report::format_table;
 use mc_sim::{SimConfig, Simulation, SystemKind};
 use mc_workloads::ycsb::{YcsbClient, YcsbConfig, YcsbWorkload};
@@ -127,11 +127,19 @@ fn main() {
             SystemKind::OracleLru,
             SystemKind::OracleLfu,
         ];
-        let base = run_ycsb(SystemKind::Static, w, &scale, scale.scan_interval()).ops_per_sec;
+        let run = |s: SystemKind| {
+            Experiment::ycsb(w)
+                .system(s)
+                .scale(&scale)
+                .run()
+                .expect("no obs artifacts requested")
+                .summary
+        };
+        let base = run(SystemKind::Static).ops_per_sec;
         let rows: Vec<Vec<String>> = systems
             .iter()
             .map(|s| {
-                let r = run_ycsb(*s, w, &scale, scale.scan_interval());
+                let r = run(*s);
                 vec![
                     s.label().to_string(),
                     format!("{:.2}", r.ops_per_sec / base),

@@ -18,7 +18,7 @@
 //! `DIR/rate-<rate>/`, the layout `mc-obs-report` consumes.
 
 use mc_bench::{banner, scale_from_args};
-use mc_sim::experiments::{run_ycsb, run_ycsb_chaos, ChaosSummary};
+use mc_sim::experiments::{Experiment, RunOutcome};
 use mc_sim::report::format_table;
 use mc_sim::{FaultConfig, RetryPolicy, SystemKind};
 use mc_workloads::ycsb::YcsbWorkload;
@@ -57,34 +57,33 @@ fn main() {
     println!("fault seed {seed}; retry policy: bounded exponential backoff");
 
     eprintln!("running fault-free baseline ...");
-    let base = run_ycsb(
-        SystemKind::MultiClock,
-        YcsbWorkload::A,
-        &scale,
-        scale.scan_interval(),
-    );
+    let base = Experiment::ycsb(YcsbWorkload::A)
+        .system(SystemKind::MultiClock)
+        .scale(&scale)
+        .run()
+        .expect("no obs artifacts requested")
+        .summary;
     let base_ops = base.ops_per_sec;
 
     let mut rows = Vec::new();
     for rate in &rates {
         eprintln!("running fault rate {rate} ...");
         let obs_dir = obs_root.as_ref().map(|d| d.join(format!("rate-{rate}")));
-        let ChaosSummary {
+        let mut exp = Experiment::ycsb(YcsbWorkload::A)
+            .system(SystemKind::MultiClock)
+            .scale(&scale)
+            .fault(FaultConfig::rate(seed, *rate), RetryPolicy::backoff());
+        if let Some(dir) = &obs_dir {
+            exp = exp.obs(dir.clone());
+        }
+        let RunOutcome {
             summary,
             injected_faults,
             migration_failures,
             promote_retries,
             promote_gave_ups,
-        } = run_ycsb_chaos(
-            SystemKind::MultiClock,
-            YcsbWorkload::A,
-            &scale,
-            scale.scan_interval(),
-            FaultConfig::rate(seed, *rate),
-            RetryPolicy::backoff(),
-            obs_dir.as_deref(),
-        )
-        .expect("obs artifacts written");
+            ..
+        } = exp.run().expect("obs artifacts written");
         rows.push(vec![
             format!("{rate:.2}"),
             format!("{:.2}", summary.ops_per_sec / base_ops),

@@ -12,7 +12,7 @@
 //! plus the usual `--tiny/--quick/--full` base scale.
 
 use mc_bench::{banner, parse_kernel, parse_system, parse_workload, scale_from_args};
-use mc_sim::experiments::{run_gapbs, run_ycsb};
+use mc_sim::experiments::{run_gapbs, Experiment};
 use mc_sim::report::format_table;
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
@@ -90,7 +90,13 @@ fn main() {
                 .iter()
                 .map(|s| {
                     eprintln!("running {} ...", s.label());
-                    let r = run_ycsb(*s, workload, &scale, interval);
+                    let r = Experiment::ycsb(workload)
+                        .system(*s)
+                        .scale(&scale)
+                        .interval(interval)
+                        .run()
+                        .expect("no obs artifacts requested")
+                        .summary;
                     vec![
                         s.label().to_string(),
                         format!("{:.0}", r.ops_per_sec),

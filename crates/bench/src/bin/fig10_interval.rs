@@ -9,7 +9,7 @@
 
 use mc_bench::{banner, scale_from_args};
 use mc_mem::Nanos;
-use mc_sim::experiments::run_ycsb;
+use mc_sim::experiments::Experiment;
 use mc_sim::report::format_table;
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
@@ -31,20 +31,23 @@ fn main() {
         (5.0, "5s"),
         (60.0, "60s"),
     ];
+    let run = |system, iv: Nanos| {
+        Experiment::ycsb(YcsbWorkload::A)
+            .system(system)
+            .scale(&scale)
+            .interval(iv)
+            .run()
+            .expect("no obs artifacts requested")
+            .summary
+    };
     eprintln!("running static baseline ...");
-    let base = run_ycsb(
-        SystemKind::Static,
-        YcsbWorkload::A,
-        &scale,
-        scale.scan_interval(),
-    )
-    .ops_per_sec;
+    let base = run(SystemKind::Static, scale.scan_interval()).ops_per_sec;
     let mut rows = Vec::new();
     for (factor, label) in sweep {
         let iv: Nanos = scale.paper_interval(factor);
         eprintln!("running interval {label} (simulated {iv}) ...");
-        let mc = run_ycsb(SystemKind::MultiClock, YcsbWorkload::A, &scale, iv);
-        let nim = run_ycsb(SystemKind::Nimble, YcsbWorkload::A, &scale, iv);
+        let mc = run(SystemKind::MultiClock, iv);
+        let nim = run(SystemKind::Nimble, iv);
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", mc.ops_per_sec / base),

@@ -8,7 +8,7 @@
 //! Regenerate with `cargo run -p mc-bench --release --bin fig7_memory_mode`.
 
 use mc_bench::{banner, scale_from_args};
-use mc_sim::experiments::{run_gapbs, run_ycsb};
+use mc_sim::experiments::{run_gapbs, Experiment};
 use mc_sim::report::{format_table, normalize_throughput, normalize_time};
 use mc_sim::SystemKind;
 use mc_workloads::graph::Kernel;
@@ -34,7 +34,14 @@ fn main() {
         eprintln!("running YCSB {w} ...");
         let results: Vec<_> = systems
             .iter()
-            .map(|s| run_ycsb(*s, w, &scale, scale.scan_interval()))
+            .map(|s| {
+                Experiment::ycsb(w)
+                    .system(*s)
+                    .scale(&scale)
+                    .run()
+                    .expect("no obs artifacts requested")
+                    .summary
+            })
             .collect();
         let norm = normalize_throughput(&results);
         let mut r = vec![w.to_string()];

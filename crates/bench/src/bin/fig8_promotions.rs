@@ -10,7 +10,7 @@
 //! with `cargo run -p mc-obs --bin mc-obs-report -- <dir>`).
 
 use mc_bench::{banner, scale_from_args};
-use mc_sim::experiments::{run_ycsb, run_ycsb_observed};
+use mc_sim::experiments::Experiment;
 use mc_sim::report::format_table;
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
@@ -32,28 +32,17 @@ fn main() {
         &scale,
     );
     let obs_dir = obs_dir_from_args();
-    let mc = match &obs_dir {
-        Some(dir) => run_ycsb_observed(
-            SystemKind::MultiClock,
-            YcsbWorkload::A,
-            &scale,
-            scale.scan_interval(),
-            dir,
-        )
-        .expect("obs artifacts are writable"),
-        None => run_ycsb(
-            SystemKind::MultiClock,
-            YcsbWorkload::A,
-            &scale,
-            scale.scan_interval(),
-        ),
-    };
-    let nim = run_ycsb(
-        SystemKind::Nimble,
-        YcsbWorkload::A,
-        &scale,
-        scale.scan_interval(),
-    );
+    let mut mc_exp = Experiment::ycsb(YcsbWorkload::A).scale(&scale);
+    if let Some(dir) = &obs_dir {
+        mc_exp = mc_exp.obs(dir.clone());
+    }
+    let mc = mc_exp.run().expect("obs artifacts are writable").summary;
+    let nim = Experiment::ycsb(YcsbWorkload::A)
+        .system(SystemKind::Nimble)
+        .scale(&scale)
+        .run()
+        .expect("no obs artifacts requested")
+        .summary;
     let windows = mc.windows.len().max(nim.windows.len());
     let mut rows = Vec::new();
     for wi in 0..windows {

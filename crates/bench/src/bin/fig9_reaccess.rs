@@ -8,7 +8,7 @@
 //! Regenerate with `cargo run -p mc-bench --release --bin fig9_reaccess`.
 
 use mc_bench::{banner, scale_from_args};
-use mc_sim::experiments::run_ycsb;
+use mc_sim::experiments::Experiment;
 use mc_sim::report::format_table;
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
@@ -20,18 +20,16 @@ fn main() {
         "re-access % of recently promoted pages per 20 s window (YCSB-A)",
         &scale,
     );
-    let mc = run_ycsb(
-        SystemKind::MultiClock,
-        YcsbWorkload::A,
-        &scale,
-        scale.scan_interval(),
-    );
-    let nim = run_ycsb(
-        SystemKind::Nimble,
-        YcsbWorkload::A,
-        &scale,
-        scale.scan_interval(),
-    );
+    let run = |system| {
+        Experiment::ycsb(YcsbWorkload::A)
+            .system(system)
+            .scale(&scale)
+            .run()
+            .expect("no obs artifacts requested")
+            .summary
+    };
+    let mc = run(SystemKind::MultiClock);
+    let nim = run(SystemKind::Nimble);
     let fmt = |p: Option<f64>| p.map_or("-".to_string(), |v| format!("{v:.1}%"));
     let windows = mc.windows.len().max(nim.windows.len());
     let mut rows = Vec::new();

@@ -1,0 +1,120 @@
+//! `mc-batch` — batched-migration and scan-sharding sweep.
+//!
+//! Runs YCSB-A on MULTI-CLOCK over a grid of promotion-migration batch
+//! sizes × scanner shard counts and reports throughput and the share of
+//! accounted time spent on tiering overhead (stalls + daemon CPU +
+//! background copies). Batching amortizes the per-migration-call setup
+//! cost (one TLB shootdown window per batch instead of per page, as in
+//! Nomad's transactional `migrate_pages`), so the overhead share should
+//! fall — or at worst stay flat — as the batch grows.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p mc-bench --release --bin mc-batch          # default sweep
+//! mc-batch --tiny --obs /tmp/mc-batch    # obs artifacts per config
+//! mc-batch --batches 1,8 --shards 1,2    # custom grid
+//! ```
+//!
+//! `--obs DIR` writes `events.jsonl`, `ticks.csv` and `report.txt` under
+//! `DIR/batch-<b>-shards-<s>/`, the layout `mc-obs-report` consumes.
+
+use mc_bench::{banner, scale_from_args};
+use mc_sim::experiments::Experiment;
+use mc_sim::report::format_table;
+use mc_workloads::ycsb::YcsbWorkload;
+
+/// Parses `--flag value` style arguments (panics on malformed input — this
+/// is a dev tool, loud failure beats silent defaults).
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                // lint: allow(panic) - CLI argument validation in a binary
+                panic!("{flag} requires a value")
+            })
+        })
+        .cloned()
+}
+
+fn parse_list(s: &str, flag: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a comma-separated list of integers"))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args();
+    let obs_root = arg_value(&args, "--obs").map(std::path::PathBuf::from);
+    let batches: Vec<usize> = arg_value(&args, "--batches")
+        .map(|s| parse_list(&s, "--batches"))
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
+    let shard_counts: Vec<usize> = arg_value(&args, "--shards")
+        .map(|s| parse_list(&s, "--shards"))
+        .unwrap_or_else(|| vec![1, 2]);
+
+    banner(
+        "Batch sweep",
+        "YCSB-A migration batch size x scanner shards (MULTI-CLOCK)",
+        &scale,
+    );
+
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        let mut prev_share: Option<f64> = None;
+        let mut monotone = true;
+        for &batch in &batches {
+            eprintln!("running batch {batch} x shards {shards} ...");
+            let mut exp = Experiment::ycsb(YcsbWorkload::A)
+                .scale(&scale)
+                .shards(shards)
+                .batch(batch);
+            if let Some(root) = &obs_root {
+                exp = exp.obs(root.join(format!("batch-{batch}-shards-{shards}")));
+            }
+            let o = exp.run().expect("obs artifacts written");
+            let share = o.overhead_share();
+            // Allow sub-percent jitter: amortization must not be *worse*.
+            if let Some(prev) = prev_share {
+                if share > prev + 0.01 {
+                    monotone = false;
+                }
+            }
+            prev_share = Some(share);
+            rows.push(vec![
+                format!("{batch}"),
+                format!("{shards}"),
+                format!("{:.0}", o.summary.ops_per_sec),
+                format!("{}", o.summary.promotions),
+                format!("{:.2}%", share * 100.0),
+            ]);
+        }
+        println!(
+            "shards {shards}: overhead share {} as batch size grows",
+            if monotone {
+                "decreases monotonically (or stays flat)"
+            } else {
+                "is NOT monotone - investigate"
+            }
+        );
+    }
+    println!(
+        "{}",
+        format_table(
+            &["batch", "shards", "ops/s", "promotions", "overhead share",],
+            &rows
+        )
+    );
+    if let Some(root) = &obs_root {
+        println!(
+            "obs artifacts under {} (one dir per config)",
+            root.display()
+        );
+    }
+}

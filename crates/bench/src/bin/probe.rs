@@ -2,7 +2,7 @@
 //! the paper's figures; used for calibration and debugging).
 
 use mc_bench::scale_from_args;
-use mc_sim::experiments::{run_ycsb, RunSummary};
+use mc_sim::experiments::{Experiment, RunSummary};
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
 
@@ -100,7 +100,12 @@ fn main() {
             SystemKind::MultiClock,
             SystemKind::Nimble,
         ] {
-            let r = run_ycsb(s, w, &scale, scale.scan_interval());
+            let r = Experiment::ycsb(w)
+                .system(s)
+                .scale(&scale)
+                .run()
+                .expect("no obs artifacts requested")
+                .summary;
             show(&r);
         }
     }

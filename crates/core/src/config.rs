@@ -31,6 +31,18 @@ pub struct MultiClockConfig {
     pub min_interval: Nanos,
     /// Upper bound for the adaptive interval.
     pub max_interval: Nanos,
+    /// Scanner shards per NUMA node (HM-Keeper-style scan sharding). Each
+    /// tier's lists are split into `nodes_in_tier × scan_shards`
+    /// independent shards, each scanned with its own full budget every
+    /// tick — modelling one `kpromoted` daemon per node as in the paper.
+    /// `1` (the default) reproduces the original single-scanner layout
+    /// bit-for-bit on single-node tiers.
+    pub scan_shards: usize,
+    /// Maximum pages handed to one batched migration call when draining a
+    /// promote list (Nomad-style `migrate_pages` batching). `1` (the
+    /// default) migrates page-at-a-time, bit-identical to the unbatched
+    /// path; larger values amortize the per-call setup cost.
+    pub migrate_batch_size: usize,
     /// How the promote path reacts to transient migration failures
     /// (destination full, page transiently locked). The default,
     /// [`RetryPolicy::immediate`], allows a single attempt — exactly the
@@ -49,6 +61,8 @@ impl Default for MultiClockConfig {
             adaptive_interval: false,
             min_interval: Nanos::from_millis(100),
             max_interval: Nanos::from_secs(60),
+            scan_shards: 1,
+            migrate_batch_size: 1,
             retry: RetryPolicy::immediate(),
         }
     }
@@ -81,6 +95,11 @@ impl MultiClockConfig {
         assert!(
             self.min_interval <= self.max_interval,
             "adaptive interval bounds inverted"
+        );
+        assert!(self.scan_shards > 0, "scan shards must be positive");
+        assert!(
+            self.migrate_batch_size > 0,
+            "migrate batch size must be positive"
         );
         assert!(
             self.retry.is_valid(),
@@ -115,6 +134,33 @@ mod tests {
     fn zero_batch_rejected() {
         let c = MultiClockConfig {
             scan_batch: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn defaults_are_unsharded_and_unbatched() {
+        let c = MultiClockConfig::default();
+        assert_eq!(c.scan_shards, 1);
+        assert_eq!(c.migrate_batch_size, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan shards")]
+    fn zero_shards_rejected() {
+        let c = MultiClockConfig {
+            scan_shards: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "migrate batch")]
+    fn zero_migrate_batch_rejected() {
+        let c = MultiClockConfig {
+            migrate_batch_size: 0,
             ..Default::default()
         };
         c.validate();

@@ -57,7 +57,7 @@ pub mod stats;
 pub mod validate;
 
 pub use config::MultiClockConfig;
-pub use lists::{ListSet, TierLists, WhichList};
+pub use lists::{ListSet, TierLists, TierShards, WhichList};
 pub use multi_clock::MultiClock;
 pub use state::PageState;
 pub use stats::MultiClockStats;

@@ -160,12 +160,143 @@ impl TierLists {
     }
 }
 
+/// A tier's lists, split into independent per-node shards.
+///
+/// The paper runs `kpromoted` as a *per-node* daemon; HM-Keeper makes the
+/// same point for scan scalability. Each shard owns a full [`TierLists`]
+/// (anon/file × inactive/active/promote + unevictable) and is scanned
+/// independently each tick. Frames are assigned to shards statically by
+/// the policy (node-of-frame × configured shards-per-node), so a frame
+/// lives on exactly one shard for as long as it stays in the tier. With
+/// one shard this degenerates to exactly the unsharded structure.
+#[derive(Debug, Clone)]
+pub struct TierShards {
+    shards: Vec<TierLists>,
+}
+
+impl TierShards {
+    /// Creates `count` empty shards (`count` is clamped to at least 1).
+    pub fn new(count: usize) -> Self {
+        TierShards {
+            shards: vec![TierLists::new(); count.max(1)],
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The lists of one shard.
+    pub fn shard(&self, i: usize) -> &TierLists {
+        &self.shards[i]
+    }
+
+    /// Mutable lists of one shard.
+    pub fn shard_mut(&mut self, i: usize) -> &mut TierLists {
+        &mut self.shards[i]
+    }
+
+    /// Iterates the shards in order.
+    pub fn shards(&self) -> impl Iterator<Item = &TierLists> {
+        self.shards.iter()
+    }
+
+    /// Total tracked pages across all shards (including unevictable).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(TierLists::len).sum()
+    }
+
+    /// Whether no page is tracked on any shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(TierLists::is_empty)
+    }
+
+    /// Whether any shard holds the frame.
+    pub fn contains(&self, frame: FrameId) -> bool {
+        self.shards.iter().any(|s| s.contains(frame))
+    }
+
+    /// Whether any shard's set for `kind` holds the frame on list `which`.
+    pub fn on_list(&self, kind: PageKind, which: WhichList, frame: FrameId) -> bool {
+        self.shards.iter().any(|s| match which {
+            WhichList::Unevictable => s.unevictable.contains(frame),
+            WhichList::Inactive | WhichList::Active | WhichList::Promote => {
+                s.set(kind).list(which).contains(frame)
+            }
+        })
+    }
+
+    /// Total length of list `which` for `kind` across shards
+    /// ([`WhichList::Unevictable`] ignores `kind`).
+    pub fn list_len(&self, kind: PageKind, which: WhichList) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match which {
+                WhichList::Unevictable => s.unevictable.len(),
+                WhichList::Inactive | WhichList::Active | WhichList::Promote => {
+                    s.set(kind).list(which).len()
+                }
+            })
+            .sum()
+    }
+
+    /// Whether any shard's unevictable list holds the frame.
+    pub fn unevictable_contains(&self, frame: FrameId) -> bool {
+        self.shards.iter().any(|s| s.unevictable.contains(frame))
+    }
+
+    /// Removes a frame from whichever shard and list holds it.
+    pub fn remove(&mut self, frame: FrameId) -> bool {
+        self.shards.iter_mut().any(|s| s.remove(frame))
+    }
+}
+
+impl Default for TierShards {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn f(i: u32) -> FrameId {
         FrameId::new(i)
+    }
+
+    #[test]
+    fn shards_aggregate_and_route() {
+        let mut t = TierShards::new(2);
+        t.shard_mut(0)
+            .set_mut(PageKind::Anon)
+            .inactive
+            .push_back(f(1));
+        t.shard_mut(1)
+            .set_mut(PageKind::Anon)
+            .promote
+            .push_back(f(2));
+        t.shard_mut(1).unevictable.push_back(f(3));
+        assert_eq!(t.shard_count(), 2);
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(f(1)) && t.contains(f(2)) && t.contains(f(3)));
+        assert!(t.on_list(PageKind::Anon, WhichList::Inactive, f(1)));
+        assert!(t.on_list(PageKind::Anon, WhichList::Promote, f(2)));
+        assert!(!t.on_list(PageKind::File, WhichList::Promote, f(2)));
+        assert!(t.on_list(PageKind::Anon, WhichList::Unevictable, f(3)));
+        assert!(t.unevictable_contains(f(3)));
+        assert_eq!(t.list_len(PageKind::Anon, WhichList::Promote), 1);
+        assert!(t.remove(f(2)));
+        assert!(!t.remove(f(2)));
+        assert_eq!(t.list_len(PageKind::Anon, WhichList::Promote), 0);
+    }
+
+    #[test]
+    fn zero_shard_count_clamps_to_one() {
+        let t = TierShards::new(0);
+        assert_eq!(t.shard_count(), 1);
+        assert!(t.is_empty());
     }
 
     #[test]

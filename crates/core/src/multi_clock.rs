@@ -4,7 +4,7 @@
 //! [`crate::reclaim`].
 
 use crate::config::MultiClockConfig;
-use crate::lists::TierLists;
+use crate::lists::{TierLists, TierShards};
 use crate::state::PageState;
 use crate::stats::MultiClockStats;
 use mc_mem::{
@@ -15,15 +15,23 @@ use mc_obs::{saturating_bump, EventKind};
 
 /// The MULTI-CLOCK dynamic tiering policy.
 ///
-/// Keeps one [`TierLists`] per tier, a per-frame [`PageState`] table, and
-/// implements the paper's page state machine: supervised accesses step the
-/// ladder immediately (`mark_page_accessed()`), unsupervised accesses are
+/// Keeps one [`TierShards`] per tier (per-node list shards, each a full
+/// [`TierLists`]), a per-frame [`PageState`] table, and implements the
+/// paper's page state machine: supervised accesses step the ladder
+/// immediately (`mark_page_accessed()`), unsupervised accesses are
 /// observed via harvested PTE reference bits during `kpromoted` scans, and
-/// the promote lists of lower tiers are drained upwards every tick.
+/// the promote lists of lower tiers are drained upwards — in batches —
+/// every tick. Each frame is statically assigned to one shard of its tier
+/// (by NUMA node, split further by `scan_shards`), mirroring the paper's
+/// one-`kpromoted`-per-node design.
 #[derive(Debug)]
 pub struct MultiClock {
     pub(crate) cfg: MultiClockConfig,
-    pub(crate) tiers: Vec<TierLists>,
+    pub(crate) tiers: Vec<TierShards>,
+    /// Shard index (within the owning tier's [`TierShards`]) of each
+    /// frame. Static for the machine's lifetime: a frame that migrates
+    /// lands on the shard its *new* frame number maps to.
+    pub(crate) shard_table: Vec<u16>,
     pub(crate) states: Vec<Option<PageState>>,
     pub(crate) stats: MultiClockStats,
     /// Current scan interval (equals `cfg.scan_interval` unless the
@@ -63,11 +71,29 @@ impl MultiClock {
     pub fn new(cfg: MultiClockConfig, topology: &Topology) -> Self {
         cfg.validate();
         let current_interval = cfg.scan_interval;
+        // One shard group per NUMA node (the paper's per-node kpromoted),
+        // each node split further into `scan_shards` stripes. Frames are
+        // striped across a node's shards by frame number, so the table is
+        // static and a lookup is one index.
+        let spn = cfg.scan_shards;
+        let mut shard_table = vec![0u16; topology.total_pages()];
+        let mut tiers = Vec::with_capacity(topology.tier_count());
+        for t in 0..topology.tier_count() {
+            let tier = TierId::new(t as u8);
+            let mut node_ord = 0usize;
+            for node in topology.nodes().iter().filter(|n| n.tier() == tier) {
+                let base = node.first_frame().index();
+                for f in node.frames() {
+                    shard_table[f.index()] = (node_ord * spn + (f.index() - base) % spn) as u16;
+                }
+                node_ord += 1;
+            }
+            tiers.push(TierShards::new(node_ord.max(1) * spn));
+        }
         MultiClock {
             cfg,
-            tiers: (0..topology.tier_count())
-                .map(|_| TierLists::new())
-                .collect(),
+            tiers,
+            shard_table,
             states: vec![None; topology.total_pages()],
             stats: MultiClockStats::default(),
             current_interval,
@@ -100,10 +126,21 @@ impl MultiClock {
         self.in_flight
     }
 
-    /// The list structure of one tier (read-only; used by tests and the
-    /// invariant checker).
-    pub fn tier_lists(&self, tier: TierId) -> &TierLists {
+    /// The sharded list structure of one tier (read-only; used by tests
+    /// and the invariant checker).
+    pub fn tier_lists(&self, tier: TierId) -> &TierShards {
         &self.tiers[tier.index()]
+    }
+
+    /// The shard (within its tier's [`TierShards`]) a frame belongs to.
+    pub(crate) fn shard_of(&self, frame: FrameId) -> usize {
+        self.shard_table[frame.index()] as usize
+    }
+
+    /// The mutable shard lists a frame belongs to on the given tier.
+    pub(crate) fn shard_lists_mut(&mut self, tier: TierId, frame: FrameId) -> &mut TierLists {
+        let s = self.shard_table[frame.index()] as usize;
+        self.tiers[tier.index()].shard_mut(s)
     }
 
     /// Pins a page: moves it to the unevictable list; it will never be
@@ -114,7 +151,9 @@ impl MultiClock {
         }
         let tier = mem.frame(frame).tier();
         self.tiers[tier.index()].remove(frame);
-        self.tiers[tier.index()].unevictable.push_back(frame);
+        self.shard_lists_mut(tier, frame)
+            .unevictable
+            .push_back(frame);
         self.states[frame.index()] = Some(PageState::Unevictable);
         self.retry_state[frame.index()] = None;
         self.sync_flags(mem, frame, PageState::Unevictable);
@@ -127,11 +166,9 @@ impl MultiClock {
         }
         let tier = mem.frame(frame).tier();
         let kind = mem.frame(frame).kind();
-        self.tiers[tier.index()].unevictable.remove(frame);
-        self.tiers[tier.index()]
-            .set_mut(kind)
-            .inactive
-            .push_back(frame);
+        let lists = self.shard_lists_mut(tier, frame);
+        lists.unevictable.remove(frame);
+        lists.set_mut(kind).inactive.push_back(frame);
         self.states[frame.index()] = Some(PageState::InactiveUnref);
         self.sync_flags(mem, frame, PageState::InactiveUnref);
     }
@@ -158,7 +195,7 @@ impl MultiClock {
         let tier = mem.frame(frame).tier();
         let kind = mem.frame(frame).kind();
         // fig4: 5 — a new mapping enters at the bottom of the ladder.
-        self.tiers[tier.index()]
+        self.shard_lists_mut(tier, frame)
             .set_mut(kind)
             .inactive
             .push_back(frame);
@@ -228,7 +265,7 @@ impl MultiClock {
                 break;
             }
             if new.list() != st.list() {
-                let set = self.tiers[tier.index()].set_mut(kind);
+                let set = self.shard_lists_mut(tier, frame).set_mut(kind);
                 set.list_mut(st.list()).remove(frame);
                 set.list_mut(new.list()).push_back(frame);
                 match new {
@@ -291,7 +328,7 @@ impl MultiClock {
         };
         let tier = mem.frame(frame).tier();
         let kind = mem.frame(frame).kind();
-        let set = self.tiers[tier.index()].set_mut(kind);
+        let set = self.shard_lists_mut(tier, frame).set_mut(kind);
         set.list_mut(st.list()).remove(frame);
         set.list_mut(new_state.list()).push_back(frame);
         self.states[frame.index()] = Some(new_state);
@@ -321,7 +358,7 @@ impl MultiClock {
         }
         let tier = mem.frame(new_frame).tier();
         let kind = mem.frame(new_frame).kind();
-        self.tiers[tier.index()]
+        self.shard_lists_mut(tier, new_frame)
             .set_mut(kind)
             .list_mut(landing_state.list())
             .push_back(new_frame);
@@ -417,7 +454,12 @@ mod tests {
         let (mut mem, mut mc) = setup();
         let f = map_one(&mut mem, &mut mc, 1);
         assert_eq!(mc.state_of(f), Some(PageState::InactiveUnref));
-        assert!(mc.tier_lists(TierId::TOP).anon.inactive.contains(f));
+        assert!(mc
+            .tier_lists(TierId::TOP)
+            .shard(0)
+            .anon
+            .inactive
+            .contains(f));
         assert!(mem.frame(f).flags().contains(PageFlags::LRU));
         assert!(!mem.frame(f).flags().contains(PageFlags::ACTIVE));
     }
@@ -438,7 +480,7 @@ mod tests {
             assert_eq!(mc.state_of(f), Some(expected));
         }
         let lists = mc.tier_lists(TierId::TOP);
-        assert!(lists.anon.promote.contains(f));
+        assert!(lists.shard(0).anon.promote.contains(f));
         assert!(mem.frame(f).flags().contains(PageFlags::PROMOTE));
         assert_eq!(mc.stats().activations, 1);
         assert_eq!(mc.stats().promote_enqueues, 1);
@@ -461,14 +503,19 @@ mod tests {
         let f = map_one(&mut mem, &mut mc, 1);
         mc.mlock(&mut mem, f);
         assert_eq!(mc.state_of(f), Some(PageState::Unevictable));
-        assert!(mc.tier_lists(TierId::TOP).unevictable.contains(f));
+        assert!(mc.tier_lists(TierId::TOP).shard(0).unevictable.contains(f));
         assert!(mem.frame(f).flags().contains(PageFlags::UNEVICTABLE));
         // Accesses do not move unevictable pages.
         mc.on_supervised_access(&mut mem, f, AccessKind::Read);
         assert_eq!(mc.state_of(f), Some(PageState::Unevictable));
         mc.munlock(&mut mem, f);
         assert_eq!(mc.state_of(f), Some(PageState::InactiveUnref));
-        assert!(mc.tier_lists(TierId::TOP).anon.inactive.contains(f));
+        assert!(mc
+            .tier_lists(TierId::TOP)
+            .shard(0)
+            .anon
+            .inactive
+            .contains(f));
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl MultiClock {
                 if budget == 0 {
                     break;
                 }
-                match self.shrink_inactive_one(mem, tier, kind, force) {
+                match self.shrink_inactive_any(mem, tier, kind, force) {
                     ShrinkResult::Demoted => {
                         out.demoted += 1;
                         out.pages_scanned += 1;
@@ -129,7 +129,7 @@ impl MultiClock {
                     if budget == 0 {
                         break;
                     }
-                    if self.shrink_active_one(mem, tier, kind, force) {
+                    if self.shrink_active_any(mem, tier, kind, force) {
                         budget -= 1;
                         out.pages_scanned += 1;
                         refilled = true;
@@ -170,19 +170,21 @@ impl MultiClock {
     ) -> u64 {
         let tier_pages = mem.topology().tier(tier).pages();
         let mut scanned = 0;
-        for kind in PageKind::ALL {
-            let mut visits = self.tiers[tier.index()].set(kind).active.len();
-            while *budget > 0 && visits > 0 {
-                let set = self.tiers[tier.index()].set(kind);
-                if !inactive_is_low(set.active.len(), set.inactive.len(), tier_pages) {
-                    break;
+        for shard in 0..self.tiers[tier.index()].shard_count() {
+            for kind in PageKind::ALL {
+                let mut visits = self.tiers[tier.index()].shard(shard).set(kind).active.len();
+                while *budget > 0 && visits > 0 {
+                    let set = self.tiers[tier.index()].shard(shard).set(kind);
+                    if !inactive_is_low(set.active.len(), set.inactive.len(), tier_pages) {
+                        break;
+                    }
+                    if !self.shrink_active_one(mem, tier, shard, kind, force) {
+                        break;
+                    }
+                    visits -= 1;
+                    *budget -= 1;
+                    scanned += 1;
                 }
-                if !self.shrink_active_one(mem, tier, kind, force) {
-                    break;
-                }
-                visits -= 1;
-                *budget -= 1;
-                scanned += 1;
             }
         }
         scanned
@@ -191,27 +193,71 @@ impl MultiClock {
     /// Moves every promote-list page of the top tier to its active list
     /// (promotion is impossible there).
     fn flush_promote_to_active(&mut self, mem: &mut MemorySystem, tier: TierId) {
-        for kind in PageKind::ALL {
-            let pages = self.tiers[tier.index()].set_mut(kind).promote.drain();
-            for frame in pages {
-                // fig4: 11 — flush: promote pages rejoin the active
-                // list. Promote pages were referenced repeatedly; parking them
-                // as ActiveRef keeps the hot core two decay steps away
-                // from deactivation (otherwise reclaim would demote the
-                // hottest pages of the tier right after flushing them).
-                self.tiers[tier.index()]
+        for shard in 0..self.tiers[tier.index()].shard_count() {
+            for kind in PageKind::ALL {
+                let pages = self.tiers[tier.index()]
+                    .shard_mut(shard)
                     .set_mut(kind)
-                    .active
-                    .push_back(frame);
-                self.states[frame.index()] = Some(PageState::ActiveRef);
-                self.sync_flags(mem, frame, PageState::ActiveRef);
-                mem.recorder_mut().emit(|| EventKind::Fig4 {
-                    edge: 11,
-                    frame: frame.index() as u64,
-                    tier: tier.index() as u8,
-                });
+                    .promote
+                    .drain();
+                for frame in pages {
+                    // fig4: 11 — flush: promote pages rejoin the active
+                    // list. Promote pages were referenced repeatedly; parking
+                    // them as ActiveRef keeps the hot core two decay steps
+                    // away from deactivation (otherwise reclaim would demote
+                    // the hottest pages of the tier right after flushing
+                    // them).
+                    self.tiers[tier.index()]
+                        .shard_mut(shard)
+                        .set_mut(kind)
+                        .active
+                        .push_back(frame);
+                    self.states[frame.index()] = Some(PageState::ActiveRef);
+                    self.sync_flags(mem, frame, PageState::ActiveRef);
+                    mem.recorder_mut().emit(|| EventKind::Fig4 {
+                        edge: 11,
+                        frame: frame.index() as u64,
+                        tier: tier.index() as u8,
+                    });
+                }
             }
         }
+    }
+
+    /// [`Self::shrink_active_one`] over shards in order: the first shard
+    /// with a non-empty active list is shrunk. Returns whether any page
+    /// was processed.
+    fn shrink_active_any(
+        &mut self,
+        mem: &mut MemorySystem,
+        tier: TierId,
+        kind: PageKind,
+        force: bool,
+    ) -> bool {
+        for shard in 0..self.tiers[tier.index()].shard_count() {
+            if self.shrink_active_one(mem, tier, shard, kind, force) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`Self::shrink_inactive_one`] over shards in order: the first shard
+    /// whose inactive list yields a page decides the result.
+    fn shrink_inactive_any(
+        &mut self,
+        mem: &mut MemorySystem,
+        tier: TierId,
+        kind: PageKind,
+        force: bool,
+    ) -> ShrinkResult {
+        for shard in 0..self.tiers[tier.index()].shard_count() {
+            let r = self.shrink_inactive_one(mem, tier, shard, kind, force);
+            if r != ShrinkResult::Empty {
+                return r;
+            }
+        }
+        ShrinkResult::Empty
     }
 
     /// One `shrink_active_list()` step: the oldest active page either
@@ -221,14 +267,21 @@ impl MultiClock {
         &mut self,
         mem: &mut MemorySystem,
         tier: TierId,
+        shard: usize,
         kind: PageKind,
         force: bool,
     ) -> bool {
-        let Some(frame) = self.tiers[tier.index()].set_mut(kind).active.pop_front() else {
+        let Some(frame) = self.tiers[tier.index()]
+            .shard_mut(shard)
+            .set_mut(kind)
+            .active
+            .pop_front()
+        else {
             return false;
         };
         // Re-insert so ladder moves operate on a member page.
         self.tiers[tier.index()]
+            .shard_mut(shard)
             .set_mut(kind)
             .active
             .push_back(frame);
@@ -272,15 +325,22 @@ impl MultiClock {
         &mut self,
         mem: &mut MemorySystem,
         tier: TierId,
+        shard: usize,
         kind: PageKind,
         force: bool,
     ) -> ShrinkResult {
-        let Some(frame) = self.tiers[tier.index()].set_mut(kind).inactive.pop_front() else {
+        let Some(frame) = self.tiers[tier.index()]
+            .shard_mut(shard)
+            .set_mut(kind)
+            .inactive
+            .pop_front()
+        else {
             return ShrinkResult::Empty;
         };
         if mem.harvest_referenced(frame) {
             // Referenced: rotate and step the ladder (transitions 1/6).
             self.tiers[tier.index()]
+                .shard_mut(shard)
                 .set_mut(kind)
                 .inactive
                 .push_back(frame);
@@ -295,6 +355,7 @@ impl MultiClock {
             // rotation so it cannot livelock when everything was just
             // touched.
             self.tiers[tier.index()]
+                .shard_mut(shard)
                 .set_mut(kind)
                 .inactive
                 .push_back(frame);
@@ -311,6 +372,7 @@ impl MultiClock {
         }
         if !mem.frame(frame).migratable() {
             self.tiers[tier.index()]
+                .shard_mut(shard)
                 .set_mut(kind)
                 .inactive
                 .push_back(frame);
@@ -371,7 +433,7 @@ impl MultiClock {
                                 ShrinkResult::Demoted
                             }
                             Err(_) => {
-                                self.tiers[tier.index()]
+                                self.shard_lists_mut(tier, frame)
                                     .set_mut(kind)
                                     .inactive
                                     .push_back(frame);
@@ -380,7 +442,7 @@ impl MultiClock {
                         }
                     }
                     Err(_) => {
-                        self.tiers[tier.index()]
+                        self.shard_lists_mut(tier, frame)
                             .set_mut(kind)
                             .inactive
                             .push_back(frame);
@@ -401,7 +463,7 @@ impl MultiClock {
                     ShrinkResult::Evicted
                 }
                 Err(_) => {
-                    self.tiers[tier.index()]
+                    self.shard_lists_mut(tier, frame)
                         .set_mut(kind)
                         .inactive
                         .push_back(frame);
@@ -566,10 +628,10 @@ mod tests {
             mc.on_supervised_access(&mut mem, *f, AccessKind::Read);
             mc.on_supervised_access(&mut mem, *f, AccessKind::Read);
         }
-        let lists = mc.tier_lists(TierId::TOP);
+        let lists = mc.tier_lists(TierId::TOP).shard(0);
         assert!(lists.anon.active.len() > lists.anon.inactive.len());
         mc.on_pressure(&mut mem, TierId::TOP, Nanos::ZERO);
-        let lists = mc.tier_lists(TierId::TOP);
+        let lists = mc.tier_lists(TierId::TOP).shard(0);
         let tier_pages = mem.topology().tier(TierId::TOP).pages();
         assert!(
             !inactive_is_low(

@@ -3,19 +3,21 @@
 
 use crate::multi_clock::MultiClock;
 use crate::state::PageState;
-use mc_mem::{MemError, MemorySystem, Nanos, PageKind, TickOutcome, TierId};
+use mc_mem::{FrameId, MemError, MemorySystem, Nanos, PageKind, TickOutcome, TierId};
 use mc_obs::{saturating_add, saturating_bump, EventKind};
 
 impl MultiClock {
     /// One `kpromoted` wake-up:
     ///
-    /// 1. scan every list of every tier (up to `scan_batch` pages per
-    ///    list), harvesting PTE reference bits and applying the Fig. 4
-    ///    transitions — this is how *unsupervised* (mmap) accesses are
-    ///    observed;
+    /// 1. scan every list of every shard of every tier (up to
+    ///    `scan_batch` pages per list — each shard models an independent
+    ///    per-node daemon and gets its own full budget), harvesting PTE
+    ///    reference bits and applying the Fig. 4 transitions — this is how
+    ///    *unsupervised* (mmap) accesses are observed;
     /// 2. promote **all** pages on lower tiers' promote lists ("once a
     ///    page is selected for promotion, the page gets promoted to the
-    ///    DRAM in the same kpromoted run");
+    ///    DRAM in the same kpromoted run"), in `migrate_batch_size`
+    ///    batches;
     /// 3. run the reclaim path on any tier below its low watermark;
     /// 4. optionally adapt the scan interval (§VII extension).
     pub(crate) fn kpromoted_run(&mut self, mem: &mut MemorySystem, now: Nanos) -> TickOutcome {
@@ -28,20 +30,22 @@ impl MultiClock {
 
         for tier in 0..tier_count {
             let tier = TierId::new(tier as u8);
-            for kind in PageKind::ALL {
-                // Ageing of unreferenced promote pages (transition 11)
-                // only ever applies to the top tier: a lower tier's
-                // promote list is drained by the promotion phase of the
-                // same run that populated it (deferred retry candidates
-                // may sit across runs, but those are waiting out a
-                // backoff, not ageing). It runs before the other scans so
-                // pages entering the promote list during this very scan
-                // are not aged before the promote phase sees them.
-                if tier.is_top() {
-                    out.pages_scanned += self.scan_promote(mem, tier, kind);
+            for shard in 0..self.tiers[tier.index()].shard_count() {
+                for kind in PageKind::ALL {
+                    // Ageing of unreferenced promote pages (transition 11)
+                    // only ever applies to the top tier: a lower tier's
+                    // promote list is drained by the promotion phase of the
+                    // same run that populated it (deferred retry candidates
+                    // may sit across runs, but those are waiting out a
+                    // backoff, not ageing). It runs before the other scans
+                    // so pages entering the promote list during this very
+                    // scan are not aged before the promote phase sees them.
+                    if tier.is_top() {
+                        out.pages_scanned += self.scan_promote(mem, tier, shard, kind);
+                    }
+                    out.pages_scanned += self.scan_inactive(mem, tier, shard, kind);
+                    out.pages_scanned += self.scan_active(mem, tier, shard, kind);
                 }
-                out.pages_scanned += self.scan_inactive(mem, tier, kind);
-                out.pages_scanned += self.scan_active(mem, tier, kind);
             }
         }
 
@@ -76,19 +80,35 @@ impl MultiClock {
         out
     }
 
-    /// Scans up to `scan_batch` pages of one inactive list. Referenced
-    /// pages step the ladder; unreferenced pages simply rotate.
-    fn scan_inactive(&mut self, mem: &mut MemorySystem, tier: TierId, kind: PageKind) -> u64 {
-        let len = self.tiers[tier.index()].set(kind).inactive.len();
+    /// Scans up to `scan_batch` pages of one shard's inactive list.
+    /// Referenced pages step the ladder; unreferenced pages simply rotate.
+    fn scan_inactive(
+        &mut self,
+        mem: &mut MemorySystem,
+        tier: TierId,
+        shard: usize,
+        kind: PageKind,
+    ) -> u64 {
+        let len = self.tiers[tier.index()]
+            .shard(shard)
+            .set(kind)
+            .inactive
+            .len();
         let budget = len.min(self.cfg.scan_batch);
         let mut scanned = 0;
         for _ in 0..budget {
-            let Some(frame) = self.tiers[tier.index()].set_mut(kind).inactive.pop_front() else {
+            let Some(frame) = self.tiers[tier.index()]
+                .shard_mut(shard)
+                .set_mut(kind)
+                .inactive
+                .pop_front()
+            else {
                 break;
             };
             scanned += 1;
             // Rotate first so the ladder's list moves see a member page.
             self.tiers[tier.index()]
+                .shard_mut(shard)
                 .set_mut(kind)
                 .inactive
                 .push_back(frame);
@@ -119,17 +139,29 @@ impl MultiClock {
         scanned
     }
 
-    /// Scans up to `scan_batch` pages of one active list.
-    fn scan_active(&mut self, mem: &mut MemorySystem, tier: TierId, kind: PageKind) -> u64 {
-        let len = self.tiers[tier.index()].set(kind).active.len();
+    /// Scans up to `scan_batch` pages of one shard's active list.
+    fn scan_active(
+        &mut self,
+        mem: &mut MemorySystem,
+        tier: TierId,
+        shard: usize,
+        kind: PageKind,
+    ) -> u64 {
+        let len = self.tiers[tier.index()].shard(shard).set(kind).active.len();
         let budget = len.min(self.cfg.scan_batch);
         let mut scanned = 0;
         for _ in 0..budget {
-            let Some(frame) = self.tiers[tier.index()].set_mut(kind).active.pop_front() else {
+            let Some(frame) = self.tiers[tier.index()]
+                .shard_mut(shard)
+                .set_mut(kind)
+                .active
+                .pop_front()
+            else {
                 break;
             };
             scanned += 1;
             self.tiers[tier.index()]
+                .shard_mut(shard)
                 .set_mut(kind)
                 .active
                 .push_back(frame);
@@ -157,18 +189,34 @@ impl MultiClock {
         scanned
     }
 
-    /// Scans one promote list: referenced pages stay (transition 12),
-    /// unreferenced pages age back to the active list (transition 11).
-    fn scan_promote(&mut self, mem: &mut MemorySystem, tier: TierId, kind: PageKind) -> u64 {
-        let len = self.tiers[tier.index()].set(kind).promote.len();
+    /// Scans one shard's promote list: referenced pages stay (transition
+    /// 12), unreferenced pages age back to the active list (transition 11).
+    fn scan_promote(
+        &mut self,
+        mem: &mut MemorySystem,
+        tier: TierId,
+        shard: usize,
+        kind: PageKind,
+    ) -> u64 {
+        let len = self.tiers[tier.index()]
+            .shard(shard)
+            .set(kind)
+            .promote
+            .len();
         let budget = len.min(self.cfg.scan_batch);
         let mut scanned = 0;
         for _ in 0..budget {
-            let Some(frame) = self.tiers[tier.index()].set_mut(kind).promote.pop_front() else {
+            let Some(frame) = self.tiers[tier.index()]
+                .shard_mut(shard)
+                .set_mut(kind)
+                .promote
+                .pop_front()
+            else {
                 break;
             };
             scanned += 1;
             self.tiers[tier.index()]
+                .shard_mut(shard)
                 .set_mut(kind)
                 .promote
                 .push_back(frame);
@@ -193,12 +241,15 @@ impl MultiClock {
         scanned
     }
 
-    /// Migrates every page on `tier`'s promote lists to the next tier up
-    /// (Fig. 4 transition 13). Returns the number of pages promoted.
+    /// Migrates every page on `tier`'s promote lists (all shards) to the
+    /// next tier up (Fig. 4 transition 13), handing the memory system up
+    /// to `migrate_batch_size` pages per call so the per-call setup cost
+    /// is amortized. Returns the number of pages promoted.
     ///
     /// A page that cannot move (locked, or no room upstairs even after one
     /// round of reclaim there) falls back to the active list, as the paper
-    /// prescribes.
+    /// prescribes. With `migrate_batch_size == 1` the migration call
+    /// sequence is exactly the historical page-at-a-time behaviour.
     pub(crate) fn promote_all(&mut self, mem: &mut MemorySystem, tier: TierId) -> u64 {
         let Some(upper) = tier.upper() else {
             return 0;
@@ -210,113 +261,170 @@ impl MultiClock {
         // for more than exists is safe).
         let demand: usize = PageKind::ALL
             .iter()
-            .map(|k| self.tiers[tier.index()].set(*k).promote.len())
+            .map(|k| self.tiers[tier.index()].list_len(*k, crate::lists::WhichList::Promote))
             .sum();
-        for kind in PageKind::ALL {
-            let mut candidates = self.tiers[tier.index()].set_mut(kind).promote.drain();
-            // Rotate the drain order each run. Candidate order is
-            // otherwise a stable cycle (scan rotation is deterministic),
-            // and when room is scarcer than candidates the same prefix
-            // would win every run, starving equally-worthy pages; in a
-            // real kernel timing jitter provides this fairness.
-            if !candidates.is_empty() {
-                let shift = self.stats.ticks as usize % candidates.len();
-                candidates.rotate_left(shift);
-            }
-            // §VII write-weight extension: dirtiness joins the importance
-            // formula at *placement* time — when slots upstairs are
-            // scarce, write-hot pages (whose lower-tier stores are the
-            // most expensive accesses) get first claim.
-            if self.cfg.write_weight > 1.0 {
-                candidates.sort_by_key(|f| {
-                    std::cmp::Reverse(mem.frame(*f).flags().contains(mc_mem::PageFlags::DIRTY))
-                });
-            }
-            // The drained candidates are tracked but on no list until each
-            // is retracked below; suspend invariant validation meanwhile.
-            self.in_flight += candidates.len();
-            let drained = candidates.len();
-            if drained > 0 {
-                mem.recorder_mut().emit(|| EventKind::PromoteDrain {
-                    tier: tier.index() as u8,
-                    drained: drained as u32,
-                });
-            }
-            for frame in candidates {
-                // A candidate still serving a retry backoff is requeued at
-                // the tail untouched; its next attempt waits for
-                // `eligible_tick`.
-                if let Some(rs) = self.retry_state[frame.index()] {
-                    if rs.eligible_tick > self.stats.ticks {
-                        self.tiers[tier.index()]
-                            .set_mut(kind)
-                            .promote
-                            .push_back(frame);
-                        self.in_flight -= 1;
-                        continue;
-                    }
+        let batch = self.cfg.migrate_batch_size;
+        for shard in 0..self.tiers[tier.index()].shard_count() {
+            for kind in PageKind::ALL {
+                let mut candidates = self.tiers[tier.index()]
+                    .shard_mut(shard)
+                    .set_mut(kind)
+                    .promote
+                    .drain();
+                // Rotate the drain order each run. Candidate order is
+                // otherwise a stable cycle (scan rotation is deterministic),
+                // and when room is scarcer than candidates the same prefix
+                // would win every run, starving equally-worthy pages; in a
+                // real kernel timing jitter provides this fairness.
+                if !candidates.is_empty() {
+                    let shift = self.stats.ticks as usize % candidates.len();
+                    candidates.rotate_left(shift);
                 }
-                // drain() detached the page; state table still says Promote.
-                match mem.migrate(frame, upper) {
-                    Ok(new_frame) => {
-                        // fig4: 13 — promotion lands active-referenced.
-                        self.retrack_after_migration(mem, frame, new_frame, PageState::ActiveRef);
-                        saturating_bump(&mut self.stats.promotions);
-                        promoted += 1;
-                        mem.recorder_mut().emit(|| EventKind::Fig4 {
-                            edge: 13,
-                            frame: new_frame.index() as u64,
-                            tier: upper.index() as u8,
-                        });
-                    }
-                    Err(MemError::TierFull(_)) => {
-                        // "If the higher-performing tier is also under
-                        // memory pressure, promotions from the lower tier
-                        // result in immediate page demotions from the
-                        // higher tier." Room-making is *gentle* (only
-                        // truly cold pages move down) and attempted once
-                        // per run; when the upper tier is all-hot the
-                        // remaining candidates fall back to the active
-                        // list instead of displacing hot pages.
-                        if !tried_reclaim && !self.pressure_guard[upper.index()] {
-                            tried_reclaim = true;
-                            self.run_pressure_toward(mem, upper, false, Some(demand));
-                        }
-                        match mem.migrate(frame, upper) {
-                            Ok(new_frame) => {
-                                self.retrack_after_migration(
-                                    mem,
-                                    frame,
-                                    new_frame,
-                                    PageState::ActiveRef,
-                                );
-                                saturating_bump(&mut self.stats.promotions);
-                                promoted += 1;
-                                mem.recorder_mut().emit(|| EventKind::Fig4 {
-                                    edge: 13,
-                                    frame: new_frame.index() as u64,
-                                    tier: upper.index() as u8,
-                                });
-                            }
-                            // Still-full destination and transient locks
-                            // are retryable; anything else is permanent.
-                            Err(MemError::TierFull(_) | MemError::FrameLocked(_)) => {
-                                self.promote_retry_or_fallback(mem, frame, tier, kind);
-                            }
-                            Err(_) => self.promote_fallback(mem, frame, tier, kind),
+                // §VII write-weight extension: dirtiness joins the
+                // importance formula at *placement* time — when slots
+                // upstairs are scarce, write-hot pages (whose lower-tier
+                // stores are the most expensive accesses) get first claim.
+                if self.cfg.write_weight > 1.0 {
+                    candidates.sort_by_key(|f| {
+                        std::cmp::Reverse(mem.frame(*f).flags().contains(mc_mem::PageFlags::DIRTY))
+                    });
+                }
+                // The drained candidates are tracked but on no list until
+                // each is retracked below; suspend invariant validation.
+                self.in_flight += candidates.len();
+                let drained = candidates.len();
+                if drained > 0 {
+                    mem.recorder_mut().emit(|| EventKind::PromoteDrain {
+                        tier: tier.index() as u8,
+                        drained: drained as u32,
+                    });
+                }
+                let mut pending: Vec<FrameId> = Vec::with_capacity(batch.min(drained.max(1)));
+                for frame in candidates {
+                    // A candidate still serving a retry backoff is requeued
+                    // at the tail untouched; its next attempt waits for
+                    // `eligible_tick`.
+                    if let Some(rs) = self.retry_state[frame.index()] {
+                        if rs.eligible_tick > self.stats.ticks {
+                            self.tiers[tier.index()]
+                                .shard_mut(shard)
+                                .set_mut(kind)
+                                .promote
+                                .push_back(frame);
+                            self.in_flight -= 1;
+                            continue;
                         }
                     }
-                    // A locked page may come unlocked (the kernel's
-                    // `-EAGAIN`): retryable within the episode's budget.
-                    Err(MemError::FrameLocked(_)) => {
-                        self.promote_retry_or_fallback(mem, frame, tier, kind);
+                    // drain() detached the page; the state table still says
+                    // Promote. Batch it up; a full batch flushes at once.
+                    pending.push(frame);
+                    if pending.len() >= batch {
+                        promoted += self.promote_flush(
+                            mem,
+                            &mut pending,
+                            tier,
+                            upper,
+                            kind,
+                            &mut tried_reclaim,
+                            demand,
+                        );
                     }
-                    Err(_) => self.promote_fallback(mem, frame, tier, kind),
                 }
-                self.in_flight -= 1;
+                promoted += self.promote_flush(
+                    mem,
+                    &mut pending,
+                    tier,
+                    upper,
+                    kind,
+                    &mut tried_reclaim,
+                    demand,
+                );
             }
         }
         self.debug_validate(mem);
+        promoted
+    }
+
+    /// Flushes one batch of promote candidates through
+    /// [`MemorySystem::migrate_batch`] and settles every page: successes
+    /// are retracked upstairs (transition 13), transient failures requeue
+    /// or fall back via the retry policy, permanent failures fall back to
+    /// the active list. Returns the number promoted.
+    #[allow(clippy::too_many_arguments)]
+    fn promote_flush(
+        &mut self,
+        mem: &mut MemorySystem,
+        pending: &mut Vec<FrameId>,
+        tier: TierId,
+        upper: TierId,
+        kind: PageKind,
+        tried_reclaim: &mut bool,
+        demand: usize,
+    ) -> u64 {
+        if pending.is_empty() {
+            return 0;
+        }
+        let mut promoted = 0;
+        let results = mem.migrate_batch(pending, upper);
+        for (frame, result) in pending.drain(..).zip(results) {
+            match result {
+                Ok(new_frame) => {
+                    // fig4: 13 — promotion lands active-referenced.
+                    self.retrack_after_migration(mem, frame, new_frame, PageState::ActiveRef);
+                    saturating_bump(&mut self.stats.promotions);
+                    promoted += 1;
+                    mem.recorder_mut().emit(|| EventKind::Fig4 {
+                        edge: 13,
+                        frame: new_frame.index() as u64,
+                        tier: upper.index() as u8,
+                    });
+                }
+                Err(MemError::TierFull(_)) => {
+                    // "If the higher-performing tier is also under
+                    // memory pressure, promotions from the lower tier
+                    // result in immediate page demotions from the
+                    // higher tier." Room-making is *gentle* (only
+                    // truly cold pages move down) and attempted once
+                    // per run; when the upper tier is all-hot the
+                    // remaining candidates fall back to the active
+                    // list instead of displacing hot pages.
+                    if !*tried_reclaim && !self.pressure_guard[upper.index()] {
+                        *tried_reclaim = true;
+                        self.run_pressure_toward(mem, upper, false, Some(demand));
+                    }
+                    match mem.migrate(frame, upper) {
+                        Ok(new_frame) => {
+                            self.retrack_after_migration(
+                                mem,
+                                frame,
+                                new_frame,
+                                PageState::ActiveRef,
+                            );
+                            saturating_bump(&mut self.stats.promotions);
+                            promoted += 1;
+                            mem.recorder_mut().emit(|| EventKind::Fig4 {
+                                edge: 13,
+                                frame: new_frame.index() as u64,
+                                tier: upper.index() as u8,
+                            });
+                        }
+                        // Still-full destination and transient locks
+                        // are retryable; anything else is permanent.
+                        Err(MemError::TierFull(_) | MemError::FrameLocked(_)) => {
+                            self.promote_retry_or_fallback(mem, frame, tier, kind);
+                        }
+                        Err(_) => self.promote_fallback(mem, frame, tier, kind),
+                    }
+                }
+                // A locked page may come unlocked (the kernel's
+                // `-EAGAIN`): retryable within the episode's budget.
+                Err(MemError::FrameLocked(_)) => {
+                    self.promote_retry_or_fallback(mem, frame, tier, kind);
+                }
+                Err(_) => self.promote_fallback(mem, frame, tier, kind),
+            }
+            self.in_flight -= 1;
+        }
         promoted
     }
 
@@ -356,7 +464,7 @@ impl MultiClock {
         saturating_bump(&mut self.stats.promote_retries);
         // Tail requeue: fresh candidates drain first, and the page keeps
         // its Promote state (the episode is paused, not abandoned).
-        self.tiers[tier.index()]
+        self.shard_lists_mut(tier, frame)
             .set_mut(kind)
             .promote
             .push_back(frame);
@@ -379,7 +487,7 @@ impl MultiClock {
         self.retry_state[frame.index()] = None;
         saturating_bump(&mut self.stats.promote_fallbacks);
         // fig4: 11 — no room upstairs; rejoin active as referenced.
-        self.tiers[tier.index()]
+        self.shard_lists_mut(tier, frame)
             .set_mut(kind)
             .active
             .push_back(frame);
@@ -458,7 +566,7 @@ mod tests {
         let nf = mem.translate(VPage::new(1)).unwrap();
         assert_eq!(mem.frame(nf).tier(), TierId::TOP, "page now in DRAM");
         assert_eq!(mc.state_of(nf), Some(PageState::ActiveRef));
-        assert!(mc.tier_lists(TierId::TOP).anon.active.contains(nf));
+        assert!(mc.tier_lists(TierId::TOP).shard(0).anon.active.contains(nf));
         assert_eq!(mc.stats().promotions, 1);
     }
 
@@ -538,7 +646,7 @@ mod tests {
         assert_eq!(out.promoted, 0);
         assert_eq!(mem.frame(f).tier(), pm, "locked page stays put");
         assert_eq!(mc.state_of(f), Some(PageState::ActiveRef));
-        assert!(mc.tier_lists(pm).anon.active.contains(f));
+        assert!(mc.tier_lists(pm).shard(0).anon.active.contains(f));
         assert_eq!(mc.stats().promote_fallbacks, 1);
     }
 
@@ -578,7 +686,10 @@ mod tests {
         assert_eq!(out.promoted, 0);
         assert_eq!(mc.stats().promote_retries, 1);
         assert_eq!(mc.state_of(f), Some(PageState::Promote), "episode paused");
-        assert!(mc.tier_lists(pm).anon.promote.contains(f), "requeued");
+        assert!(
+            mc.tier_lists(pm).shard(0).anon.promote.contains(f),
+            "requeued"
+        );
         mc.assert_invariants(&mem);
 
         // Tier back online: the very next kpromoted run promotes it.
@@ -615,7 +726,7 @@ mod tests {
         assert_eq!(mc.stats().promote_gave_ups, 1);
         assert_eq!(mc.stats().promote_fallbacks, 1);
         assert_eq!(mc.state_of(f), Some(PageState::ActiveRef));
-        assert!(mc.tier_lists(pm).anon.active.contains(f));
+        assert!(mc.tier_lists(pm).shard(0).anon.active.contains(f));
         assert_eq!(mem.translate(VPage::new(1)), Some(f), "page never lost");
         mc.assert_invariants(&mem);
 
@@ -652,7 +763,7 @@ mod tests {
             after_first,
             "deferred candidate must not touch the memory system"
         );
-        assert!(mc.tier_lists(pm).anon.promote.contains(f));
+        assert!(mc.tier_lists(pm).shard(0).anon.promote.contains(f));
         // Tick 3: eligible again — attempt 2 fires (and fails).
         mc.tick(&mut mem, Nanos::from_secs(3));
         assert!(mem.fault_injector().unwrap().stats().offline_rejections > after_first);

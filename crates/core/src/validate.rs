@@ -12,7 +12,10 @@
 //! 5. the page flags mirror the state (`ACTIVE`/`PROMOTE`/`REFERENCED`/
 //!    `UNEVICTABLE`);
 //! 6. retry bookkeeping (a paused promotion episode) exists only for
-//!    pages in `Promote` state.
+//!    pages in `Promote` state;
+//! 7. a frame listed in shard `s` belongs to shard `s` under the static
+//!    frame→shard assignment (sharded scanning never strands a page on a
+//!    foreign shard).
 
 use crate::lists::WhichList;
 use crate::multi_clock::MultiClock;
@@ -46,7 +49,45 @@ impl MultiClock {
 
         for t in 0..tier_count {
             let tier = TierId::new(t as u8);
-            let lists = self.tier_lists(tier);
+            for (shard_idx, lists) in self.tier_lists(tier).shards().enumerate() {
+                self.check_shard(mem, tier, shard_idx, lists, &mut seen, &mut violations);
+            }
+        }
+
+        for raw in 0..mem.total_frames() as u32 {
+            let frame = FrameId::new(raw);
+            if self.state_of(frame).is_some() && !seen.contains(&raw) {
+                violations.push(InvariantViolation {
+                    frame,
+                    message: "tracked but on no list".into(),
+                });
+            }
+            // 6. retry bookkeeping only exists for paused promotion
+            //    episodes, which by definition sit in Promote state.
+            if self.retry_state[frame.index()].is_some()
+                && self.state_of(frame) != Some(PageState::Promote)
+            {
+                violations.push(InvariantViolation {
+                    frame,
+                    message: "has retry bookkeeping but is not in Promote state".into(),
+                });
+            }
+        }
+        violations
+    }
+
+    /// Checks invariants 1–5 and 7 for one shard's lists, accumulating
+    /// into `seen`/`violations`.
+    fn check_shard(
+        &self,
+        mem: &MemorySystem,
+        tier: TierId,
+        shard_idx: usize,
+        lists: &crate::lists::TierLists,
+        seen: &mut HashSet<u32>,
+        violations: &mut Vec<InvariantViolation>,
+    ) {
+        {
             for kind in PageKind::ALL {
                 let set = lists.set(kind);
                 for (which, list) in [
@@ -103,6 +144,16 @@ impl MultiClock {
                                 message: "listed under the wrong page kind".into(),
                             });
                         }
+                        // 7. static frame→shard assignment is respected.
+                        if self.shard_of(frame) != shard_idx {
+                            violations.push(InvariantViolation {
+                                frame,
+                                message: format!(
+                                    "listed in shard {shard_idx} but assigned to shard {}",
+                                    self.shard_of(frame)
+                                ),
+                            });
+                        }
                     }
                 }
             }
@@ -119,29 +170,17 @@ impl MultiClock {
                         message: "on the unevictable list without Unevictable state".into(),
                     });
                 }
+                if self.shard_of(frame) != shard_idx {
+                    violations.push(InvariantViolation {
+                        frame,
+                        message: format!(
+                            "listed in shard {shard_idx} but assigned to shard {}",
+                            self.shard_of(frame)
+                        ),
+                    });
+                }
             }
         }
-
-        for raw in 0..mem.total_frames() as u32 {
-            let frame = FrameId::new(raw);
-            if self.state_of(frame).is_some() && !seen.contains(&raw) {
-                violations.push(InvariantViolation {
-                    frame,
-                    message: "tracked but on no list".into(),
-                });
-            }
-            // 6. retry bookkeeping only exists for paused promotion
-            //    episodes, which by definition sit in Promote state.
-            if self.retry_state[frame.index()].is_some()
-                && self.state_of(frame) != Some(PageState::Promote)
-            {
-                violations.push(InvariantViolation {
-                    frame,
-                    message: "has retry bookkeeping but is not in Promote state".into(),
-                });
-            }
-        }
-        violations
     }
 
     /// Debug-build self-check, wired after every scan, migrate and

@@ -11,7 +11,7 @@ use mc_lint::fig4::{by_id, TRANSITIONS};
 use mc_mem::{
     AccessKind, MemConfig, MemorySystem, Nanos, PageFlags, PageKind, TierId, TieringPolicy, VPage,
 };
-use multi_clock::{MultiClock, MultiClockConfig, PageState};
+use multi_clock::{MultiClock, MultiClockConfig, PageState, WhichList};
 use proptest::prelude::*;
 
 fn setup() -> (MemorySystem, MultiClock) {
@@ -94,7 +94,9 @@ fn transition_9_long_idle_active_page_deactivates_under_pressure() {
     assert_eq!(mc.state_of(frames[0]), Some(PageState::ActiveUnref));
     mc.on_pressure(&mut mem, TierId::TOP, Nanos::ZERO);
     assert!(mc.stats().deactivations > 0, "ratio rule deactivated pages");
-    let inactive_now = mc.tier_lists(TierId::TOP).anon.inactive.len();
+    let inactive_now = mc
+        .tier_lists(TierId::TOP)
+        .list_len(PageKind::Anon, WhichList::Inactive);
     assert!(
         inactive_now > 0,
         "deactivated pages joined the inactive list"

@@ -14,7 +14,6 @@ pub struct SplitMix64 {
 }
 
 impl SplitMix64 {
-
     /// Creates a generator from a seed. Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }

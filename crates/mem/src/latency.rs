@@ -182,6 +182,24 @@ impl LatencyModel {
             background: self.migration_fixed + copy,
         }
     }
+
+    /// Cost of migrating `pages` pages from `src` to `dst` as one batch.
+    ///
+    /// Batching amortizes the per-invocation setup: the kernel overhead
+    /// (`migration_fixed`: locking, rmap walk, allocation bookkeeping) and
+    /// the application stall (one unmap + TLB shootdown covering the whole
+    /// batch) are charged once, while the copy cost stays per-page. With
+    /// `pages == 1` this is exactly [`LatencyModel::migration`].
+    pub fn migration_batch(&self, src: TierId, dst: TierId, pages: usize) -> MigrationCost {
+        let read_bw = self.tiers[src.index()].read_bw_gbps;
+        let write_bw = self.tiers[dst.index()].write_bw_gbps;
+        let bw = read_bw.min(write_bw);
+        let copy = Nanos::from_nanos((PAGE_SIZE as f64 / bw) as u64);
+        MigrationCost {
+            app_stall: self.migration_app_stall,
+            background: self.migration_fixed + copy.saturating_mul(pages as u64),
+        }
+    }
 }
 
 impl Default for LatencyModel {
@@ -229,6 +247,32 @@ mod tests {
         let m = LatencyModel::dram_pm();
         let c = m.migration(TierId::TOP, TierId::new(1));
         assert_eq!(c.total(), c.app_stall + c.background);
+    }
+
+    #[test]
+    fn batch_of_one_equals_single_migration() {
+        let m = LatencyModel::dram_pm();
+        let src = TierId::new(1);
+        assert_eq!(
+            m.migration_batch(src, TierId::TOP, 1),
+            m.migration(src, TierId::TOP)
+        );
+    }
+
+    #[test]
+    fn batch_amortizes_setup_cost() {
+        // N pages in one batch must cost strictly less than N single
+        // migrations: the fixed overhead and the app stall are paid once.
+        let m = LatencyModel::dram_pm();
+        let src = TierId::new(1);
+        let n = 8u64;
+        let batch = m.migration_batch(src, TierId::TOP, n as usize);
+        let single = m.migration(src, TierId::TOP);
+        assert!(batch.total().as_nanos() < n * single.total().as_nanos());
+        assert_eq!(batch.app_stall, single.app_stall);
+        // The copy portion still scales linearly with the page count.
+        let copy = single.background - m.migration_fixed;
+        assert_eq!(batch.background, m.migration_fixed + copy.saturating_mul(n));
     }
 
     #[test]

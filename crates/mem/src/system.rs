@@ -506,9 +506,106 @@ impl MemorySystem {
     /// * [`MemError::TierFull`] — no destination frame available; callers
     ///   react by demoting from the destination first.
     pub fn migrate(&mut self, frame: FrameId, dst_tier: TierId) -> Result<FrameId, MemError> {
+        self.migrate_page_inner(frame, dst_tier, false)
+            .map(|(f, _)| f)
+            .map_err(|(e, _)| e)
+    }
+
+    /// Migrates a batch of pages to `dst_tier` in one amortized call,
+    /// mirroring a batched `migrate_pages()` syscall (Nomad-style).
+    ///
+    /// Cost model: the per-invocation setup ([`LatencyModel`]'s
+    /// `migration_fixed` kernel overhead and `migration_app_stall`) is
+    /// charged **once** for the whole batch, while the page-copy cost stays
+    /// per successfully moved page — see [`LatencyModel::migration_batch`].
+    /// A batch with zero successes charges nothing.
+    ///
+    /// Each page is validated individually: a locked, unevictable,
+    /// unallocated or same-tier page (or an organic allocation failure in
+    /// the destination) fails *only that page* and the batch continues. An
+    /// **injected** migration fault aborts the transaction Nomad-style: the
+    /// faulted page fails with the injected error and every remaining page
+    /// fails with [`MemError::TierFull`] (reason `"batch-aborted"`), which
+    /// is transient — callers feed those pages into their retry path.
+    ///
+    /// Observability: one [`EventKind::MigrateBatch`] event summarises the
+    /// batch (per-page `migrate` events are only emitted by the single-page
+    /// path); failures still emit per-page `migrate_fail` events. A
+    /// single-element batch is exactly equivalent to [`Self::migrate`],
+    /// events and costs included.
+    ///
+    /// Returns one `Result` per input page, in order.
+    pub fn migrate_batch(
+        &mut self,
+        frames: &[FrameId],
+        dst_tier: TierId,
+    ) -> Vec<Result<FrameId, MemError>> {
+        if frames.len() <= 1 {
+            // Bit-identical to the unbatched path: same costs, same events.
+            return frames.iter().map(|&f| self.migrate(f, dst_tier)).collect();
+        }
+        let batch_src = self
+            .frames
+            .get(frames[0].index())
+            .map_or(dst_tier, Frame::tier);
+        let mut results = Vec::with_capacity(frames.len());
+        let mut copy_total = Nanos::ZERO;
+        let mut migrated: u32 = 0;
+        let mut aborted = false;
+        for &frame in frames {
+            if aborted {
+                saturating_bump(&mut self.stats.migration_failures);
+                let src = self.frames[frame.index()].tier();
+                self.recorder.emit(|| EventKind::MigrateFail {
+                    frame: frame.index() as u64,
+                    src: src.index() as u8,
+                    reason: "batch-aborted",
+                });
+                results.push(Err(MemError::TierFull(dst_tier)));
+                continue;
+            }
+            match self.migrate_page_inner(frame, dst_tier, true) {
+                Ok((new_frame, copy)) => {
+                    copy_total += copy;
+                    migrated += 1;
+                    results.push(Ok(new_frame));
+                }
+                Err((e, abort)) => {
+                    aborted = abort;
+                    results.push(Err(e));
+                }
+            }
+        }
+        if migrated > 0 {
+            self.ledger
+                .charge_app_stall(self.latency.migration_app_stall);
+            self.ledger
+                .charge_background(self.latency.migration_fixed + copy_total);
+        }
+        self.recorder.emit(|| EventKind::MigrateBatch {
+            src: batch_src.index() as u8,
+            dst: dst_tier.index() as u8,
+            pages: frames.len() as u32,
+            migrated,
+        });
+        results
+    }
+
+    /// Shared migration body. `batched` suppresses the per-page cost charge
+    /// and per-page success tracepoint (the batch caller charges one
+    /// amortized cost and emits one summary event instead). Returns the new
+    /// frame plus the pure copy cost of this page; the error side carries
+    /// an abort flag that is `true` only for injected faults (which abort
+    /// the rest of a batch).
+    fn migrate_page_inner(
+        &mut self,
+        frame: FrameId,
+        dst_tier: TierId,
+        batched: bool,
+    ) -> Result<(FrameId, Nanos), (MemError, bool)> {
         let src = &self.frames[frame.index()];
         if src.state() != FrameState::Allocated {
-            return Err(MemError::FrameNotAllocated(frame));
+            return Err((MemError::FrameNotAllocated(frame), false));
         }
         let src_tier = src.tier();
         if src.flags().contains(PageFlags::LOCKED) {
@@ -518,7 +615,7 @@ impl MemorySystem {
                 src: src_tier.index() as u8,
                 reason: "locked",
             });
-            return Err(MemError::FrameLocked(frame));
+            return Err((MemError::FrameLocked(frame), false));
         }
         let src = &self.frames[frame.index()];
         if src.flags().contains(PageFlags::UNEVICTABLE) {
@@ -528,10 +625,10 @@ impl MemorySystem {
                 src: src_tier.index() as u8,
                 reason: "unevictable",
             });
-            return Err(MemError::FrameUnevictable(frame));
+            return Err((MemError::FrameUnevictable(frame), false));
         }
         if src_tier == dst_tier {
-            return Err(MemError::SameTier(frame, dst_tier));
+            return Err((MemError::SameTier(frame, dst_tier), false));
         }
         if let Some(fault) = self.fault.as_mut() {
             if let Some(injected) = fault.on_migrate(dst_tier.index() as u8) {
@@ -542,12 +639,13 @@ impl MemorySystem {
                     src: src_tier.index() as u8,
                     reason: injected.reason(),
                 });
-                return Err(match injected {
+                let e = match injected {
                     InjectedFault::FrameLocked => MemError::FrameLocked(frame),
                     InjectedFault::TierFull | InjectedFault::TierOffline => {
                         MemError::TierFull(dst_tier)
                     }
-                });
+                };
+                return Err((e, true));
             }
         }
         let kind = src.kind();
@@ -563,14 +661,18 @@ impl MemorySystem {
                     src: src_tier.index() as u8,
                     reason: "tier-full",
                 });
-                return Err(e);
+                return Err((e, false));
             }
         };
 
-        // Copy costs.
+        // Copy costs. The batch path charges one amortized setup for the
+        // whole batch, so only the pure copy portion is reported upward.
         let cost = self.latency.migration(src_tier, dst_tier);
-        self.ledger.charge_app_stall(cost.app_stall);
-        self.ledger.charge_background(cost.background);
+        let copy = cost.background.saturating_sub(self.latency.migration_fixed);
+        if !batched {
+            self.ledger.charge_app_stall(cost.app_stall);
+            self.ledger.charge_background(cost.background);
+        }
 
         // Move metadata and mapping.
         *self.frames[new_frame.index()].flags_mut() = flags;
@@ -597,12 +699,14 @@ impl MemorySystem {
             src: src_tier,
             dst: dst_tier,
         });
-        self.recorder.emit(|| EventKind::Migrate {
-            vpage: vpage.map(VPage::raw),
-            src: src_tier.index() as u8,
-            dst: dst_tier.index() as u8,
-        });
-        Ok(new_frame)
+        if !batched {
+            self.recorder.emit(|| EventKind::Migrate {
+                vpage: vpage.map(VPage::raw),
+                src: src_tier.index() as u8,
+                dst: dst_tier.index() as u8,
+            });
+        }
+        Ok((new_frame, copy))
     }
 
     /// Evicts a page from the lowest tier to backing storage: unmaps it,
@@ -833,6 +937,162 @@ mod tests {
         let ledger = mem.ledger_mut().take();
         assert!(ledger.app_stall.as_nanos() > 0);
         assert!(ledger.background.as_nanos() > 0);
+    }
+
+    #[test]
+    fn migrate_batch_moves_all_and_charges_one_setup() {
+        let mut mem = small();
+        let pm = TierId::new(1);
+        let frames: Vec<FrameId> = (0..8)
+            .map(|i| {
+                let f = mem.alloc_page_in_tier(PageKind::Anon, pm).unwrap();
+                mem.map(VPage::new(i), f).unwrap();
+                f
+            })
+            .collect();
+        mem.ledger_mut().take();
+        mem.recorder_mut().enable(256);
+        let results = mem.migrate_batch(&frames, TierId::TOP);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(mem.stats().promotions, 8);
+        for (i, r) in results.iter().enumerate() {
+            let nf = *r.as_ref().unwrap();
+            assert_eq!(mem.frame(nf).tier(), TierId::TOP);
+            assert_eq!(mem.translate(VPage::new(i as u64)), Some(nf));
+        }
+        // Exactly one amortized setup: the ledger matches migration_batch.
+        let want = mem.latency().migration_batch(pm, TierId::TOP, 8);
+        let l = mem.ledger_mut().take();
+        assert_eq!(l.app_stall, want.app_stall);
+        assert_eq!(l.background, want.background);
+        // One summary tracepoint, no per-page migrate events.
+        let batch_evs: Vec<_> = mem
+            .recorder()
+            .events()
+            .filter(|e| e.kind.name() == "migrate_batch")
+            .collect();
+        assert_eq!(batch_evs.len(), 1);
+        assert!(matches!(
+            batch_evs[0].kind,
+            mc_obs::EventKind::MigrateBatch {
+                src: 1,
+                dst: 0,
+                pages: 8,
+                migrated: 8,
+            }
+        ));
+        assert_eq!(
+            mem.recorder()
+                .events()
+                .filter(|e| e.kind.name() == "migrate")
+                .count(),
+            0
+        );
+        // Per-page substrate events still flow to the engine's metrics.
+        assert_eq!(mem.drain_events().len(), 8);
+    }
+
+    #[test]
+    fn migrate_batch_of_one_is_identical_to_single_migrate() {
+        let run = |batched: bool| {
+            let mut mem = small();
+            let f = mem
+                .alloc_page_in_tier(PageKind::Anon, TierId::new(1))
+                .unwrap();
+            mem.map(VPage::new(3), f).unwrap();
+            mem.ledger_mut().take();
+            if batched {
+                mem.migrate_batch(&[f], TierId::TOP)[0].as_ref().unwrap();
+            } else {
+                mem.migrate(f, TierId::TOP).unwrap();
+            }
+            let l = mem.ledger_mut().take();
+            (mem.stats().clone(), l.app_stall, l.background)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn migrate_batch_skips_bad_pages_and_continues() {
+        let mut mem = small();
+        let pm = TierId::new(1);
+        let a = mem.alloc_page_in_tier(PageKind::Anon, pm).unwrap();
+        let locked = mem.alloc_page_in_tier(PageKind::Anon, pm).unwrap();
+        let b = mem.alloc_page_in_tier(PageKind::Anon, pm).unwrap();
+        mem.frame_flags_mut(locked).insert(PageFlags::LOCKED);
+        let results = mem.migrate_batch(&[a, locked, b], TierId::TOP);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(MemError::FrameLocked(locked)));
+        assert!(
+            results[2].is_ok(),
+            "organic failure must not abort the batch"
+        );
+        assert_eq!(mem.frame(locked).tier(), pm);
+        assert_eq!(mem.stats().migration_failures, 1);
+        assert_eq!(mem.stats().promotions, 2);
+    }
+
+    #[test]
+    fn injected_fault_aborts_rest_of_batch_with_retryable_error() {
+        use mc_fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            migrate_fail_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        // Find a seed whose first migrate draw passes and second fires, so
+        // the fault lands mid-batch. Deterministic for a fixed RNG.
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                let mut inj = FaultInjector::new(plan.clone(), s);
+                inj.on_migrate(0).is_none() && inj.on_migrate(0).is_some()
+            })
+            .unwrap();
+        let mut mem = small();
+        let pm = TierId::new(1);
+        let frames: Vec<FrameId> = (0..4)
+            .map(|i| {
+                let f = mem.alloc_page_in_tier(PageKind::Anon, pm).unwrap();
+                mem.map(VPage::new(i), f).unwrap();
+                f
+            })
+            .collect();
+        mem.ledger_mut().take();
+        mem.set_fault_injector(FaultInjector::new(plan, seed));
+        let results = mem.migrate_batch(&frames, TierId::TOP);
+        assert!(results[0].is_ok(), "page before the fault migrated");
+        assert!(results[1].is_err(), "faulted page failed");
+        // Remaining pages fail with a transient error that flows into the
+        // caller's retry path, and stay put.
+        for (i, r) in results.iter().enumerate().skip(2) {
+            assert_eq!(*r, Err(MemError::TierFull(TierId::TOP)));
+            assert_eq!(mem.frame(frames[i]).tier(), pm);
+            assert_eq!(mem.translate(VPage::new(i as u64)), Some(frames[i]));
+        }
+        assert_eq!(mem.stats().injected_faults, 1, "remainder is not injected");
+        assert_eq!(mem.stats().migration_failures, 3);
+        assert_eq!(mem.stats().promotions, 1);
+        // The partial batch still charges exactly one setup.
+        let want = mem.latency().migration_batch(pm, TierId::TOP, 1);
+        let l = mem.ledger_mut().take();
+        assert_eq!(l.app_stall, want.app_stall);
+        assert_eq!(l.background, want.background);
+    }
+
+    #[test]
+    fn empty_or_failed_batch_charges_nothing() {
+        let mut mem = small();
+        assert!(mem.migrate_batch(&[], TierId::TOP).is_empty());
+        let pm = TierId::new(1);
+        let a = mem.alloc_page_in_tier(PageKind::Anon, pm).unwrap();
+        let b = mem.alloc_page_in_tier(PageKind::Anon, pm).unwrap();
+        mem.frame_flags_mut(a).insert(PageFlags::LOCKED);
+        mem.frame_flags_mut(b).insert(PageFlags::UNEVICTABLE);
+        mem.ledger_mut().take();
+        let results = mem.migrate_batch(&[a, b], TierId::TOP);
+        assert!(results.iter().all(Result::is_err));
+        let l = mem.ledger_mut().take();
+        assert_eq!(l.app_stall, Nanos::ZERO);
+        assert_eq!(l.background, Nanos::ZERO);
     }
 
     #[test]

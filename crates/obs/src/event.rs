@@ -93,6 +93,19 @@ pub enum EventKind {
         /// Destination tier.
         dst: u8,
     },
+    /// The substrate migrated a batch of pages between tiers in one
+    /// amortized `migrate_pages()`-style call (Nomad-style batching).
+    MigrateBatch {
+        /// Source tier of the batch.
+        src: u8,
+        /// Destination tier of the batch.
+        dst: u8,
+        /// Pages the caller submitted in the batch.
+        pages: u32,
+        /// Pages that actually moved (the rest failed individually or were
+        /// aborted by a mid-batch fault).
+        migrated: u32,
+    },
     /// A migration attempt failed.
     MigrateFail {
         /// Frame index that stayed put.
@@ -163,6 +176,7 @@ impl EventKind {
             EventKind::PressureRun { .. } => "pressure_run",
             EventKind::Alloc { .. } => "alloc",
             EventKind::Migrate { .. } => "migrate",
+            EventKind::MigrateBatch { .. } => "migrate_batch",
             EventKind::MigrateFail { .. } => "migrate_fail",
             EventKind::MigrateRetry { .. } => "migrate_retry",
             EventKind::MigrateGaveUp { .. } => "migrate_gave_up",
@@ -231,6 +245,17 @@ impl Event {
                 w.num_field("src", u64::from(src));
                 w.num_field("dst", u64::from(dst));
             }
+            EventKind::MigrateBatch {
+                src,
+                dst,
+                pages,
+                migrated,
+            } => {
+                w.num_field("src", u64::from(src));
+                w.num_field("dst", u64::from(dst));
+                w.num_field("pages", u64::from(pages));
+                w.num_field("migrated", u64::from(migrated));
+            }
             EventKind::MigrateFail { frame, src, reason } => {
                 w.num_field("frame", frame);
                 w.num_field("src", u64::from(src));
@@ -285,6 +310,12 @@ mod tests {
                 vpage: None,
                 src: 0,
                 dst: 1,
+            },
+            EventKind::MigrateBatch {
+                src: 1,
+                dst: 0,
+                pages: 16,
+                migrated: 12,
             },
             EventKind::MigrateFail {
                 frame: 9,

@@ -99,6 +99,13 @@ pub struct SimConfig {
     /// Promotion retry/backoff policy handed to MULTI-CLOCK (other
     /// systems keep their original single-attempt behaviour).
     pub retry: RetryPolicy,
+    /// MULTI-CLOCK scanner shards per NUMA node (per-node `kpromoted`
+    /// sharding). `1` reproduces the single-scanner layout bit-for-bit
+    /// on single-node tiers; other systems ignore the knob.
+    pub scan_shards: usize,
+    /// Pages per batched promotion migration call handed to MULTI-CLOCK
+    /// (`1` = historical page-at-a-time migration, bit-identical).
+    pub migrate_batch_size: usize,
 }
 
 impl SimConfig {
@@ -117,6 +124,8 @@ impl SimConfig {
             obs: ObsConfig::off(),
             fault: FaultConfig::none(),
             retry: RetryPolicy::immediate(),
+            scan_shards: 1,
+            migrate_batch_size: 1,
         }
     }
 

@@ -71,6 +71,8 @@ impl Simulation {
                         write_weight: cfg.write_weight,
                         adaptive_interval: cfg.adaptive_interval,
                         retry: cfg.retry,
+                        scan_shards: cfg.scan_shards,
+                        migrate_batch_size: cfg.migrate_batch_size,
                         // Adaptive bounds scale with the configured
                         // interval (the defaults are paper-scale).
                         min_interval: Nanos::from_nanos(cfg.scan_interval.as_nanos() / 10),
@@ -228,6 +230,16 @@ impl Simulation {
             Frontend::Tiered { policy, .. } => policy.counters(),
             Frontend::MemoryMode(_) => Vec::new(),
         }
+    }
+
+    /// One policy counter by name, map-style: `sim.counter("mc_ticks")`.
+    /// Returns 0 for unknown names and for frontends without a tiering
+    /// daemon (Memory-mode), so callers need no unwrapping.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.policy_counters()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| v)
     }
 
     /// Memory-mode cache statistics, when running Memory-mode.

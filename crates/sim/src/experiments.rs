@@ -214,20 +214,188 @@ fn base_config(system: SystemKind, scale: &Scale, interval: Nanos) -> SimConfig 
     cfg
 }
 
+/// Everything one experiment run produced: the classic figure metrics,
+/// the fault layer's accounting (all zero without an injector) and the
+/// cost breakdown. Subsumes the former `RunSummary`-vs-`ChaosSummary`
+/// split — every run carries all of it.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The standard run metrics (Figs. 5-10).
+    pub summary: RunSummary,
+    /// Faults the injector fired (migrations + allocations).
+    pub injected_faults: u64,
+    /// All migration failures the substrate saw (injected or organic).
+    pub migration_failures: u64,
+    /// MULTI-CLOCK promotion retries (transient failures requeued).
+    pub promote_retries: u64,
+    /// Promotion episodes that exhausted their retry budget.
+    pub promote_gave_ups: u64,
+    /// Where time went (access/stall/daemon/background split).
+    pub costs: crate::metrics::CostBreakdown,
+}
+
+impl RunOutcome {
+    /// Share of total accounted time spent on tiering overhead (stalls,
+    /// daemon CPU, background copies) rather than device accesses — the
+    /// `mc-batch` sweep metric.
+    pub fn overhead_share(&self) -> f64 {
+        let c = &self.costs;
+        let overhead = c.stall_time + c.daemon_time + c.background_time;
+        let total = c.access_time + overhead;
+        if total == Nanos::ZERO {
+            0.0
+        } else {
+            overhead.as_nanos() as f64 / total.as_nanos() as f64
+        }
+    }
+}
+
+/// Builder for one YCSB experiment run.
+///
+/// Replaces the old `run_ycsb`/`run_ycsb_observed`/`run_ycsb_chaos` trio
+/// with one composable entry point:
+///
+/// ```no_run
+/// use mc_sim::experiments::{Experiment, Scale};
+/// use mc_workloads::ycsb::YcsbWorkload;
+///
+/// let outcome = Experiment::ycsb(YcsbWorkload::A)
+///     .scale(&Scale::tiny())
+///     .run()
+///     .unwrap();
+/// assert!(outcome.summary.ops_per_sec > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    workload: YcsbWorkload,
+    system: SystemKind,
+    scale: Scale,
+    interval: Option<Nanos>,
+    obs_dir: Option<std::path::PathBuf>,
+    fault: mc_fault::FaultConfig,
+    retry: mc_fault::RetryPolicy,
+    scan_shards: usize,
+    migrate_batch_size: usize,
+}
+
+impl Experiment {
+    /// A MULTI-CLOCK run of `workload` at [`Scale::quick`] with the
+    /// scale's default 1-paper-second interval. Every knob has a setter.
+    pub fn ycsb(workload: YcsbWorkload) -> Self {
+        Experiment {
+            workload,
+            system: SystemKind::MultiClock,
+            scale: Scale::quick(),
+            interval: None,
+            obs_dir: None,
+            fault: mc_fault::FaultConfig::none(),
+            retry: mc_fault::RetryPolicy::immediate(),
+            scan_shards: 1,
+            migrate_batch_size: 1,
+        }
+    }
+
+    /// Selects the system under test.
+    pub fn system(mut self, system: SystemKind) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Selects the experiment scale. Unless [`Self::interval`] was also
+    /// called, the scan interval follows the scale (1 paper second).
+    pub fn scale(mut self, scale: &Scale) -> Self {
+        self.scale = scale.clone();
+        self
+    }
+
+    /// Overrides the daemon scan interval (the Fig. 10 knob).
+    pub fn interval(mut self, interval: Nanos) -> Self {
+        self.interval = Some(interval);
+        self
+    }
+
+    /// Enables observability and writes the events/ticks/report artifacts
+    /// into `dir` after the run (the layout `mc-obs-report` consumes).
+    pub fn obs(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.obs_dir = Some(dir.into());
+        self
+    }
+
+    /// Installs a deterministic fault injector and the promotion retry
+    /// policy reacting to it (the chaos path).
+    pub fn fault(mut self, fault: mc_fault::FaultConfig, retry: mc_fault::RetryPolicy) -> Self {
+        self.fault = fault;
+        self.retry = retry;
+        self
+    }
+
+    /// Sets MULTI-CLOCK's scanner shards per NUMA node.
+    pub fn shards(mut self, scan_shards: usize) -> Self {
+        self.scan_shards = scan_shards;
+        self
+    }
+
+    /// Sets MULTI-CLOCK's batched-migration size for promote drains.
+    pub fn batch(mut self, migrate_batch_size: usize) -> Self {
+        self.migrate_batch_size = migrate_batch_size;
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing the obs artifacts; runs
+    /// without [`Self::obs`] never fail.
+    pub fn run(self) -> std::io::Result<RunOutcome> {
+        let interval = self.interval.unwrap_or_else(|| self.scale.scan_interval());
+        let mut cfg = base_config(self.system, &self.scale, interval);
+        cfg.fault = self.fault;
+        cfg.retry = self.retry;
+        cfg.scan_shards = self.scan_shards;
+        cfg.migrate_batch_size = self.migrate_batch_size;
+        if self.obs_dir.is_some() {
+            cfg.obs = mc_obs::ObsConfig::on();
+        }
+        let (summary, sim) = run_ycsb_cfg(cfg, self.workload, &self.scale);
+        if let Some(dir) = &self.obs_dir {
+            sim.write_obs(dir)?;
+        }
+        Ok(RunOutcome {
+            summary,
+            injected_faults: sim.mem().stats().injected_faults,
+            migration_failures: sim.mem().stats().migration_failures,
+            promote_retries: sim.counter("mc_promote_retries"),
+            promote_gave_ups: sim.counter("mc_promote_gave_ups"),
+            costs: sim.metrics().costs(),
+        })
+    }
+}
+
 /// Runs one YCSB workload on one system and reports throughput.
+#[deprecated(since = "0.1.0", note = "use `Experiment::ycsb(...).run()` instead")]
 pub fn run_ycsb(
     system: SystemKind,
     workload: YcsbWorkload,
     scale: &Scale,
     interval: Nanos,
 ) -> RunSummary {
-    let cfg = base_config(system, scale, interval);
-    run_ycsb_cfg(cfg, workload, scale).0
+    Experiment::ycsb(workload)
+        .system(system)
+        .scale(scale)
+        .interval(interval)
+        .run()
+        .map(|o| o.summary)
+        .expect("no obs artifacts requested, so no I/O can fail")
 }
 
 /// Like [`run_ycsb`] but with observability enabled: after the run the
 /// events/ticks/report artifacts are written into `dir` (the layout the
 /// `mc-obs-report` binary consumes).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::ycsb(...).obs(dir).run()` instead"
+)]
 pub fn run_ycsb_observed(
     system: SystemKind,
     workload: YcsbWorkload,
@@ -235,15 +403,18 @@ pub fn run_ycsb_observed(
     interval: Nanos,
     dir: &std::path::Path,
 ) -> std::io::Result<RunSummary> {
-    let mut cfg = base_config(system, scale, interval);
-    cfg.obs = mc_obs::ObsConfig::on();
-    let (summary, sim) = run_ycsb_cfg(cfg, workload, scale);
-    sim.write_obs(dir)?;
-    Ok(summary)
+    Experiment::ycsb(workload)
+        .system(system)
+        .scale(scale)
+        .interval(interval)
+        .obs(dir)
+        .run()
+        .map(|o| o.summary)
 }
 
 /// One row of the chaos sweep: the usual [`RunSummary`] plus the fault
-/// layer's own accounting.
+/// layer's own accounting. Superseded by [`RunOutcome`], which carries
+/// the same fields on every run.
 #[derive(Debug, Clone)]
 pub struct ChaosSummary {
     /// The standard run metrics.
@@ -259,12 +430,15 @@ pub struct ChaosSummary {
 }
 
 /// Like [`run_ycsb`] but with a fault injector installed and a promotion
-/// retry policy; optionally exports obs artifacts into `obs_dir`. The
-/// chaos benchmark (`mc-chaos`) sweeps this over fault rates.
+/// retry policy; optionally exports obs artifacts into `obs_dir`.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors from writing the obs artifacts.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::ycsb(...).fault(cfg, retry).run()` instead"
+)]
 pub fn run_ycsb_chaos(
     system: SystemKind,
     workload: YcsbWorkload,
@@ -274,29 +448,21 @@ pub fn run_ycsb_chaos(
     retry: mc_fault::RetryPolicy,
     obs_dir: Option<&std::path::Path>,
 ) -> std::io::Result<ChaosSummary> {
-    let mut cfg = base_config(system, scale, interval);
-    cfg.fault = fault;
-    cfg.retry = retry;
-    if obs_dir.is_some() {
-        cfg.obs = mc_obs::ObsConfig::on();
-    }
-    let (summary, sim) = run_ycsb_cfg(cfg, workload, scale);
+    let mut exp = Experiment::ycsb(workload)
+        .system(system)
+        .scale(scale)
+        .interval(interval)
+        .fault(fault, retry);
     if let Some(dir) = obs_dir {
-        sim.write_obs(dir)?;
+        exp = exp.obs(dir);
     }
-    let counters = sim.policy_counters();
-    let counter = |name: &str| {
-        counters
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map_or(0, |(_, v)| *v)
-    };
+    let o = exp.run()?;
     Ok(ChaosSummary {
-        summary,
-        injected_faults: sim.mem().stats().injected_faults,
-        migration_failures: sim.mem().stats().migration_failures,
-        promote_retries: counter("mc_promote_retries"),
-        promote_gave_ups: counter("mc_promote_gave_ups"),
+        summary: o.summary,
+        injected_faults: o.injected_faults,
+        migration_failures: o.migration_failures,
+        promote_retries: o.promote_retries,
+        promote_gave_ups: o.promote_gave_ups,
     })
 }
 
@@ -434,7 +600,14 @@ fn summarize(
 pub fn ycsb_comparison(workload: YcsbWorkload, scale: &Scale) -> Vec<RunSummary> {
     SystemKind::TIERED_COMPARISON
         .iter()
-        .map(|s| run_ycsb(*s, workload, scale, scale.scan_interval()))
+        .map(|s| {
+            Experiment::ycsb(workload)
+                .system(*s)
+                .scale(scale)
+                .run()
+                .map(|o| o.summary)
+                .expect("no obs artifacts requested, so no I/O can fail")
+        })
         .collect()
 }
 
@@ -455,26 +628,60 @@ mod tests {
         let mut scale = Scale::tiny();
         scale.warmup = Nanos::from_millis(500);
         scale.measure = Nanos::from_millis(500);
-        let r = run_ycsb(
-            SystemKind::Static,
-            YcsbWorkload::C,
-            &scale,
-            scale.scan_interval(),
-        );
-        assert!(r.ops_per_sec > 0.0);
-        assert_eq!(r.promotions, 0, "static never promotes");
+        let o = Experiment::ycsb(YcsbWorkload::C)
+            .system(SystemKind::Static)
+            .scale(&scale)
+            .run()
+            .unwrap();
+        assert!(o.summary.ops_per_sec > 0.0);
+        assert_eq!(o.summary.promotions, 0, "static never promotes");
+        assert_eq!(o.injected_faults, 0, "no injector installed");
+        assert!(o.costs.access_time > Nanos::ZERO);
     }
 
     #[test]
     fn multi_clock_promotes_on_ycsb() {
-        let scale = Scale::tiny();
-        let r = run_ycsb(
-            SystemKind::MultiClock,
-            YcsbWorkload::A,
-            &scale,
-            scale.scan_interval(),
+        let o = Experiment::ycsb(YcsbWorkload::A)
+            .scale(&Scale::tiny())
+            .run()
+            .unwrap();
+        assert!(
+            o.summary.promotions > 0,
+            "MULTI-CLOCK should promote hot pages"
         );
-        assert!(r.promotions > 0, "MULTI-CLOCK should promote hot pages");
+        let share = o.overhead_share();
+        assert!((0.0..=1.0).contains(&share), "share={share}");
+    }
+
+    #[test]
+    fn experiment_default_interval_follows_the_scale() {
+        let scale = Scale::tiny();
+        let implicit = Experiment::ycsb(YcsbWorkload::B)
+            .scale(&scale)
+            .run()
+            .unwrap();
+        let explicit = Experiment::ycsb(YcsbWorkload::B)
+            .scale(&scale)
+            .interval(scale.scan_interval())
+            .run()
+            .unwrap();
+        assert_eq!(implicit.summary.ops_per_sec, explicit.summary.ops_per_sec);
+        assert_eq!(implicit.summary.promotions, explicit.summary.promotions);
+        assert_eq!(implicit.summary.demotions, explicit.summary.demotions);
+    }
+
+    #[test]
+    fn experiment_batch_and_shard_knobs_reach_the_policy() {
+        let mut scale = Scale::tiny();
+        scale.warmup = Nanos::from_millis(400);
+        scale.measure = Nanos::from_millis(400);
+        let o = Experiment::ycsb(YcsbWorkload::A)
+            .scale(&scale)
+            .shards(2)
+            .batch(8)
+            .run()
+            .unwrap();
+        assert!(o.summary.ops_per_sec > 0.0);
     }
 
     #[test]
