@@ -133,7 +133,6 @@ fn main() {
                 .scale(&scale)
                 .run()
                 .expect("no obs artifacts requested")
-                .summary
         };
         let base = run(SystemKind::Static).ops_per_sec;
         let rows: Vec<Vec<String>> = systems

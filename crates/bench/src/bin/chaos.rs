@@ -12,12 +12,13 @@
 //! cargo run -p mc-bench --release --bin chaos            # default sweep
 //! mc-chaos --fault-rate 0.1            # single rate instead of the sweep
 //! mc-chaos --seed 7 --obs /tmp/chaos   # export obs artifacts per rate
+//! mc-chaos --threads 4                 # fan the rate sweep across workers
 //! ```
 //!
 //! `--obs DIR` writes `events.jsonl`, `ticks.csv` and `report.txt` under
 //! `DIR/rate-<rate>/`, the layout `mc-obs-report` consumes.
 
-use mc_bench::{banner, scale_from_args};
+use mc_bench::{banner, scale_from_args, threads_from_args, SweepRunner};
 use mc_sim::experiments::{Experiment, RunOutcome};
 use mc_sim::report::format_table;
 use mc_sim::{FaultConfig, RetryPolicy, SystemKind};
@@ -61,33 +62,36 @@ fn main() {
         .system(SystemKind::MultiClock)
         .scale(&scale)
         .run()
-        .expect("no obs artifacts requested")
-        .summary;
+        .expect("no obs artifacts requested");
     let base_ops = base.ops_per_sec;
 
-    let mut rows = Vec::new();
-    for rate in &rates {
+    let outcomes = SweepRunner::new(threads_from_args()).run(rates.clone(), |rate| {
         eprintln!("running fault rate {rate} ...");
         let obs_dir = obs_root.as_ref().map(|d| d.join(format!("rate-{rate}")));
         let mut exp = Experiment::ycsb(YcsbWorkload::A)
             .system(SystemKind::MultiClock)
             .scale(&scale)
-            .fault(FaultConfig::rate(seed, *rate), RetryPolicy::backoff());
+            .fault(FaultConfig::rate(seed, rate), RetryPolicy::backoff());
         if let Some(dir) = &obs_dir {
             exp = exp.obs(dir.clone());
         }
+        exp.run().expect("obs artifacts written")
+    });
+    let mut rows = Vec::new();
+    for (rate, outcome) in rates.iter().zip(outcomes) {
         let RunOutcome {
-            summary,
+            ops_per_sec,
+            promotions,
             injected_faults,
             migration_failures,
             promote_retries,
             promote_gave_ups,
             ..
-        } = exp.run().expect("obs artifacts written");
+        } = outcome;
         rows.push(vec![
             format!("{rate:.2}"),
-            format!("{:.2}", summary.ops_per_sec / base_ops),
-            format!("{}", summary.promotions),
+            format!("{:.2}", ops_per_sec / base_ops),
+            format!("{promotions}"),
             format!("{injected_faults}"),
             format!("{migration_failures}"),
             format!("{promote_retries}"),

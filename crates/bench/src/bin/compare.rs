@@ -12,7 +12,7 @@
 //! plus the usual `--tiny/--quick/--full` base scale.
 
 use mc_bench::{banner, parse_kernel, parse_system, parse_workload, scale_from_args};
-use mc_sim::experiments::{run_gapbs, Experiment};
+use mc_sim::experiments::Experiment;
 use mc_sim::report::format_table;
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
@@ -66,7 +66,12 @@ fn main() {
                 .iter()
                 .map(|s| {
                     eprintln!("running {} ...", s.label());
-                    let r = run_gapbs(*s, k, &scale, interval);
+                    let r = Experiment::gapbs(k)
+                        .system(*s)
+                        .scale(&scale)
+                        .interval(interval)
+                        .run()
+                        .expect("no obs artifacts requested");
                     vec![
                         s.label().to_string(),
                         format!("{:.2}ms", r.trial_time.as_nanos() as f64 / 1e6),
@@ -95,8 +100,7 @@ fn main() {
                         .scale(&scale)
                         .interval(interval)
                         .run()
-                        .expect("no obs artifacts requested")
-                        .summary;
+                        .expect("no obs artifacts requested");
                     vec![
                         s.label().to_string(),
                         format!("{:.0}", r.ops_per_sec),

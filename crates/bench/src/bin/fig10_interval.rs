@@ -38,7 +38,6 @@ fn main() {
             .interval(iv)
             .run()
             .expect("no obs artifacts requested")
-            .summary
     };
     eprintln!("running static baseline ...");
     let base = run(SystemKind::Static, scale.scan_interval()).ops_per_sec;

@@ -6,9 +6,10 @@
 //! D), Nimble by 9-36%, AT-CPM by 260-677% and AT-OPM by 10-352%.
 //!
 //! Regenerate with `cargo run -p mc-bench --release --bin fig5_ycsb`
-//! (add `--full` for the larger configuration).
+//! (add `--full` for the larger configuration, `--threads N` to fan the
+//! per-workload comparisons across workers).
 
-use mc_bench::{banner, scale_from_args};
+use mc_bench::{banner, scale_from_args, threads_from_args, SweepRunner};
 use mc_sim::experiments::ycsb_comparison;
 use mc_sim::report::{format_table, normalize_throughput};
 use mc_workloads::ycsb::YcsbWorkload;
@@ -21,11 +22,13 @@ fn main() {
         &scale,
     );
     let workloads = YcsbWorkload::prescribed_order();
+    let all = SweepRunner::new(threads_from_args()).run(workloads.to_vec(), |w| {
+        eprintln!("running workload {w} ...");
+        ycsb_comparison(w, &scale)
+    });
     let mut rows = Vec::new();
     let mut raw_rows = Vec::new();
-    for w in workloads {
-        eprintln!("running workload {w} ...");
-        let results = ycsb_comparison(w, &scale);
+    for (w, results) in workloads.iter().zip(all) {
         let norm = normalize_throughput(&results);
         rows.push({
             let mut r = vec![w.to_string()];

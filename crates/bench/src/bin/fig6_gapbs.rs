@@ -7,9 +7,10 @@
 //! GAPBS allocates its hottest memory first, so static placement is
 //! already good.
 //!
-//! Regenerate with `cargo run -p mc-bench --release --bin fig6_gapbs`.
+//! Regenerate with `cargo run -p mc-bench --release --bin fig6_gapbs`
+//! (`--threads N` fans the per-kernel comparisons across workers).
 
-use mc_bench::{banner, scale_from_args};
+use mc_bench::{banner, scale_from_args, threads_from_args, SweepRunner};
 use mc_sim::experiments::gapbs_comparison;
 use mc_sim::report::{format_table, normalize_time};
 use mc_workloads::graph::Kernel;
@@ -21,11 +22,13 @@ fn main() {
         "GAPBS execution time normalised to static tiering (lower is better)",
         &scale,
     );
+    let all = SweepRunner::new(threads_from_args()).run(Kernel::ALL.to_vec(), |k| {
+        eprintln!("running kernel {} ...", k.label());
+        gapbs_comparison(k, &scale)
+    });
     let mut rows = Vec::new();
     let mut raw_rows = Vec::new();
-    for k in Kernel::ALL {
-        eprintln!("running kernel {} ...", k.label());
-        let results = gapbs_comparison(k, &scale);
+    for (k, results) in Kernel::ALL.iter().zip(all) {
         let norm = normalize_time(&results);
         rows.push({
             let mut r = vec![k.label().to_string()];

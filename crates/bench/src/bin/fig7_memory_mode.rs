@@ -8,7 +8,7 @@
 //! Regenerate with `cargo run -p mc-bench --release --bin fig7_memory_mode`.
 
 use mc_bench::{banner, scale_from_args};
-use mc_sim::experiments::{run_gapbs, Experiment};
+use mc_sim::experiments::Experiment;
 use mc_sim::report::{format_table, normalize_throughput, normalize_time};
 use mc_sim::SystemKind;
 use mc_workloads::graph::Kernel;
@@ -40,7 +40,6 @@ fn main() {
                     .scale(&scale)
                     .run()
                     .expect("no obs artifacts requested")
-                    .summary
             })
             .collect();
         let norm = normalize_throughput(&results);
@@ -55,7 +54,13 @@ fn main() {
     eprintln!("running PageRank ...");
     let results: Vec<_> = systems
         .iter()
-        .map(|s| run_gapbs(*s, Kernel::Pr, &scale, scale.scan_interval()))
+        .map(|s| {
+            Experiment::gapbs(Kernel::Pr)
+                .system(*s)
+                .scale(&scale)
+                .run()
+                .expect("no obs artifacts requested")
+        })
         .collect();
     let norm = normalize_time(&results);
     let row = {

@@ -36,13 +36,12 @@ fn main() {
     if let Some(dir) = &obs_dir {
         mc_exp = mc_exp.obs(dir.clone());
     }
-    let mc = mc_exp.run().expect("obs artifacts are writable").summary;
+    let mc = mc_exp.run().expect("obs artifacts are writable");
     let nim = Experiment::ycsb(YcsbWorkload::A)
         .system(SystemKind::Nimble)
         .scale(&scale)
         .run()
-        .expect("no obs artifacts requested")
-        .summary;
+        .expect("no obs artifacts requested");
     let windows = mc.windows.len().max(nim.windows.len());
     let mut rows = Vec::new();
     for wi in 0..windows {

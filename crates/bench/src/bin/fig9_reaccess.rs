@@ -26,7 +26,6 @@ fn main() {
             .scale(&scale)
             .run()
             .expect("no obs artifacts requested")
-            .summary
     };
     let mc = run(SystemKind::MultiClock);
     let nim = run(SystemKind::Nimble);

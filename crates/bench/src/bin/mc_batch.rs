@@ -18,9 +18,14 @@
 //!
 //! `--obs DIR` writes `events.jsonl`, `ticks.csv` and `report.txt` under
 //! `DIR/batch-<b>-shards-<s>/`, the layout `mc-obs-report` consumes.
+//!
+//! `--threads N` fans the grid's independent runs across N workers via
+//! [`mc_bench::SweepRunner`]. With N > 1 the sweep is first run
+//! sequentially, then in parallel, and the wall-clock speedup is
+//! reported — the results themselves are identical either way.
 
-use mc_bench::{banner, scale_from_args};
-use mc_sim::experiments::Experiment;
+use mc_bench::{banner, scale_from_args, threads_from_args, SweepRunner};
+use mc_sim::experiments::{Experiment, RunOutcome};
 use mc_sim::report::format_table;
 use mc_workloads::ycsb::YcsbWorkload;
 
@@ -48,9 +53,30 @@ fn parse_list(s: &str, flag: &str) -> Vec<usize> {
         .collect()
 }
 
+/// Runs the full grid (in input order) through a [`SweepRunner`].
+fn run_grid(
+    grid: &[(usize, usize)],
+    scale: &mc_sim::experiments::Scale,
+    obs_root: Option<&std::path::Path>,
+    runner: SweepRunner,
+) -> Vec<RunOutcome> {
+    runner.run(grid.to_vec(), |(batch, shards)| {
+        eprintln!("running batch {batch} x shards {shards} ...");
+        let mut exp = Experiment::ycsb(YcsbWorkload::A)
+            .scale(scale)
+            .shards(shards)
+            .batch(batch);
+        if let Some(root) = obs_root {
+            exp = exp.obs(root.join(format!("batch-{batch}-shards-{shards}")));
+        }
+        exp.run().expect("obs artifacts written")
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = scale_from_args();
+    let threads = threads_from_args();
     let obs_root = arg_value(&args, "--obs").map(std::path::PathBuf::from);
     let batches: Vec<usize> = arg_value(&args, "--batches")
         .map(|s| parse_list(&s, "--batches"))
@@ -65,20 +91,54 @@ fn main() {
         &scale,
     );
 
+    // Grid in fixed order: shards outer, batch inner (the monotonicity
+    // check below walks batches within one shard count).
+    let grid: Vec<(usize, usize)> = shard_counts
+        .iter()
+        .flat_map(|&s| batches.iter().map(move |&b| (b, s)))
+        .collect();
+
+    // With --threads N > 1, time the sequential sweep first, then the
+    // parallel one, and report the wall-clock speedup. Each run is
+    // deterministic and the runner returns results in input order, so
+    // both passes produce identical tables and (when --obs is given)
+    // byte-identical artifacts — the parallel pass simply overwrites the
+    // sequential pass's files with the same contents, keeping the two
+    // timed passes doing exactly the same work.
+    let outcomes = if threads > 1 {
+        eprintln!("timing sequential sweep ({} runs) ...", grid.len());
+        let t0 = std::time::Instant::now();
+        let _ = run_grid(&grid, &scale, obs_root.as_deref(), SweepRunner::new(1));
+        let sequential = t0.elapsed();
+        eprintln!("timing parallel sweep ({threads} threads) ...");
+        let t1 = std::time::Instant::now();
+        let outcomes = run_grid(
+            &grid,
+            &scale,
+            obs_root.as_deref(),
+            SweepRunner::new(threads),
+        );
+        let parallel = t1.elapsed();
+        println!(
+            "sweep wall-clock: sequential {:.2}s, {} threads {:.2}s -> speedup {:.2}x \
+             (host cores: {})",
+            sequential.as_secs_f64(),
+            threads,
+            parallel.as_secs_f64(),
+            sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        );
+        outcomes
+    } else {
+        run_grid(&grid, &scale, obs_root.as_deref(), SweepRunner::new(1))
+    };
+
     let mut rows = Vec::new();
-    for &shards in &shard_counts {
+    for (chunk, &shards) in grid.chunks(batches.len()).zip(&shard_counts) {
         let mut prev_share: Option<f64> = None;
         let mut monotone = true;
-        for &batch in &batches {
-            eprintln!("running batch {batch} x shards {shards} ...");
-            let mut exp = Experiment::ycsb(YcsbWorkload::A)
-                .scale(&scale)
-                .shards(shards)
-                .batch(batch);
-            if let Some(root) = &obs_root {
-                exp = exp.obs(root.join(format!("batch-{batch}-shards-{shards}")));
-            }
-            let o = exp.run().expect("obs artifacts written");
+        let offset = rows.len();
+        for ((batch, _), o) in chunk.iter().zip(&outcomes[offset..]) {
             let share = o.overhead_share();
             // Allow sub-percent jitter: amortization must not be *worse*.
             if let Some(prev) = prev_share {
@@ -90,8 +150,8 @@ fn main() {
             rows.push(vec![
                 format!("{batch}"),
                 format!("{shards}"),
-                format!("{:.0}", o.summary.ops_per_sec),
-                format!("{}", o.summary.promotions),
+                format!("{:.0}", o.ops_per_sec),
+                format!("{}", o.promotions),
                 format!("{:.2}%", share * 100.0),
             ]);
         }

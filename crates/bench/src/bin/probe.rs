@@ -2,11 +2,11 @@
 //! the paper's figures; used for calibration and debugging).
 
 use mc_bench::scale_from_args;
-use mc_sim::experiments::{Experiment, RunSummary};
+use mc_sim::experiments::{Experiment, RunOutcome};
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
 
-fn show(r: &RunSummary) {
+fn show(r: &RunOutcome) {
     println!(
         "{:<12} tput={:>9.0} promo={:>6} demo={:>6} reacc={:>6} hintf={:>8} dram={}",
         r.system.label(),
@@ -104,8 +104,7 @@ fn main() {
                 .system(s)
                 .scale(&scale)
                 .run()
-                .expect("no obs artifacts requested")
-                .summary;
+                .expect("no obs artifacts requested");
             show(&r);
         }
     }

@@ -49,6 +49,88 @@ pub fn parse_kernel(s: &str) -> Option<Kernel> {
     })
 }
 
+/// Fans independent jobs (whole [`mc_sim::Experiment`] runs, typically)
+/// across a bounded pool of worker threads.
+///
+/// Results always come back in input order, so sweep tables are
+/// byte-identical whatever the pool size — each run is itself
+/// deterministic, and the runner only changes *when* runs execute, never
+/// their inputs. `threads == 1` runs everything inline on the calling
+/// thread with no pool at all.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with `threads` workers (clamped up to at least 1).
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every job, `threads` at a time, and returns the
+    /// results in the jobs' input order.
+    pub fn run<T, R, F>(&self, jobs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if self.threads == 1 || jobs.len() <= 1 {
+            return jobs.into_iter().map(f).collect();
+        }
+        let n = jobs.len();
+        let queue = std::sync::Mutex::new(
+            jobs.into_iter()
+                .enumerate()
+                .collect::<std::collections::VecDeque<(usize, T)>>(),
+        );
+        let results = std::sync::Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(n) {
+                s.spawn(|| loop {
+                    let job = queue.lock().expect("sweep queue poisoned").pop_front();
+                    let Some((index, job)) = job else { break };
+                    let out = f(job);
+                    results
+                        .lock()
+                        .expect("sweep results poisoned")
+                        .push((index, out));
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("sweep results poisoned");
+        results.sort_by_key(|(index, _)| *index);
+        results.into_iter().map(|(_, out)| out).collect()
+    }
+}
+
+/// Parses `--threads N` from argv: the sweep-level worker count for the
+/// binaries that fan independent runs through a [`SweepRunner`].
+/// Defaults to 1 (fully sequential).
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    // lint: allow(panic) - CLI argument validation in dev tooling
+                    panic!("--threads requires a positive integer")
+                })
+        })
+        .unwrap_or(1)
+}
+
 /// Picks the experiment scale from argv: `--tiny`, `--quick` (default) or
 /// `--full`.
 pub fn scale_from_args() -> Scale {
@@ -111,5 +193,22 @@ mod tests {
         assert_eq!(parse_kernel("SSSP"), Some(Kernel::Sssp));
         assert_eq!(parse_kernel("pagerank"), Some(Kernel::Pr));
         assert_eq!(parse_kernel("nope"), None);
+    }
+
+    #[test]
+    fn sweep_runner_preserves_input_order() {
+        let jobs: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = SweepRunner::new(threads).run(jobs.clone(), |j| j * j);
+            let expect: Vec<usize> = jobs.iter().map(|j| j * j).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_runner_clamps_zero_threads() {
+        let r = SweepRunner::new(0);
+        assert_eq!(r.threads(), 1);
+        assert_eq!(r.run(vec![1, 2, 3], |j| j + 1), vec![2, 3, 4]);
     }
 }

@@ -43,6 +43,14 @@ pub struct MultiClockConfig {
     /// default) migrates page-at-a-time, bit-identical to the unbatched
     /// path; larger values amortize the per-call setup cost.
     pub migrate_batch_size: usize,
+    /// Worker threads for the scan phase. Each tick, the per-shard scan
+    /// jobs (every shard of every tier) are split into `scan_threads`
+    /// contiguous chunks and run on scoped OS threads — the paper's
+    /// concurrent per-node `kpromoted` daemons. Shard results are merged
+    /// in fixed shard order on the coordinating thread, so any value
+    /// produces output bit-identical to `1` (the sequential default); see
+    /// [`crate::executor`].
+    pub scan_threads: usize,
     /// How the promote path reacts to transient migration failures
     /// (destination full, page transiently locked). The default,
     /// [`RetryPolicy::immediate`], allows a single attempt — exactly the
@@ -63,6 +71,7 @@ impl Default for MultiClockConfig {
             max_interval: Nanos::from_secs(60),
             scan_shards: 1,
             migrate_batch_size: 1,
+            scan_threads: 1,
             retry: RetryPolicy::immediate(),
         }
     }
@@ -101,6 +110,7 @@ impl MultiClockConfig {
             self.migrate_batch_size > 0,
             "migrate batch size must be positive"
         );
+        assert!(self.scan_threads > 0, "scan threads must be positive");
         assert!(
             self.retry.is_valid(),
             "retry policy must allow at least one attempt with cap >= base"
@@ -144,6 +154,17 @@ mod tests {
         let c = MultiClockConfig::default();
         assert_eq!(c.scan_shards, 1);
         assert_eq!(c.migrate_batch_size, 1);
+        assert_eq!(c.scan_threads, 1, "sequential scan is the baseline");
+    }
+
+    #[test]
+    #[should_panic(expected = "scan threads")]
+    fn zero_scan_threads_rejected() {
+        let c = MultiClockConfig {
+            scan_threads: 0,
+            ..Default::default()
+        };
+        c.validate();
     }
 
     #[test]

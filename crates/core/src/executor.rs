@@ -1,0 +1,418 @@
+//! The scan executor: per-shard scan workers under real OS threads.
+//!
+//! The paper runs `kpromoted` as one daemon *per NUMA node*, all scanning
+//! concurrently. This module puts threads under PR 4's `TierShards`: every
+//! shard of every tier becomes one [`ScanJob`], the jobs are split into
+//! `scan_threads` contiguous chunks, and each chunk runs on a scoped
+//! worker (`std::thread::scope` — no detached state, no runtime).
+//!
+//! # Why the merged output is bit-identical to the sequential walk
+//!
+//! A worker owns its shard's lists (`&mut TierLists` — the borrows are
+//! disjoint by construction) but **never touches shared state**. It reads:
+//!
+//! * an immutable snapshot of every PTE reference bit, taken by the
+//!   coordinator before the scan ([`MemorySystem::referenced_snapshot`]).
+//!   Reference bits are only set by workload accesses, never during a
+//!   tick, so the snapshot equals what an in-place sequential harvest
+//!   would read. Test-and-clear semantics are reproduced locally: the
+//!   first harvest of a frame returns the snapshot bit, later harvests in
+//!   the same tick return false, and consumed bits are reported in
+//!   [`ShardScanOut::harvested`] for the coordinator to clear before the
+//!   promote/pressure phases run;
+//! * the start-of-tick page-state table, shadowed by a worker-local
+//!   overlay of its own writes (a frame is scanned only by the shard that
+//!   holds it, so no other worker's writes can be relevant).
+//!
+//! Everything a worker *would* have written goes into its
+//! [`ShardScanOut`]: stat deltas, state changes in application order,
+//! consumed reference bits, and buffered obs events
+//! ([`mc_obs::EventBuffer`]). The coordinator merges the outputs in fixed
+//! (tier, shard) order — exactly the sequential nested-loop order — so
+//! replayed events get the same sequence numbers, Fig. 4 tallies and
+//! timestamps, and the state table, flags and retry bookkeeping land in
+//! the same final configuration. `scan_threads = 1` runs the very same
+//! code inline; the differential tests in `crates/sim` assert
+//! byte-identical artifacts for threads = 4 vs 1.
+//!
+//! [`MemorySystem::referenced_snapshot`]: mc_mem::MemorySystem::referenced_snapshot
+
+use crate::config::MultiClockConfig;
+use crate::lists::TierLists;
+use crate::multi_clock::MultiClock;
+use crate::state::PageState;
+use mc_mem::{FrameId, MemorySystem, PageKind, TierId};
+use mc_obs::{EventBuffer, EventKind};
+use std::collections::{HashMap, HashSet};
+
+/// Read-only context shared by every scan worker.
+#[derive(Clone, Copy)]
+pub(crate) struct ScanCtx<'a> {
+    /// The policy configuration (scan budget).
+    pub(crate) cfg: &'a MultiClockConfig,
+    /// The memory system, read-only: frame kind lookups only.
+    pub(crate) mem: &'a MemorySystem,
+    /// Start-of-tick page states; workers shadow their own writes.
+    pub(crate) states: &'a [Option<PageState>],
+    /// Start-of-tick PTE reference bits, frame-indexed.
+    pub(crate) referenced: &'a [bool],
+    /// Whether the recorder is enabled (workers buffer events only then).
+    pub(crate) record: bool,
+}
+
+/// One scan job: a shard's lists plus the tier they belong to.
+pub(crate) struct ScanJob<'a> {
+    /// The tier this shard belongs to (drives top-tier promote ageing
+    /// and event payloads).
+    pub(crate) tier: TierId,
+    /// The shard's lists, exclusively borrowed for the scan phase.
+    pub(crate) lists: &'a mut TierLists,
+}
+
+/// Everything one shard's scan produced, to be merged in shard order.
+#[derive(Debug, Default)]
+pub(crate) struct ShardScanOut {
+    /// Pages examined (all lists, all kinds).
+    pub(crate) pages_scanned: u64,
+    /// Delta for `MultiClockStats::ladder_decays`.
+    pub(crate) ladder_decays: u64,
+    /// Delta for `MultiClockStats::promote_ages`.
+    pub(crate) promote_ages: u64,
+    /// Delta for `MultiClockStats::activations`.
+    pub(crate) activations: u64,
+    /// Delta for `MultiClockStats::promote_enqueues`.
+    pub(crate) promote_enqueues: u64,
+    /// State-table writes in application order (last write wins).
+    pub(crate) state_changes: Vec<(FrameId, PageState)>,
+    /// Frames whose set reference bit this scan consumed; the coordinator
+    /// clears them (deferred test-and-clear) before the promote phase.
+    pub(crate) harvested: Vec<FrameId>,
+    /// Obs events in emission order, replayed at merge time.
+    pub(crate) events: EventBuffer,
+}
+
+/// Runs every job, fanning contiguous chunks across up to `threads`
+/// scoped workers, and returns the outputs in job order.
+pub(crate) fn run_scan_jobs<'a>(
+    jobs: Vec<ScanJob<'a>>,
+    ctx: ScanCtx<'_>,
+    threads: usize,
+) -> Vec<ShardScanOut> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        // The sequential baseline runs the identical per-shard code
+        // inline, in the same order the parallel path merges in.
+        return jobs.into_iter().map(|job| scan_shard(job, ctx)).collect();
+    }
+    let chunk = jobs.len().div_ceil(threads);
+    let mut outs: Vec<Vec<ShardScanOut>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut rest = jobs;
+        while !rest.is_empty() {
+            let tail = rest.split_off(chunk.min(rest.len()));
+            let mine = std::mem::replace(&mut rest, tail);
+            handles.push(scope.spawn(move || {
+                mine.into_iter()
+                    .map(|job| scan_shard(job, ctx))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            // lint: allow(panic) - a worker panic is a scan-phase bug; propagating it is the only honest outcome
+            outs.push(handle.join().expect("scan worker panicked"));
+        }
+    });
+    // Chunks are contiguous, so concatenation restores job order.
+    outs.into_iter().flatten().collect()
+}
+
+/// Scans one shard to completion and returns its output.
+fn scan_shard(job: ScanJob<'_>, ctx: ScanCtx<'_>) -> ShardScanOut {
+    ShardScanner {
+        tier: job.tier,
+        lists: job.lists,
+        ctx,
+        overlay: HashMap::new(),
+        cleared: HashSet::new(),
+        out: ShardScanOut {
+            events: EventBuffer::new(ctx.record),
+            ..ShardScanOut::default()
+        },
+    }
+    .run()
+}
+
+/// The per-shard scan state machine: the exact logic of the historical
+/// sequential `scan_promote`/`scan_inactive`/`scan_active` walk, with
+/// every shared-state write deferred into [`ShardScanOut`].
+struct ShardScanner<'a, 'c> {
+    tier: TierId,
+    lists: &'a mut TierLists,
+    ctx: ScanCtx<'c>,
+    /// This worker's own state writes, shadowing `ctx.states`.
+    overlay: HashMap<usize, PageState>,
+    /// Frames whose reference bit was already test-and-cleared this tick.
+    cleared: HashSet<usize>,
+    out: ShardScanOut,
+}
+
+impl ShardScanner<'_, '_> {
+    fn run(mut self) -> ShardScanOut {
+        for kind in PageKind::ALL {
+            // Ageing of unreferenced promote pages (transition 11) only
+            // ever applies to the top tier: a lower tier's promote list is
+            // drained by the promotion phase of the same run that
+            // populated it (deferred retry candidates may sit across runs,
+            // but those are waiting out a backoff, not ageing). It runs
+            // before the other scans so pages entering the promote list
+            // during this very scan are not aged before the promote phase
+            // sees them.
+            if self.tier.is_top() {
+                let n = self.scan_promote(kind);
+                self.out.pages_scanned += n;
+            }
+            let n = self.scan_inactive(kind);
+            self.out.pages_scanned += n;
+            let n = self.scan_active(kind);
+            self.out.pages_scanned += n;
+        }
+        self.out
+    }
+
+    /// The tracked state of a frame as this worker sees it.
+    fn state_of(&self, frame: FrameId) -> Option<PageState> {
+        match self.overlay.get(&frame.index()) {
+            Some(st) => Some(*st),
+            None => self.ctx.states[frame.index()],
+        }
+    }
+
+    /// Records a state write: shadows the global table for this worker's
+    /// later reads and defers the real write to the merge.
+    fn set_state(&mut self, frame: FrameId, st: PageState) {
+        self.overlay.insert(frame.index(), st);
+        self.out.state_changes.push((frame, st));
+    }
+
+    /// Worker-local test-and-clear of a frame's reference bit: the first
+    /// harvest returns the snapshot value (and books the consumed bit for
+    /// the coordinator), later harvests in the same tick see it cleared.
+    fn harvest(&mut self, frame: FrameId) -> bool {
+        if !self.cleared.insert(frame.index()) {
+            return false;
+        }
+        if self.ctx.referenced[frame.index()] {
+            self.out.harvested.push(frame);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many ladder steps one observed access of this frame is worth.
+    /// Always one: the §VII write-weight extension influences *placement
+    /// priority* (see the promote phase), not the frequency bar — raising
+    /// climb speed for dirty pages would just relax selectivity.
+    fn access_steps(&self, _frame: FrameId) -> u32 {
+        1
+    }
+
+    /// Applies observed accesses to a page: the ladder of Fig. 4
+    /// transitions (2), (6), (7)/(8), (10), (12), moving the page between
+    /// this shard's lists as its state changes. The deferred mirror of
+    /// `MultiClock::apply_access`.
+    fn apply_access(&mut self, frame: FrameId) {
+        let Some(mut st) = self.state_of(frame) else {
+            return;
+        };
+        if st == PageState::Unevictable {
+            return;
+        }
+        let tier = self.tier.index() as u8;
+        let kind = self.ctx.mem.frame(frame).kind();
+        // fig4: 2, 6, 7, 10, 12 — each observed access climbs one edge.
+        for _ in 0..self.access_steps(frame) {
+            let new = st.on_access();
+            let edge = MultiClock::access_edge(st);
+            if new == st {
+                // The only self-edge of the ladder is (12): an observation
+                // absorbed by the promote list. Record it — it is the
+                // signal that a candidate stayed hot while queued.
+                if st == PageState::Promote {
+                    self.out.events.record(|| EventKind::Fig4 {
+                        edge,
+                        frame: frame.index() as u64,
+                        tier,
+                    });
+                }
+                break;
+            }
+            if new.list() != st.list() {
+                let set = self.lists.set_mut(kind);
+                set.list_mut(st.list()).remove(frame);
+                set.list_mut(new.list()).push_back(frame);
+                match new {
+                    // fig4: 6
+                    PageState::ActiveUnref => {
+                        self.out.activations = self.out.activations.saturating_add(1);
+                    }
+                    // fig4: 10
+                    PageState::Promote => {
+                        self.out.promote_enqueues = self.out.promote_enqueues.saturating_add(1);
+                    }
+                    // Accesses never move a page into the remaining
+                    // states across a list boundary: (2) and (12) stay
+                    // inside their list and ActiveRef is reached only by
+                    // the list-internal edge (7).
+                    PageState::InactiveUnref
+                    | PageState::InactiveRef
+                    | PageState::ActiveRef
+                    | PageState::Unevictable => {}
+                }
+            }
+            self.out.events.record(|| EventKind::Fig4 {
+                edge,
+                frame: frame.index() as u64,
+                tier,
+            });
+            st = new;
+        }
+        self.set_state(frame, st);
+    }
+
+    /// Moves a page to the list a new state demands: the deferred mirror
+    /// of `MultiClock::transition` (retry-episode bookkeeping is applied
+    /// at merge time from the recorded state change).
+    fn transition(&mut self, frame: FrameId, new_state: PageState) {
+        let Some(st) = self.state_of(frame) else {
+            return;
+        };
+        let kind = self.ctx.mem.frame(frame).kind();
+        let set = self.lists.set_mut(kind);
+        set.list_mut(st.list()).remove(frame);
+        set.list_mut(new_state.list()).push_back(frame);
+        self.set_state(frame, new_state);
+    }
+
+    /// Scans up to `scan_batch` pages of this shard's inactive list.
+    /// Referenced pages step the ladder; unreferenced pages simply rotate.
+    fn scan_inactive(&mut self, kind: PageKind) -> u64 {
+        let budget = self
+            .lists
+            .set(kind)
+            .inactive
+            .len()
+            .min(self.ctx.cfg.scan_batch);
+        let tier = self.tier.index() as u8;
+        let mut scanned = 0;
+        for _ in 0..budget {
+            let Some(frame) = self.lists.set_mut(kind).inactive.pop_front() else {
+                break;
+            };
+            scanned += 1;
+            // Rotate first so the ladder's list moves see a member page.
+            self.lists.set_mut(kind).inactive.push_back(frame);
+            if self.harvest(frame) {
+                self.apply_access(frame);
+            } else if self.state_of(frame) == Some(PageState::InactiveRef) {
+                // CLOCK decay (fig4: 1, downward): a page not
+                // referenced since the last scan loses its referenced
+                // state, so only pages referenced in *several recent*
+                // scans ever reach the promote list.
+                self.out.ladder_decays = self.out.ladder_decays.saturating_add(1);
+                self.transition(frame, PageState::InactiveUnref);
+                self.out.events.record(|| EventKind::Fig4 {
+                    edge: 1,
+                    frame: frame.index() as u64,
+                    tier,
+                });
+            }
+        }
+        if scanned > 0 {
+            self.out.events.record(|| EventKind::ScanList {
+                tier,
+                list: "inactive",
+                scanned: scanned as u32,
+            });
+        }
+        scanned
+    }
+
+    /// Scans up to `scan_batch` pages of this shard's active list.
+    fn scan_active(&mut self, kind: PageKind) -> u64 {
+        let budget = self
+            .lists
+            .set(kind)
+            .active
+            .len()
+            .min(self.ctx.cfg.scan_batch);
+        let tier = self.tier.index() as u8;
+        let mut scanned = 0;
+        for _ in 0..budget {
+            let Some(frame) = self.lists.set_mut(kind).active.pop_front() else {
+                break;
+            };
+            scanned += 1;
+            self.lists.set_mut(kind).active.push_back(frame);
+            if self.harvest(frame) {
+                self.apply_access(frame);
+            } else if self.state_of(frame) == Some(PageState::ActiveRef) {
+                // CLOCK decay on the active rung as well (fig4: 8).
+                self.out.ladder_decays = self.out.ladder_decays.saturating_add(1);
+                self.transition(frame, PageState::ActiveUnref);
+                self.out.events.record(|| EventKind::Fig4 {
+                    edge: 8,
+                    frame: frame.index() as u64,
+                    tier,
+                });
+            }
+        }
+        if scanned > 0 {
+            self.out.events.record(|| EventKind::ScanList {
+                tier,
+                list: "active",
+                scanned: scanned as u32,
+            });
+        }
+        scanned
+    }
+
+    /// Scans this shard's promote list: referenced pages stay (transition
+    /// 12), unreferenced pages age back to the active list (transition 11).
+    fn scan_promote(&mut self, kind: PageKind) -> u64 {
+        let budget = self
+            .lists
+            .set(kind)
+            .promote
+            .len()
+            .min(self.ctx.cfg.scan_batch);
+        let tier = self.tier.index() as u8;
+        let mut scanned = 0;
+        for _ in 0..budget {
+            let Some(frame) = self.lists.set_mut(kind).promote.pop_front() else {
+                break;
+            };
+            scanned += 1;
+            self.lists.set_mut(kind).promote.push_back(frame);
+            if !self.harvest(frame) {
+                // fig4: 11 — unaccessed promote pages age back to active.
+                self.out.promote_ages = self.out.promote_ages.saturating_add(1);
+                self.transition(frame, PageState::ActiveUnref);
+                self.out.events.record(|| EventKind::Fig4 {
+                    edge: 11,
+                    frame: frame.index() as u64,
+                    tier,
+                });
+            }
+        }
+        if scanned > 0 {
+            self.out.events.record(|| EventKind::ScanList {
+                tier,
+                list: "promote",
+                scanned: scanned as u32,
+            });
+        }
+        scanned
+    }
+}

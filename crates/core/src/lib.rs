@@ -48,6 +48,7 @@
 //! ```
 
 pub mod config;
+pub(crate) mod executor;
 pub mod lists;
 pub mod multi_clock;
 pub mod reclaim;

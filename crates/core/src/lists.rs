@@ -202,6 +202,13 @@ impl TierShards {
         self.shards.iter()
     }
 
+    /// Iterates the shards in order, mutably. The parallel scan executor
+    /// uses this to split a tier into disjoint per-shard `&mut` borrows,
+    /// one per scan job.
+    pub fn shards_mut(&mut self) -> impl Iterator<Item = &mut TierLists> {
+        self.shards.iter_mut()
+    }
+
     /// Total tracked pages across all shards (including unevictable).
     pub fn len(&self) -> usize {
         self.shards.iter().map(TierLists::len).sum()

@@ -295,7 +295,7 @@ impl MultiClock {
     /// The Fig. 4 edge an observed access fires from each ladder state
     /// (0 for [`PageState::Unevictable`], which absorbs accesses before
     /// the ladder is consulted).
-    fn access_edge(st: PageState) -> u8 {
+    pub(crate) fn access_edge(st: PageState) -> u8 {
         match st {
             PageState::InactiveUnref => 2,
             PageState::InactiveRef => 6,

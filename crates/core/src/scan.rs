@@ -1,6 +1,7 @@
 //! The `kpromoted` daemon: periodic list scanning, reference-bit
 //! harvesting, and promote-list draining (paper §III-B, §IV).
 
+use crate::executor::{run_scan_jobs, ScanCtx, ScanJob};
 use crate::multi_clock::MultiClock;
 use crate::state::PageState;
 use mc_mem::{FrameId, MemError, MemorySystem, Nanos, PageKind, TickOutcome, TierId};
@@ -13,7 +14,10 @@ impl MultiClock {
     ///    `scan_batch` pages per list — each shard models an independent
     ///    per-node daemon and gets its own full budget), harvesting PTE
     ///    reference bits and applying the Fig. 4 transitions — this is how
-    ///    *unsupervised* (mmap) accesses are observed;
+    ///    *unsupervised* (mmap) accesses are observed. The shard scans run
+    ///    on the [`crate::executor`] (up to `scan_threads` workers, the
+    ///    paper's concurrent per-node daemons) and their results are
+    ///    merged in shard order, bit-identical to a sequential walk;
     /// 2. promote **all** pages on lower tiers' promote lists ("once a
     ///    page is selected for promotion, the page gets promoted to the
     ///    DRAM in the same kpromoted run"), in `migrate_batch_size`
@@ -28,24 +32,54 @@ impl MultiClock {
         let mut out = TickOutcome::default();
         let tier_count = self.tiers.len();
 
-        for tier in 0..tier_count {
-            let tier = TierId::new(tier as u8);
-            for shard in 0..self.tiers[tier.index()].shard_count() {
-                for kind in PageKind::ALL {
-                    // Ageing of unreferenced promote pages (transition 11)
-                    // only ever applies to the top tier: a lower tier's
-                    // promote list is drained by the promotion phase of the
-                    // same run that populated it (deferred retry candidates
-                    // may sit across runs, but those are waiting out a
-                    // backoff, not ageing). It runs before the other scans
-                    // so pages entering the promote list during this very
-                    // scan are not aged before the promote phase sees them.
-                    if tier.is_top() {
-                        out.pages_scanned += self.scan_promote(mem, tier, shard, kind);
-                    }
-                    out.pages_scanned += self.scan_inactive(mem, tier, shard, kind);
-                    out.pages_scanned += self.scan_active(mem, tier, shard, kind);
+        // Scan phase: snapshot the reference bits, run every shard's scan
+        // as an independent job (workers write nothing shared), then merge
+        // the per-shard outputs in (tier, shard) order — the exact
+        // sequential nested-loop order, so stats, events and state writes
+        // land identically regardless of `scan_threads`.
+        let referenced = mem.referenced_snapshot();
+        let record = mem.recorder().is_enabled();
+        let shard_outs = {
+            let MultiClock {
+                cfg, tiers, states, ..
+            } = &mut *self;
+            let ctx = ScanCtx {
+                cfg,
+                mem,
+                states,
+                referenced: &referenced,
+                record,
+            };
+            let mut jobs = Vec::new();
+            for (t, shards) in tiers.iter_mut().enumerate() {
+                let tier = TierId::new(t as u8);
+                for lists in shards.shards_mut() {
+                    jobs.push(ScanJob { tier, lists });
                 }
+            }
+            run_scan_jobs(jobs, ctx, cfg.scan_threads)
+        };
+        for so in shard_outs {
+            out.pages_scanned += so.pages_scanned;
+            saturating_add(&mut self.stats.ladder_decays, so.ladder_decays);
+            saturating_add(&mut self.stats.promote_ages, so.promote_ages);
+            saturating_add(&mut self.stats.activations, so.activations);
+            saturating_add(&mut self.stats.promote_enqueues, so.promote_enqueues);
+            mem.recorder_mut().replay(so.events.into_events());
+            for (frame, st) in so.state_changes {
+                self.states[frame.index()] = Some(st);
+                if st != PageState::Promote {
+                    // Leaving the promote list ends the promotion episode
+                    // (invariant 6: retry state exists only for
+                    // Promote-state pages).
+                    self.retry_state[frame.index()] = None;
+                }
+                self.sync_flags(mem, frame, st);
+            }
+            // Deferred test-and-clear: consume the reference bits the scan
+            // observed, before the promote/pressure phases can look.
+            for frame in so.harvested {
+                let _ = mem.harvest_referenced(frame);
             }
         }
 
@@ -78,167 +112,6 @@ impl MultiClock {
             demoted: out.demoted,
         });
         out
-    }
-
-    /// Scans up to `scan_batch` pages of one shard's inactive list.
-    /// Referenced pages step the ladder; unreferenced pages simply rotate.
-    fn scan_inactive(
-        &mut self,
-        mem: &mut MemorySystem,
-        tier: TierId,
-        shard: usize,
-        kind: PageKind,
-    ) -> u64 {
-        let len = self.tiers[tier.index()]
-            .shard(shard)
-            .set(kind)
-            .inactive
-            .len();
-        let budget = len.min(self.cfg.scan_batch);
-        let mut scanned = 0;
-        for _ in 0..budget {
-            let Some(frame) = self.tiers[tier.index()]
-                .shard_mut(shard)
-                .set_mut(kind)
-                .inactive
-                .pop_front()
-            else {
-                break;
-            };
-            scanned += 1;
-            // Rotate first so the ladder's list moves see a member page.
-            self.tiers[tier.index()]
-                .shard_mut(shard)
-                .set_mut(kind)
-                .inactive
-                .push_back(frame);
-            if mem.harvest_referenced(frame) {
-                let steps = self.access_steps(mem, frame);
-                self.apply_access(mem, frame, steps);
-            } else if self.state_of(frame) == Some(PageState::InactiveRef) {
-                // CLOCK decay (fig4: 1, downward): a page not
-                // referenced since the last scan loses its referenced
-                // state, so only pages referenced in *several recent*
-                // scans ever reach the promote list.
-                saturating_bump(&mut self.stats.ladder_decays);
-                self.transition(mem, frame, PageState::InactiveUnref);
-                mem.recorder_mut().emit(|| EventKind::Fig4 {
-                    edge: 1,
-                    frame: frame.index() as u64,
-                    tier: tier.index() as u8,
-                });
-            }
-        }
-        if scanned > 0 {
-            mem.recorder_mut().emit(|| EventKind::ScanList {
-                tier: tier.index() as u8,
-                list: "inactive",
-                scanned: scanned as u32,
-            });
-        }
-        scanned
-    }
-
-    /// Scans up to `scan_batch` pages of one shard's active list.
-    fn scan_active(
-        &mut self,
-        mem: &mut MemorySystem,
-        tier: TierId,
-        shard: usize,
-        kind: PageKind,
-    ) -> u64 {
-        let len = self.tiers[tier.index()].shard(shard).set(kind).active.len();
-        let budget = len.min(self.cfg.scan_batch);
-        let mut scanned = 0;
-        for _ in 0..budget {
-            let Some(frame) = self.tiers[tier.index()]
-                .shard_mut(shard)
-                .set_mut(kind)
-                .active
-                .pop_front()
-            else {
-                break;
-            };
-            scanned += 1;
-            self.tiers[tier.index()]
-                .shard_mut(shard)
-                .set_mut(kind)
-                .active
-                .push_back(frame);
-            if mem.harvest_referenced(frame) {
-                let steps = self.access_steps(mem, frame);
-                self.apply_access(mem, frame, steps);
-            } else if self.state_of(frame) == Some(PageState::ActiveRef) {
-                // CLOCK decay on the active rung as well (fig4: 8).
-                saturating_bump(&mut self.stats.ladder_decays);
-                self.transition(mem, frame, PageState::ActiveUnref);
-                mem.recorder_mut().emit(|| EventKind::Fig4 {
-                    edge: 8,
-                    frame: frame.index() as u64,
-                    tier: tier.index() as u8,
-                });
-            }
-        }
-        if scanned > 0 {
-            mem.recorder_mut().emit(|| EventKind::ScanList {
-                tier: tier.index() as u8,
-                list: "active",
-                scanned: scanned as u32,
-            });
-        }
-        scanned
-    }
-
-    /// Scans one shard's promote list: referenced pages stay (transition
-    /// 12), unreferenced pages age back to the active list (transition 11).
-    fn scan_promote(
-        &mut self,
-        mem: &mut MemorySystem,
-        tier: TierId,
-        shard: usize,
-        kind: PageKind,
-    ) -> u64 {
-        let len = self.tiers[tier.index()]
-            .shard(shard)
-            .set(kind)
-            .promote
-            .len();
-        let budget = len.min(self.cfg.scan_batch);
-        let mut scanned = 0;
-        for _ in 0..budget {
-            let Some(frame) = self.tiers[tier.index()]
-                .shard_mut(shard)
-                .set_mut(kind)
-                .promote
-                .pop_front()
-            else {
-                break;
-            };
-            scanned += 1;
-            self.tiers[tier.index()]
-                .shard_mut(shard)
-                .set_mut(kind)
-                .promote
-                .push_back(frame);
-            if !mem.harvest_referenced(frame) {
-                // fig4: 11 — unaccessed promote pages age back to active.
-                saturating_bump(&mut self.stats.promote_ages);
-                self.transition(mem, frame, PageState::ActiveUnref);
-                mem.recorder_mut().emit(|| EventKind::Fig4 {
-                    edge: 11,
-                    frame: frame.index() as u64,
-                    tier: tier.index() as u8,
-                });
-            }
-        }
-        if scanned > 0 {
-            mem.recorder_mut().emit(|| EventKind::ScanList {
-                tier: tier.index() as u8,
-                list: "promote",
-                scanned: scanned as u32,
-            });
-        }
-        scanned
     }
 
     /// Migrates every page on `tier`'s promote lists (all shards) to the

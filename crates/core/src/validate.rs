@@ -16,6 +16,14 @@
 //! 7. a frame listed in shard `s` belongs to shard `s` under the static
 //!    frame→shard assignment (sharded scanning never strands a page on a
 //!    foreign shard).
+//!
+//! Validation runs only on the coordinating thread at quiescent points
+//! (tick end, post-promote) — never inside the parallel scan phase, where
+//! shard workers hold disjoint `&mut` list borrows and the state table is
+//! intentionally stale until the merge (see [`crate::executor`]).
+//! Invariant 6 is what makes the executor's deferred retry-clearing rule
+//! ("a merged non-`Promote` state write ends the episode") equivalent to
+//! the sequential in-place clearing.
 
 use crate::lists::WhichList;
 use crate::multi_clock::MultiClock;

@@ -6,7 +6,7 @@
 //! (`crates/lint/tests/workspace_clean.rs`), so `cargo test -q` fails on
 //! any violation.
 //!
-//! The five lint classes (see [`lints`]):
+//! The six lint classes (see [`lints`]):
 //!
 //! 1. **state-machine** — every `match` over `PageState`/`WhichList` in
 //!    `crates/core` and `crates/clock` must be exhaustive with no wildcard
@@ -20,7 +20,13 @@
 //!    mutated by the core list machinery and `crates/clock`;
 //! 4. **panic** — no `unwrap`/`expect`/`panic!` in non-test library code of
 //!    `mem`/`clock`/`core` outside the justified allowlist;
-//! 5. **docs** — every `pub` item in `mem`/`clock`/`core` is documented.
+//! 5. **docs** — every `pub` item in `mem`/`clock`/`core` is documented;
+//! 6. **parallel** — scan-phase isolation: `std::thread` in `crates/core`
+//!    only inside `executor.rs`, no shared-mutable primitives
+//!    (`Mutex`/`RwLock`/`Atomic*`/`RefCell`/`static mut`/`unsafe`) in the
+//!    policy crate, and a strictly read-only memory system inside the
+//!    executor — workers communicate only through the ordered
+//!    `ShardScanOut` merge.
 //!
 //! Analysis is lexical (comment/string-blanked text, brace matching), not a
 //! full parse: precise enough for this codebase's rustfmt-formatted style,
@@ -169,6 +175,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(lints::boundary::check(ws));
     diags.extend(lints::panics::check(ws));
     diags.extend(lints::docs::check(ws));
+    diags.extend(lints::parallel::check(ws));
     diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     diags
 }

@@ -1,4 +1,4 @@
-//! The five lint classes. Each submodule exposes
+//! The six lint classes. Each submodule exposes
 //! `check(&Workspace) -> Vec<Diagnostic>` and is independently runnable so
 //! the test harness can report them as separate cases.
 
@@ -6,4 +6,5 @@ pub mod boundary;
 pub mod docs;
 pub mod layering;
 pub mod panics;
+pub mod parallel;
 pub mod state_machine;

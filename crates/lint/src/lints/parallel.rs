@@ -1,0 +1,124 @@
+//! Lint 6: parallel-scan isolation.
+//!
+//! The scan executor's bit-identity argument rests on shard workers
+//! sharing **no mutable state**: each worker owns its shard's lists,
+//! reads immutable snapshots, and communicates results *only* through the
+//! `ShardScanOut` values merged in shard order on the coordinator. This
+//! pass keeps that argument checkable:
+//!
+//! 1. **thread confinement** — `crates/core` may touch `std::thread` only
+//!    in `executor.rs`; threading anywhere else in the policy crate would
+//!    bypass the merge discipline;
+//! 2. **no shared-mutable primitives** — `Mutex`, `RwLock`, `Atomic*`,
+//!    `RefCell`, `Cell<`, `static mut` and `unsafe` are banned throughout
+//!    `crates/core` library code (the executor needs none of them: if a
+//!    worker wants to publish something, it must return it);
+//! 3. **read-only substrate in the executor** — `executor.rs` must never
+//!    take `&mut MemorySystem` or call `recorder_mut`; every memory-system
+//!    and recorder mutation belongs to the coordinator's merge in
+//!    `scan.rs`.
+//!
+//! Like the other passes this is lexical (comment/string-blanked text),
+//! so a violation dodged by obfuscation is a false negative, never a
+//! false positive.
+
+use crate::source::is_ident_byte;
+use crate::{Diagnostic, Workspace};
+
+const LINT: &str = "parallel";
+
+/// The one file in `crates/core` allowed to spawn threads.
+const EXECUTOR: &str = "crates/core/src/executor.rs";
+
+/// Shared-mutable (or aliasing-escape) constructs banned in `crates/core`.
+const SHARED_MUTABLE: [&str; 7] = [
+    "Mutex",
+    "RwLock",
+    "Atomic",
+    "RefCell",
+    "Cell<",
+    "static mut",
+    "unsafe",
+];
+
+/// Substrate-mutation constructs banned inside the executor.
+const EXECUTOR_BANNED: [(&str, &str); 2] = [
+    (
+        "&mut MemorySystem",
+        "the executor reads the memory system; mutations belong to the coordinator's merge",
+    ),
+    (
+        "recorder_mut",
+        "workers buffer events in an EventBuffer; only the merge may emit into the recorder",
+    ),
+];
+
+/// Runs the parallel-isolation lint over `crates/core`.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in ws.files_under("crates/core/src/") {
+        let is_executor = file.rel == EXECUTOR;
+
+        if !is_executor {
+            find_word(file, "thread", &mut diags, |_| {
+                format!(
+                    "`thread` use outside `{EXECUTOR}`; all scan parallelism must go \
+                     through the executor's merge discipline"
+                )
+            });
+        } else {
+            for (needle, why) in EXECUTOR_BANNED {
+                find_word(file, needle, &mut diags, |n| {
+                    format!("`{n}` inside the scan executor: {why}")
+                });
+            }
+        }
+
+        for needle in SHARED_MUTABLE {
+            find_word(file, needle, &mut diags, |n| {
+                format!(
+                    "shared-mutable construct `{n}` in crates/core; shard workers may \
+                     only communicate through the ShardScanOut merge"
+                )
+            });
+        }
+    }
+    diags
+}
+
+/// Reports each word-bounded, non-test occurrence of `needle` in the
+/// blanked source.
+fn find_word(
+    file: &crate::source::SourceFile,
+    needle: &str,
+    diags: &mut Vec<Diagnostic>,
+    message: impl Fn(&str) -> String,
+) {
+    let blanked = &file.blanked;
+    let bytes = blanked.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = blanked[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        from = end;
+        // Word boundary on the left; on the right only when the needle
+        // itself ends in an identifier byte (so `Atomic` still matches
+        // `AtomicUsize`, while `thread` does not match `threads`).
+        let ok_before = start == 0 || !is_ident_byte(bytes[start - 1]);
+        if !ok_before {
+            continue;
+        }
+        if needle == "thread" && bytes.get(end).is_some_and(|b| is_ident_byte(*b)) {
+            continue;
+        }
+        if file.in_test(start) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: file.rel.clone(),
+            line: file.line_of(start),
+            lint: LINT,
+            message: message(needle),
+        });
+    }
+}

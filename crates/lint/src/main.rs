@@ -33,7 +33,7 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         println!(
-            "mc-lint: {} files clean (state-machine, layering, boundary, panic, docs)",
+            "mc-lint: {} files clean (state-machine, layering, boundary, panic, docs, parallel)",
             ws.files.len()
         );
         ExitCode::SUCCESS

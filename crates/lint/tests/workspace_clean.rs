@@ -52,3 +52,8 @@ fn library_code_is_panic_free_or_justified() {
 fn substrate_public_api_is_documented() {
     assert_clean(lints::docs::check(workspace()));
 }
+
+#[test]
+fn scan_parallelism_is_isolated_to_the_executor() {
+    assert_clean(lints::parallel::check(workspace()));
+}

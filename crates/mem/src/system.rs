@@ -478,6 +478,26 @@ impl MemorySystem {
         }
     }
 
+    /// A frame-indexed snapshot of every PTE reference bit, *without*
+    /// clearing any of them.
+    ///
+    /// The parallel scan path reads this immutable snapshot from its shard
+    /// workers (test-and-clear is deferred to the coordinator's merge, via
+    /// [`Self::harvest_referenced`]), so the observed bit values are
+    /// exactly what a sequential in-place harvest would have read:
+    /// reference bits are only ever *set* by workload accesses, never
+    /// during a scan. Unmapped frames report unreferenced.
+    pub fn referenced_snapshot(&self) -> Vec<bool> {
+        self.frames
+            .iter()
+            .map(|fr| {
+                fr.vpage()
+                    .and_then(|vp| self.page_table.get(vp))
+                    .is_some_and(|e| e.referenced)
+            })
+            .collect()
+    }
+
     /// Poisons the PTE of a mapped page for hint-fault tracking. Returns
     /// whether the page was mapped.
     pub fn poison(&mut self, vpage: VPage) -> bool {

@@ -1,0 +1,129 @@
+//! Per-worker event buffering for parallel instrumented phases.
+//!
+//! A [`Recorder`](crate::Recorder) is single-owner state (sequence
+//! counter, Fig. 4 tallies, ring buffer), so concurrent workers cannot
+//! emit into it directly. Instead each worker records into its own
+//! [`EventBuffer`] — an append-only, order-preserving sink with the same
+//! zero-cost-when-disabled contract as [`Recorder::emit`] — and the
+//! coordinating thread replays the buffers *in a fixed worker order*
+//! through [`Recorder::replay`]. Sequence numbers, timestamps and Fig. 4
+//! tallies are assigned at replay time, so a parallel phase whose buffers
+//! are merged in the sequential walk order produces a byte-identical
+//! trace.
+//!
+//! [`Recorder::emit`]: crate::Recorder::emit
+//! [`Recorder::replay`]: crate::Recorder::replay
+
+use crate::event::EventKind;
+
+/// An ordered, worker-local sink of event payloads.
+///
+/// Created with the owning recorder's enabled flag; when disabled, both
+/// payload construction and buffering are skipped entirely, mirroring the
+/// static-branch no-op of a disabled tracepoint.
+#[derive(Debug, Default, Clone)]
+pub struct EventBuffer {
+    enabled: bool,
+    events: Vec<EventKind>,
+}
+
+impl EventBuffer {
+    /// A buffer that records payloads only when `enabled` is true.
+    pub fn new(enabled: bool) -> Self {
+        EventBuffer {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Buffers one event payload. The closure runs only when enabled.
+    #[inline]
+    pub fn record(&mut self, f: impl FnOnce() -> EventKind) {
+        if self.enabled {
+            self.events.push(f());
+        }
+    }
+
+    /// Number of buffered payloads.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the buffer, yielding the payloads in record order.
+    pub fn into_events(self) -> Vec<EventKind> {
+        self.events
+    }
+
+    /// The buffered payloads in record order, without consuming.
+    pub fn events(&self) -> &[EventKind] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn disabled_buffer_skips_payload_construction() {
+        let mut b = EventBuffer::new(false);
+        let mut built = false;
+        b.record(|| {
+            built = true;
+            EventKind::TickBegin { tick: 1 }
+        });
+        assert!(!built);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn replayed_buffers_match_direct_emission() {
+        // Emit a sequence directly...
+        let mut direct = Recorder::enabled(64);
+        direct.set_now(42);
+        direct.emit(|| EventKind::TickBegin { tick: 1 });
+        direct.emit(|| EventKind::Fig4 {
+            edge: 2,
+            frame: 7,
+            tier: 1,
+        });
+        direct.emit(|| EventKind::Fig4 {
+            edge: 13,
+            frame: 7,
+            tier: 0,
+        });
+
+        // ...and the same sequence split across two worker buffers.
+        let mut merged = Recorder::enabled(64);
+        merged.set_now(42);
+        let mut w0 = EventBuffer::new(merged.is_enabled());
+        let mut w1 = EventBuffer::new(merged.is_enabled());
+        w0.record(|| EventKind::TickBegin { tick: 1 });
+        w0.record(|| EventKind::Fig4 {
+            edge: 2,
+            frame: 7,
+            tier: 1,
+        });
+        w1.record(|| EventKind::Fig4 {
+            edge: 13,
+            frame: 7,
+            tier: 0,
+        });
+        merged.replay(w0.into_events());
+        merged.replay(w1.into_events());
+
+        assert_eq!(direct.to_jsonl(), merged.to_jsonl());
+        assert_eq!(direct.fig4_hits(), merged.fig4_hits());
+    }
+}

@@ -106,6 +106,11 @@ pub struct SimConfig {
     /// Pages per batched promotion migration call handed to MULTI-CLOCK
     /// (`1` = historical page-at-a-time migration, bit-identical).
     pub migrate_batch_size: usize,
+    /// Worker threads for MULTI-CLOCK's scan phase. Purely a wall-clock
+    /// knob: any value `>= 1` produces bit-identical results (the
+    /// executor merges per-shard output in fixed shard order); other
+    /// systems ignore it.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -126,6 +131,7 @@ impl SimConfig {
             retry: RetryPolicy::immediate(),
             scan_shards: 1,
             migrate_batch_size: 1,
+            threads: 1,
         }
     }
 

@@ -73,6 +73,7 @@ impl Simulation {
                         retry: cfg.retry,
                         scan_shards: cfg.scan_shards,
                         migrate_batch_size: cfg.migrate_batch_size,
+                        scan_threads: cfg.threads,
                         // Adaptive bounds scale with the configured
                         // interval (the defaults are paper-scale).
                         min_interval: Nanos::from_nanos(cfg.scan_interval.as_nanos() / 10),

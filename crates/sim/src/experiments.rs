@@ -179,9 +179,21 @@ impl Scale {
     }
 }
 
-/// Result of one experiment run.
+fn base_config(system: SystemKind, scale: &Scale, interval: Nanos) -> SimConfig {
+    let mut cfg = SimConfig::new(system, scale.dram_pages, scale.pm_pages);
+    cfg.scan_interval = interval;
+    cfg.scan_batch = scale.scan_batch;
+    cfg.window = scale.window();
+    cfg
+}
+
+/// Everything one experiment run produced: the classic figure metrics
+/// (formerly `RunSummary`), the fault layer's accounting (all zero
+/// without an injector) and the cost breakdown. One flat type for every
+/// run — comparison tables, chaos sweeps and batch grids all read the
+/// same fields.
 #[derive(Debug, Clone)]
-pub struct RunSummary {
+pub struct RunOutcome {
     /// System under test.
     pub system: SystemKind,
     /// YCSB throughput (operations per virtual second); zero for GAPBS.
@@ -204,24 +216,6 @@ pub struct RunSummary {
     pub p99: Option<mc_mem::Nanos>,
     /// Per-window statistics (Figs. 8-9 series).
     pub windows: Vec<WindowStats>,
-}
-
-fn base_config(system: SystemKind, scale: &Scale, interval: Nanos) -> SimConfig {
-    let mut cfg = SimConfig::new(system, scale.dram_pages, scale.pm_pages);
-    cfg.scan_interval = interval;
-    cfg.scan_batch = scale.scan_batch;
-    cfg.window = scale.window();
-    cfg
-}
-
-/// Everything one experiment run produced: the classic figure metrics,
-/// the fault layer's accounting (all zero without an injector) and the
-/// cost breakdown. Subsumes the former `RunSummary`-vs-`ChaosSummary`
-/// split — every run carries all of it.
-#[derive(Debug, Clone)]
-pub struct RunOutcome {
-    /// The standard run metrics (Figs. 5-10).
-    pub summary: RunSummary,
     /// Faults the injector fired (migrations + allocations).
     pub injected_faults: u64,
     /// All migration failures the substrate saw (injected or organic).
@@ -250,10 +244,20 @@ impl RunOutcome {
     }
 }
 
-/// Builder for one YCSB experiment run.
+/// The workload an [`Experiment`] drives.
+#[derive(Debug, Clone, Copy)]
+enum Workload {
+    /// A YCSB key-value workload (Figs. 5, 7-10).
+    Ycsb(YcsbWorkload),
+    /// A GAPBS graph kernel (Fig. 6).
+    Gapbs(Kernel),
+}
+
+/// Builder for one experiment run — YCSB or GAPBS.
 ///
-/// Replaces the old `run_ycsb`/`run_ycsb_observed`/`run_ycsb_chaos` trio
-/// with one composable entry point:
+/// The single entry point for all runs (the old
+/// `run_ycsb`/`run_ycsb_observed`/`run_ycsb_chaos` trio is gone, and
+/// `run_gapbs` survives one more release as a thin wrapper):
 ///
 /// ```no_run
 /// use mc_sim::experiments::{Experiment, Scale};
@@ -263,11 +267,11 @@ impl RunOutcome {
 ///     .scale(&Scale::tiny())
 ///     .run()
 ///     .unwrap();
-/// assert!(outcome.summary.ops_per_sec > 0.0);
+/// assert!(outcome.ops_per_sec > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    workload: YcsbWorkload,
+    workload: Workload,
     system: SystemKind,
     scale: Scale,
     interval: Option<Nanos>,
@@ -276,12 +280,11 @@ pub struct Experiment {
     retry: mc_fault::RetryPolicy,
     scan_shards: usize,
     migrate_batch_size: usize,
+    threads: usize,
 }
 
 impl Experiment {
-    /// A MULTI-CLOCK run of `workload` at [`Scale::quick`] with the
-    /// scale's default 1-paper-second interval. Every knob has a setter.
-    pub fn ycsb(workload: YcsbWorkload) -> Self {
+    fn new(workload: Workload) -> Self {
         Experiment {
             workload,
             system: SystemKind::MultiClock,
@@ -292,7 +295,23 @@ impl Experiment {
             retry: mc_fault::RetryPolicy::immediate(),
             scan_shards: 1,
             migrate_batch_size: 1,
+            threads: 1,
         }
+    }
+
+    /// A MULTI-CLOCK run of `workload` at [`Scale::quick`] with the
+    /// scale's default 1-paper-second interval. Every knob has a setter.
+    pub fn ycsb(workload: YcsbWorkload) -> Self {
+        Experiment::new(Workload::Ycsb(workload))
+    }
+
+    /// A MULTI-CLOCK run of the GAPBS `kernel` at [`Scale::quick`].
+    ///
+    /// Uses the scale's graph machine ([`Scale::graph_machine`]) and
+    /// shortens the scan interval by [`Scale::graph_interval_factor`], as
+    /// the old `run_gapbs` did.
+    pub fn gapbs(kernel: Kernel) -> Self {
+        Experiment::new(Workload::Gapbs(kernel))
     }
 
     /// Selects the system under test.
@@ -341,6 +360,23 @@ impl Experiment {
         self
     }
 
+    /// Sets the number of worker threads for MULTI-CLOCK's scan phase
+    /// (default 1: fully sequential).
+    ///
+    /// # Determinism contract
+    ///
+    /// Thread count is a *performance* knob, never a *behavior* knob:
+    /// every run is bit-identical for any `threads >= 1` — same stats,
+    /// same tick CSV, same event JSONL, same final page placement. The
+    /// scan executor guarantees this by giving each worker a read-only
+    /// snapshot of the memory system and merging per-shard results on the
+    /// coordinating thread in fixed shard-index order
+    /// (`crates/sim/tests/parallel_differential.rs` enforces it).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Runs the experiment.
     ///
     /// # Errors
@@ -349,126 +385,41 @@ impl Experiment {
     /// without [`Self::obs`] never fail.
     pub fn run(self) -> std::io::Result<RunOutcome> {
         let interval = self.interval.unwrap_or_else(|| self.scale.scan_interval());
-        let mut cfg = base_config(self.system, &self.scale, interval);
+        let mut cfg = match self.workload {
+            Workload::Ycsb(_) => base_config(self.system, &self.scale, interval),
+            Workload::Gapbs(_) => {
+                let (dram, pm) = self.scale.graph_machine();
+                let mut cfg = SimConfig::new(self.system, dram, pm);
+                cfg.scan_interval = Nanos::from_nanos(
+                    (interval.as_nanos() as f64 * self.scale.graph_interval_factor) as u64,
+                );
+                cfg.scan_batch = self.scale.scan_batch;
+                cfg.window = self.scale.window();
+                cfg
+            }
+        };
         cfg.fault = self.fault;
         cfg.retry = self.retry;
         cfg.scan_shards = self.scan_shards;
         cfg.migrate_batch_size = self.migrate_batch_size;
+        cfg.threads = self.threads;
         if self.obs_dir.is_some() {
             cfg.obs = mc_obs::ObsConfig::on();
         }
-        let (summary, sim) = run_ycsb_cfg(cfg, self.workload, &self.scale);
+        let (outcome, sim) = match self.workload {
+            Workload::Ycsb(w) => run_ycsb_cfg(cfg, w, &self.scale),
+            Workload::Gapbs(k) => run_gapbs_cfg(cfg, k, &self.scale),
+        };
         if let Some(dir) = &self.obs_dir {
             sim.write_obs(dir)?;
         }
-        Ok(RunOutcome {
-            summary,
-            injected_faults: sim.mem().stats().injected_faults,
-            migration_failures: sim.mem().stats().migration_failures,
-            promote_retries: sim.counter("mc_promote_retries"),
-            promote_gave_ups: sim.counter("mc_promote_gave_ups"),
-            costs: sim.metrics().costs(),
-        })
+        Ok(outcome)
     }
-}
-
-/// Runs one YCSB workload on one system and reports throughput.
-#[deprecated(since = "0.1.0", note = "use `Experiment::ycsb(...).run()` instead")]
-pub fn run_ycsb(
-    system: SystemKind,
-    workload: YcsbWorkload,
-    scale: &Scale,
-    interval: Nanos,
-) -> RunSummary {
-    Experiment::ycsb(workload)
-        .system(system)
-        .scale(scale)
-        .interval(interval)
-        .run()
-        .map(|o| o.summary)
-        .expect("no obs artifacts requested, so no I/O can fail")
-}
-
-/// Like [`run_ycsb`] but with observability enabled: after the run the
-/// events/ticks/report artifacts are written into `dir` (the layout the
-/// `mc-obs-report` binary consumes).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::ycsb(...).obs(dir).run()` instead"
-)]
-pub fn run_ycsb_observed(
-    system: SystemKind,
-    workload: YcsbWorkload,
-    scale: &Scale,
-    interval: Nanos,
-    dir: &std::path::Path,
-) -> std::io::Result<RunSummary> {
-    Experiment::ycsb(workload)
-        .system(system)
-        .scale(scale)
-        .interval(interval)
-        .obs(dir)
-        .run()
-        .map(|o| o.summary)
-}
-
-/// One row of the chaos sweep: the usual [`RunSummary`] plus the fault
-/// layer's own accounting. Superseded by [`RunOutcome`], which carries
-/// the same fields on every run.
-#[derive(Debug, Clone)]
-pub struct ChaosSummary {
-    /// The standard run metrics.
-    pub summary: RunSummary,
-    /// Faults the injector fired (migrations + allocations).
-    pub injected_faults: u64,
-    /// All migration failures the substrate saw (injected or organic).
-    pub migration_failures: u64,
-    /// MULTI-CLOCK promotion retries (transient failures requeued).
-    pub promote_retries: u64,
-    /// Promotion episodes that exhausted their retry budget.
-    pub promote_gave_ups: u64,
-}
-
-/// Like [`run_ycsb`] but with a fault injector installed and a promotion
-/// retry policy; optionally exports obs artifacts into `obs_dir`.
-///
-/// # Errors
-///
-/// Propagates filesystem errors from writing the obs artifacts.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::ycsb(...).fault(cfg, retry).run()` instead"
-)]
-pub fn run_ycsb_chaos(
-    system: SystemKind,
-    workload: YcsbWorkload,
-    scale: &Scale,
-    interval: Nanos,
-    fault: mc_fault::FaultConfig,
-    retry: mc_fault::RetryPolicy,
-    obs_dir: Option<&std::path::Path>,
-) -> std::io::Result<ChaosSummary> {
-    let mut exp = Experiment::ycsb(workload)
-        .system(system)
-        .scale(scale)
-        .interval(interval)
-        .fault(fault, retry);
-    if let Some(dir) = obs_dir {
-        exp = exp.obs(dir);
-    }
-    let o = exp.run()?;
-    Ok(ChaosSummary {
-        summary: o.summary,
-        injected_faults: o.injected_faults,
-        migration_failures: o.migration_failures,
-        promote_retries: o.promote_retries,
-        promote_gave_ups: o.promote_gave_ups,
-    })
 }
 
 /// The YCSB driver proper; returns the finished simulation so observed
 /// runs can export artifacts from it.
-fn run_ycsb_cfg(cfg: SimConfig, workload: YcsbWorkload, scale: &Scale) -> (RunSummary, Simulation) {
+fn run_ycsb_cfg(cfg: SimConfig, workload: YcsbWorkload, scale: &Scale) -> (RunOutcome, Simulation) {
     let system = cfg.system;
     let mut sim = Simulation::new(cfg);
     let mut client = YcsbClient::load(
@@ -500,25 +451,35 @@ fn run_ycsb_cfg(cfg: SimConfig, workload: YcsbWorkload, scale: &Scale) -> (RunSu
     }
     let elapsed = sim.now() - t0;
     sim.finish();
-    let mut summary = summarize(
+    let mut outcome = summarize(
         system,
         &sim,
         ops as f64 / elapsed.as_secs_f64(),
         Nanos::ZERO,
     );
-    summary.p50 = hist.percentile(50.0);
-    summary.p99 = hist.percentile(99.0);
-    (summary, sim)
+    outcome.p50 = hist.percentile(50.0);
+    outcome.p99 = hist.percentile(99.0);
+    (outcome, sim)
 }
 
 /// Runs one GAPBS kernel on one system; reports mean trial time.
-pub fn run_gapbs(system: SystemKind, kernel: Kernel, scale: &Scale, interval: Nanos) -> RunSummary {
-    let (dram, pm) = scale.graph_machine();
-    let mut cfg = SimConfig::new(system, dram, pm);
-    cfg.scan_interval =
-        Nanos::from_nanos((interval.as_nanos() as f64 * scale.graph_interval_factor) as u64);
-    cfg.scan_batch = scale.scan_batch;
-    cfg.window = scale.window();
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::gapbs(kernel).system(...).scale(...).interval(...).run()` instead"
+)]
+pub fn run_gapbs(system: SystemKind, kernel: Kernel, scale: &Scale, interval: Nanos) -> RunOutcome {
+    Experiment::gapbs(kernel)
+        .system(system)
+        .scale(scale)
+        .interval(interval)
+        .run()
+        .expect("no obs artifacts requested, so no I/O can fail")
+}
+
+/// The GAPBS driver proper; returns the finished simulation so observed
+/// runs can export artifacts from it.
+fn run_gapbs_cfg(cfg: SimConfig, kernel: Kernel, scale: &Scale) -> (RunOutcome, Simulation) {
+    let system = cfg.system;
     let mut sim = Simulation::new(cfg);
     let gcfg = GraphConfig {
         scale: scale.graph_scale,
@@ -567,7 +528,8 @@ pub fn run_gapbs(system: SystemKind, kernel: Kernel, scale: &Scale, interval: Na
     let elapsed = sim.now() - t0;
     sim.finish();
     let per_trial = Nanos::from_nanos(elapsed.as_nanos() / scale.trials as u64);
-    summarize(system, &sim, 0.0, per_trial)
+    let outcome = summarize(system, &sim, 0.0, per_trial);
+    (outcome, sim)
 }
 
 fn summarize(
@@ -575,9 +537,9 @@ fn summarize(
     sim: &Simulation,
     ops_per_sec: f64,
     trial_time: Nanos,
-) -> RunSummary {
+) -> RunOutcome {
     let m = sim.metrics();
-    RunSummary {
+    RunOutcome {
         system,
         ops_per_sec,
         trial_time,
@@ -592,12 +554,17 @@ fn summarize(
         p50: None,
         p99: None,
         windows: m.windows().to_vec(),
+        injected_faults: sim.mem().stats().injected_faults,
+        migration_failures: sim.mem().stats().migration_failures,
+        promote_retries: sim.counter("mc_promote_retries"),
+        promote_gave_ups: sim.counter("mc_promote_gave_ups"),
+        costs: m.costs(),
     }
 }
 
 /// Runs the Fig. 5 comparison (all five tiered systems) for one YCSB
 /// workload.
-pub fn ycsb_comparison(workload: YcsbWorkload, scale: &Scale) -> Vec<RunSummary> {
+pub fn ycsb_comparison(workload: YcsbWorkload, scale: &Scale) -> Vec<RunOutcome> {
     SystemKind::TIERED_COMPARISON
         .iter()
         .map(|s| {
@@ -605,17 +572,22 @@ pub fn ycsb_comparison(workload: YcsbWorkload, scale: &Scale) -> Vec<RunSummary>
                 .system(*s)
                 .scale(scale)
                 .run()
-                .map(|o| o.summary)
                 .expect("no obs artifacts requested, so no I/O can fail")
         })
         .collect()
 }
 
 /// Runs the Fig. 6 comparison for one GAPBS kernel.
-pub fn gapbs_comparison(kernel: Kernel, scale: &Scale) -> Vec<RunSummary> {
+pub fn gapbs_comparison(kernel: Kernel, scale: &Scale) -> Vec<RunOutcome> {
     SystemKind::TIERED_COMPARISON
         .iter()
-        .map(|s| run_gapbs(*s, kernel, scale, scale.scan_interval()))
+        .map(|s| {
+            Experiment::gapbs(kernel)
+                .system(*s)
+                .scale(scale)
+                .run()
+                .expect("no obs artifacts requested, so no I/O can fail")
+        })
         .collect()
 }
 
@@ -633,8 +605,8 @@ mod tests {
             .scale(&scale)
             .run()
             .unwrap();
-        assert!(o.summary.ops_per_sec > 0.0);
-        assert_eq!(o.summary.promotions, 0, "static never promotes");
+        assert!(o.ops_per_sec > 0.0);
+        assert_eq!(o.promotions, 0, "static never promotes");
         assert_eq!(o.injected_faults, 0, "no injector installed");
         assert!(o.costs.access_time > Nanos::ZERO);
     }
@@ -645,10 +617,7 @@ mod tests {
             .scale(&Scale::tiny())
             .run()
             .unwrap();
-        assert!(
-            o.summary.promotions > 0,
-            "MULTI-CLOCK should promote hot pages"
-        );
+        assert!(o.promotions > 0, "MULTI-CLOCK should promote hot pages");
         let share = o.overhead_share();
         assert!((0.0..=1.0).contains(&share), "share={share}");
     }
@@ -665,9 +634,9 @@ mod tests {
             .interval(scale.scan_interval())
             .run()
             .unwrap();
-        assert_eq!(implicit.summary.ops_per_sec, explicit.summary.ops_per_sec);
-        assert_eq!(implicit.summary.promotions, explicit.summary.promotions);
-        assert_eq!(implicit.summary.demotions, explicit.summary.demotions);
+        assert_eq!(implicit.ops_per_sec, explicit.ops_per_sec);
+        assert_eq!(implicit.promotions, explicit.promotions);
+        assert_eq!(implicit.demotions, explicit.demotions);
     }
 
     #[test]
@@ -681,20 +650,39 @@ mod tests {
             .batch(8)
             .run()
             .unwrap();
-        assert!(o.summary.ops_per_sec > 0.0);
+        assert!(o.ops_per_sec > 0.0);
     }
 
     #[test]
     fn gapbs_run_produces_trial_time() {
         let mut scale = Scale::tiny();
         scale.graph_scale = 8;
-        let r = run_gapbs(
+        let r = Experiment::gapbs(Kernel::Bfs)
+            .system(SystemKind::Static)
+            .scale(&scale)
+            .run()
+            .unwrap();
+        assert!(r.trial_time > Nanos::ZERO);
+    }
+
+    #[test]
+    fn deprecated_run_gapbs_matches_the_builder() {
+        let mut scale = Scale::tiny();
+        scale.graph_scale = 8;
+        #[allow(deprecated)]
+        let old = run_gapbs(
             SystemKind::Static,
             Kernel::Bfs,
             &scale,
             scale.scan_interval(),
         );
-        assert!(r.trial_time > Nanos::ZERO);
+        let new = Experiment::gapbs(Kernel::Bfs)
+            .system(SystemKind::Static)
+            .scale(&scale)
+            .run()
+            .unwrap();
+        assert_eq!(old.trial_time, new.trial_time);
+        assert_eq!(old.promotions, new.promotions);
     }
 
     #[test]

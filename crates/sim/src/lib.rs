@@ -38,7 +38,7 @@ pub mod report;
 
 pub use config::{SimConfig, SystemKind};
 pub use engine::Simulation;
-pub use experiments::{Experiment, RunOutcome, RunSummary, Scale};
+pub use experiments::{Experiment, RunOutcome, Scale};
 pub use latency_hist::LatencyHistogram;
 pub use mc_fault::{FaultConfig, FaultPlan, RetryPolicy};
 pub use mc_obs::ObsConfig;

@@ -2,7 +2,7 @@
 //! static tiering and aligned-text tables (the figures are emitted as
 //! data series, like the paper's plots).
 
-use crate::experiments::RunSummary;
+use crate::experiments::RunOutcome;
 use mc_mem::Nanos;
 
 /// Normalises YCSB throughputs to the static-tiering run in the set
@@ -11,7 +11,7 @@ use mc_mem::Nanos;
 /// # Panics
 ///
 /// Panics if the set contains no static run or throughput is zero.
-pub fn normalize_throughput(rows: &[RunSummary]) -> Vec<(&'static str, f64)> {
+pub fn normalize_throughput(rows: &[RunOutcome]) -> Vec<(&'static str, f64)> {
     let base = rows
         .iter()
         .find(|r| r.system == crate::SystemKind::Static)
@@ -29,7 +29,7 @@ pub fn normalize_throughput(rows: &[RunSummary]) -> Vec<(&'static str, f64)> {
 /// # Panics
 ///
 /// Panics if the set contains no static run or its time is zero.
-pub fn normalize_time(rows: &[RunSummary]) -> Vec<(&'static str, f64)> {
+pub fn normalize_time(rows: &[RunOutcome]) -> Vec<(&'static str, f64)> {
     let base = rows
         .iter()
         .find(|r| r.system == crate::SystemKind::Static)
@@ -109,8 +109,8 @@ mod tests {
     use super::*;
     use crate::SystemKind;
 
-    fn row(system: SystemKind, tput: f64, time_ms: u64) -> RunSummary {
-        RunSummary {
+    fn row(system: SystemKind, tput: f64, time_ms: u64) -> RunOutcome {
+        RunOutcome {
             system,
             ops_per_sec: tput,
             trial_time: Nanos::from_millis(time_ms),
@@ -122,6 +122,11 @@ mod tests {
             p50: None,
             p99: None,
             windows: Vec::new(),
+            injected_faults: 0,
+            migration_failures: 0,
+            promote_retries: 0,
+            promote_gave_ups: 0,
+            costs: crate::metrics::CostBreakdown::default(),
         }
     }
 

@@ -1,0 +1,161 @@
+//! Differential harness for the parallel scan executor.
+//!
+//! The headline guarantee of the ScanExecutor: thread count is a
+//! *performance* knob, never a *behavior* knob. `threads = 4` must be
+//! bit-identical to `threads = 1` — same virtual time, same `MemStats`,
+//! same per-tick CSV, same tracepoint JSONL, same final page placement —
+//! because workers scan disjoint shards against a read-only snapshot and
+//! the coordinator merges their output in fixed shard-index order.
+//!
+//! Checked at three levels: the raw engine (with obs artifacts on), the
+//! engine under deterministic fault injection with retry/backoff (the
+//! chaos path exercises the deferred retry-state merge), and the
+//! `Experiment` builder on a real YCSB workload.
+
+use mc_mem::{Nanos, PageKind, PAGE_SIZE};
+use mc_sim::experiments::{Experiment, Scale};
+use mc_sim::{FaultConfig, RetryPolicy, SimConfig, Simulation, SystemKind};
+use mc_workloads::ycsb::YcsbWorkload;
+use mc_workloads::Memory;
+
+/// Fingerprint of everything a run can observably produce.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    now: Nanos,
+    stats: mc_mem::MemStats,
+    ticks_csv: String,
+    events_jsonl: String,
+    placement: Vec<Option<(u32, u8)>>,
+    promotions: u64,
+    demotions: u64,
+    costs: mc_sim::CostBreakdown,
+}
+
+const PAGES: u64 = 192;
+
+/// The same deterministic promotion-heavy workload the batching
+/// differential uses: first-touch fill spills into PM, a hot set deep in
+/// the PM tail is hammered every round, a stride keeps the lists
+/// churning, compute gaps let the daemon tick.
+fn run(cfg: SimConfig) -> Fingerprint {
+    let mut s = Simulation::new(cfg);
+    let a = s.mmap(PAGE_SIZE as usize * PAGES as usize, PageKind::Anon);
+    for p in 0..PAGES {
+        s.write(a.add(p * PAGE_SIZE as u64), 64);
+    }
+    for round in 0..400u64 {
+        for h in 0..8u64 {
+            s.read(a.add((160 + h) * PAGE_SIZE as u64), 64);
+        }
+        let page = (round * 7) % PAGES;
+        let addr = a.add(page * PAGE_SIZE as u64);
+        if round % 3 == 0 {
+            s.write(addr, 256);
+        } else {
+            s.read(addr, 64);
+        }
+        s.compute(Nanos::from_millis(25));
+        s.record_op();
+    }
+    s.finish();
+    let placement = (0..PAGES)
+        .map(|p| {
+            s.mem().translate(mc_mem::VPage::new(p)).map(|f| {
+                let fr = s.mem().frame(f);
+                (f.raw(), fr.tier().index() as u8)
+            })
+        })
+        .collect();
+    Fingerprint {
+        now: s.now(),
+        stats: s.mem().stats().clone(),
+        ticks_csv: s.obs_ticks_csv().unwrap_or_default(),
+        events_jsonl: s.obs_events_jsonl().unwrap_or_default(),
+        placement,
+        promotions: s.metrics().total_promotions(),
+        demotions: s.metrics().total_demotions(),
+        costs: s.metrics().costs(),
+    }
+}
+
+fn base_cfg() -> SimConfig {
+    let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
+    cfg.obs = mc_sim::ObsConfig::on();
+    // Several shards so threads > 1 actually distributes work.
+    cfg.scan_shards = 4;
+    cfg
+}
+
+#[test]
+fn four_threads_are_bit_identical_to_one() {
+    let sequential = run(base_cfg());
+    let mut cfg = base_cfg();
+    cfg.threads = 4;
+    let parallel = run(cfg);
+    assert!(
+        sequential.promotions > 0,
+        "workload must exercise the scanner"
+    );
+    assert!(
+        !sequential.events_jsonl.is_empty(),
+        "obs must be on so the event stream is part of the fingerprint"
+    );
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    let baseline = run(base_cfg());
+    for threads in [2usize, 3, 8] {
+        let mut cfg = base_cfg();
+        cfg.threads = threads;
+        assert_eq!(baseline, run(cfg), "threads={threads}");
+    }
+}
+
+#[test]
+fn four_threads_are_bit_identical_under_fault_injection() {
+    // The chaos path exercises the promote retry/backoff machinery whose
+    // retry state the merge clears deferredly — rate 0.2 fails enough
+    // migrations to keep retry queues busy for the whole run.
+    let chaos_cfg = || {
+        let mut cfg = base_cfg();
+        cfg.fault = FaultConfig::rate(7, 0.2);
+        cfg.retry = RetryPolicy::backoff();
+        cfg
+    };
+    let sequential = run(chaos_cfg());
+    let mut cfg = chaos_cfg();
+    cfg.threads = 4;
+    let parallel = run(cfg);
+    assert!(
+        sequential.stats.migration_failures > 0,
+        "injector must actually fire for this test to mean anything"
+    );
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn experiment_threads_knob_is_bit_identical_on_ycsb() {
+    let mut scale = Scale::tiny();
+    scale.warmup = Nanos::from_millis(400);
+    scale.measure = Nanos::from_millis(400);
+    let run_with = |threads: usize| {
+        Experiment::ycsb(YcsbWorkload::A)
+            .scale(&scale)
+            .shards(4)
+            .threads(threads)
+            .run()
+            .expect("no obs artifacts requested")
+    };
+    let one = run_with(1);
+    let four = run_with(4);
+    assert!(one.promotions > 0, "YCSB-A must promote");
+    assert_eq!(one.ops_per_sec, four.ops_per_sec);
+    assert_eq!(one.trial_time, four.trial_time);
+    assert_eq!(one.promotions, four.promotions);
+    assert_eq!(one.demotions, four.demotions);
+    assert_eq!(one.p50, four.p50);
+    assert_eq!(one.p99, four.p99);
+    assert_eq!(one.costs, four.costs);
+}

@@ -6,7 +6,7 @@
 //! cargo run --release --example graph_analytics
 //! ```
 
-use mc_sim::experiments::{run_gapbs, Scale};
+use mc_sim::experiments::{Experiment, Scale};
 use mc_sim::SystemKind;
 use mc_workloads::graph::{Csr, GraphConfig, Kernel};
 use mc_workloads::SimpleMemory;
@@ -38,13 +38,15 @@ fn main() {
     );
 
     for kernel in [Kernel::Pr, Kernel::Bfs, Kernel::Cc] {
-        let stat = run_gapbs(SystemKind::Static, kernel, &scale, scale.scan_interval());
-        let mc = run_gapbs(
-            SystemKind::MultiClock,
-            kernel,
-            &scale,
-            scale.scan_interval(),
-        );
+        let stat = Experiment::gapbs(kernel)
+            .system(SystemKind::Static)
+            .scale(&scale)
+            .run()
+            .expect("no obs artifacts requested");
+        let mc = Experiment::gapbs(kernel)
+            .scale(&scale)
+            .run()
+            .expect("no obs artifacts requested");
         println!(
             "{:<4} static {:>8.2} ms/trial | MULTI-CLOCK {:>8.2} ms/trial ({:.2}x, {} promotions)",
             kernel.label(),

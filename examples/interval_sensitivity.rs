@@ -6,19 +6,18 @@
 //! cargo run --release --example interval_sensitivity
 //! ```
 
-use mc_sim::experiments::{run_ycsb, Scale};
+use mc_sim::experiments::{Experiment, Scale};
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
 
 fn main() {
     let scale = Scale::tiny();
-    let base = run_ycsb(
-        SystemKind::Static,
-        YcsbWorkload::A,
-        &scale,
-        scale.scan_interval(),
-    )
-    .ops_per_sec;
+    let base = Experiment::ycsb(YcsbWorkload::A)
+        .system(SystemKind::Static)
+        .scale(&scale)
+        .run()
+        .expect("no obs artifacts requested")
+        .ops_per_sec;
     println!("YCSB-A, MULTI-CLOCK, throughput normalised to static tiering:\n");
     println!(
         "{:<22} {:>10} {:>12}",
@@ -32,12 +31,11 @@ fn main() {
         (5.0, "5s"),
         (60.0, "60s"),
     ] {
-        let r = run_ycsb(
-            SystemKind::MultiClock,
-            YcsbWorkload::A,
-            &scale,
-            scale.paper_interval(factor),
-        );
+        let r = Experiment::ycsb(YcsbWorkload::A)
+            .scale(&scale)
+            .interval(scale.paper_interval(factor))
+            .run()
+            .expect("no obs artifacts requested");
         println!(
             "{:<22} {:>10.2} {:>12}",
             label,

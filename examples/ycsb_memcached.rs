@@ -6,7 +6,7 @@
 //! cargo run --release --example ycsb_memcached
 //! ```
 
-use mc_sim::experiments::{run_ycsb, Scale};
+use mc_sim::experiments::{Experiment, Scale};
 use mc_sim::SystemKind;
 use mc_workloads::ycsb::YcsbWorkload;
 
@@ -27,7 +27,11 @@ fn main() {
         SystemKind::MultiClock,
         SystemKind::Nimble,
     ] {
-        let r = run_ycsb(system, YcsbWorkload::A, &scale, scale.scan_interval());
+        let r = Experiment::ycsb(YcsbWorkload::A)
+            .system(system)
+            .scale(&scale)
+            .run()
+            .expect("no obs artifacts requested");
         let norm = match base {
             None => {
                 base = Some(r.ops_per_sec);

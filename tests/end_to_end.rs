@@ -1,13 +1,32 @@
 //! Cross-crate integration tests: full workloads over the full engine,
 //! asserting the paper's qualitative results hold end to end.
 
-use mc_sim::experiments::{run_gapbs, run_ycsb, Scale};
+use mc_mem::Nanos;
+use mc_sim::experiments::{Experiment, RunOutcome, Scale};
 use mc_sim::SystemKind;
 use mc_workloads::graph::Kernel;
 use mc_workloads::ycsb::YcsbWorkload;
 
 fn scale() -> Scale {
     Scale::tiny()
+}
+
+fn run_ycsb(system: SystemKind, workload: YcsbWorkload, s: &Scale, interval: Nanos) -> RunOutcome {
+    Experiment::ycsb(workload)
+        .system(system)
+        .scale(s)
+        .interval(interval)
+        .run()
+        .expect("no obs artifacts requested")
+}
+
+fn run_gapbs(system: SystemKind, kernel: Kernel, s: &Scale, interval: Nanos) -> RunOutcome {
+    Experiment::gapbs(kernel)
+        .system(system)
+        .scale(s)
+        .interval(interval)
+        .run()
+        .expect("no obs artifacts requested")
 }
 
 #[test]
