@@ -56,6 +56,7 @@ impl ClockCache {
     /// clock hand if the cache is full.
     pub fn touch(&mut self, frame: FrameId) -> Option<FrameId> {
         if let Some(&slot) = self.index.get(&frame) {
+            // lint: allow(indexing) - `index` only ever stores slots < use_bit.len()
             self.use_bit[slot] = true;
             return None;
         }
@@ -66,14 +67,18 @@ impl ClockCache {
             return None;
         }
         // Advance the hand, clearing use bits, until an unused slot found.
+        // The cache is full here, so `ring`/`use_bit` have `capacity`
+        // elements and `hand` stays in bounds modulo `capacity`.
         loop {
+            // lint: allow(indexing) - hand < capacity == use_bit.len(), see above
             if self.use_bit[self.hand] {
-                self.use_bit[self.hand] = false;
+                self.use_bit[self.hand] = false; // lint: allow(indexing) - same bound
                 self.hand = (self.hand + 1) % self.capacity;
             } else {
+                // lint: allow(indexing) - hand < capacity == ring.len(), see above
                 let victim = self.ring[self.hand];
                 self.index.remove(&victim);
-                self.ring[self.hand] = frame;
+                self.ring[self.hand] = frame; // lint: allow(indexing) - same bound
                 self.use_bit[self.hand] = false;
                 self.index.insert(frame, self.hand);
                 self.hand = (self.hand + 1) % self.capacity;

@@ -6,13 +6,16 @@
 //! ablations.
 
 use mc_mem::FrameId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tracks a strict most-recently-used order over frames.
+///
+/// Keyed by `BTreeMap` so every iteration below is in frame order —
+/// ties on the recency stamp break deterministically without a sort.
 #[derive(Debug, Default, Clone)]
 pub struct LruOrder {
     stamp: u64,
-    last_use: HashMap<FrameId, u64>,
+    last_use: BTreeMap<FrameId, u64>,
 }
 
 impl LruOrder {

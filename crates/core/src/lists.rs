@@ -188,12 +188,21 @@ impl TierShards {
     }
 
     /// The lists of one shard.
+    ///
+    /// # Panics
+    /// If `i >= shard_count()` — shard indices come from `shard_of`, which
+    /// always reduces modulo the shard count.
     pub fn shard(&self, i: usize) -> &TierLists {
+        // lint: allow(indexing) - caller contract documented above
         &self.shards[i]
     }
 
     /// Mutable lists of one shard.
+    ///
+    /// # Panics
+    /// If `i >= shard_count()`, as for [`Self::shard`].
     pub fn shard_mut(&mut self, i: usize) -> &mut TierLists {
+        // lint: allow(indexing) - caller contract documented above
         &mut self.shards[i]
     }
 

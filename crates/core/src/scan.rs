@@ -77,7 +77,9 @@ impl MultiClock {
                 self.sync_flags(mem, frame, st);
             }
             // Deferred test-and-clear: consume the reference bits the scan
-            // observed, before the promote/pressure phases can look.
+            // observed, before the promote/pressure phases can look. The
+            // returned bool (was it set?) is deliberately dropped — the scan
+            // already recorded the observation; this call only clears.
             for frame in so.harvested {
                 let _ = mem.harvest_referenced(frame);
             }

@@ -1,0 +1,394 @@
+//! An approximate workspace call graph over the [`ItemIndex`].
+//!
+//! Calls are recognised lexically in blanked function bodies and resolved
+//! against the index:
+//!
+//! * `self.m(...)` — resolved to `(SelfTy, m)` when the enclosing impl
+//!   defines it, otherwise like any other method call;
+//! * `Q::m(...)` — resolved to `(Q, m)` when `Q` is an indexed type
+//!   (`Self` maps to the enclosing impl type); an unknown qualifier falls
+//!   back to free functions named `m` (module-qualified calls);
+//! * `.m(...)` — resolved to **every** indexed method named `m`, the
+//!   deliberate over-approximation that models `dyn TieringPolicy`
+//!   dispatch; names that shadow ubiquitous std-collection methods
+//!   ([`STD_SHADOWED`]) are skipped to keep the fan-out honest;
+//! * `m(...)` — resolved to free functions named `m`.
+//!
+//! Every edge is additionally filtered through the layering DAG (a crate
+//! can only call at-or-below itself — the layering lint enforces exactly
+//! this), which prunes upward false edges like a scan worker "calling"
+//! `Experiment::run`. The remaining blind spots (function pointers,
+//! closures escaping their definition site, macro-generated calls) are
+//! documented in DESIGN.md §14 as false-negative modes.
+
+use crate::index::ItemIndex;
+use crate::lints::layering::LAYERS;
+use crate::source::is_ident_byte;
+use crate::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names whose unqualified `.m(` form almost always targets a std
+/// collection/slice/iterator, not workspace code. Skipping them trades a
+/// small set of missed workspace edges (false negatives, documented) for
+/// not dragging every same-named workspace method into reachability
+/// (false positives).
+pub const STD_SHADOWED: [&str; 24] = [
+    "clear",
+    "clone",
+    "cmp",
+    "contains",
+    "contains_key",
+    "drain",
+    "entry",
+    "eq",
+    "extend",
+    "fill",
+    "fmt",
+    "get",
+    "get_mut",
+    "insert",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "len",
+    "next",
+    "pop",
+    "push",
+    "remove",
+    "resize",
+    "take",
+];
+
+/// Keywords that can precede `(` without being a call.
+const KEYWORDS: [&str; 10] = [
+    "if", "while", "for", "match", "return", "fn", "move", "in", "as", "let",
+];
+
+/// The call graph: per-function callee sets, plus reverse reachability.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `callees[f]` = functions `f` may call (ids into the index).
+    pub callees: Vec<BTreeSet<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph by scanning every indexed function body.
+    pub fn build(ws: &Workspace, idx: &ItemIndex) -> Self {
+        let allowed = allowed_dirs();
+        let mut callees = vec![BTreeSet::new(); idx.fns.len()];
+        for (caller, f) in idx.fns.iter().enumerate() {
+            let Some((body_start, body_end)) = f.body else {
+                continue;
+            };
+            let file = &ws.files[f.file];
+            let blanked = &file.blanked;
+            let allowed_here = allowed.get(f.crate_dir.as_str());
+            for call in calls_in(blanked, body_start, body_end) {
+                let targets = resolve(idx, f.self_ty.as_deref(), &call);
+                for t in targets {
+                    let tdir = idx.fns[t].crate_dir.as_str();
+                    let ok =
+                        tdir == f.crate_dir || allowed_here.is_some_and(|set| set.contains(tdir));
+                    if ok {
+                        callees[caller].insert(t);
+                    }
+                }
+            }
+        }
+        CallGraph { callees }
+    }
+
+    /// BFS from `roots`; returns every reachable function id mapped to the
+    /// root it was first discovered from (roots map to themselves).
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut origin: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if origin.insert(r, r).is_none() {
+                queue.push(r);
+            }
+        }
+        while let Some(f) = queue.pop() {
+            let root = origin[&f];
+            for &c in &self.callees[f] {
+                if let std::collections::btree_map::Entry::Vacant(e) = origin.entry(c) {
+                    e.insert(root);
+                    queue.push(c);
+                }
+            }
+        }
+        origin
+    }
+}
+
+/// One recognised call site in a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Byte offset of the called name in the blanked text.
+    pub off: usize,
+    /// The called name.
+    pub name: String,
+    /// `Some(Q)` for `Q::name(`, with `Self` left unresolved.
+    pub qualifier: Option<String>,
+    /// Whether the call is a `.name(` method call, and if so whether the
+    /// receiver is literally `self`.
+    pub method: Option<bool>,
+}
+
+/// Extracts call sites from a blanked body span.
+pub fn calls_in(blanked: &str, start: usize, end: usize) -> Vec<CallSite> {
+    let bytes = blanked.as_bytes();
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if !is_ident_byte(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let s = i;
+        while i < end && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let name = &blanked[s..i];
+        // Skip whitespace to see what follows the identifier.
+        let mut j = i;
+        while j < end && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'(') {
+            continue;
+        }
+        if KEYWORDS.contains(&name) || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        // Tuple-struct / enum-variant constructors are CamelCase; calls to
+        // functions are snake_case in this workspace.
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            continue;
+        }
+        // Look backwards (over whitespace) for `.` or `::`.
+        let mut k = s;
+        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k > 0 && bytes[k - 1] == b'.' {
+            let recv = token_before(blanked, k - 1);
+            out.push(CallSite {
+                off: s,
+                name: name.to_string(),
+                qualifier: None,
+                method: Some(recv.as_deref() == Some("self")),
+            });
+        } else if k > 1 && bytes[k - 1] == b':' && bytes[k - 2] == b':' {
+            out.push(CallSite {
+                off: s,
+                name: name.to_string(),
+                qualifier: token_before(blanked, k - 2),
+                method: None,
+            });
+        } else {
+            out.push(CallSite {
+                off: s,
+                name: name.to_string(),
+                qualifier: None,
+                method: None,
+            });
+        }
+    }
+    out
+}
+
+/// The identifier token ending immediately before byte offset `at`.
+fn token_before(blanked: &str, at: usize) -> Option<String> {
+    let bytes = blanked.as_bytes();
+    let mut e = at;
+    while e > 0 && bytes[e - 1].is_ascii_whitespace() {
+        e -= 1;
+    }
+    let mut s = e;
+    while s > 0 && is_ident_byte(bytes[s - 1]) {
+        s -= 1;
+    }
+    (s < e).then(|| blanked[s..e].to_string())
+}
+
+/// Resolves one call site to candidate function ids.
+pub fn resolve(idx: &ItemIndex, caller_self_ty: Option<&str>, call: &CallSite) -> Vec<usize> {
+    let candidates = idx.named(&call.name);
+    match (&call.qualifier, call.method) {
+        // `Q::m(` — precise when Q is an indexed type; a lowercase or
+        // unknown qualifier is a module path, so fall back to free fns.
+        (Some(q), _) => {
+            let q = if q == "Self" {
+                caller_self_ty.unwrap_or("Self")
+            } else {
+                q.as_str()
+            };
+            let typed: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| idx.fns[id].self_ty.as_deref() == Some(q))
+                .collect();
+            if !typed.is_empty() {
+                return typed;
+            }
+            candidates
+                .iter()
+                .copied()
+                .filter(|&id| idx.fns[id].self_ty.is_none())
+                .collect()
+        }
+        // `self.m(` — precise when the enclosing impl defines `m`.
+        (None, Some(true)) => {
+            if let Some(ty) = caller_self_ty {
+                let own: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| idx.fns[id].self_ty.as_deref() == Some(ty))
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+            all_methods(idx, candidates, &call.name)
+        }
+        // `.m(` on an arbitrary receiver — every indexed method named `m`.
+        (None, Some(false)) => all_methods(idx, candidates, &call.name),
+        // `m(` — free functions only.
+        (None, None) => candidates
+            .iter()
+            .copied()
+            .filter(|&id| idx.fns[id].self_ty.is_none())
+            .collect(),
+    }
+}
+
+fn all_methods(idx: &ItemIndex, candidates: &[usize], name: &str) -> Vec<usize> {
+    if STD_SHADOWED.contains(&name) {
+        return Vec::new();
+    }
+    candidates
+        .iter()
+        .copied()
+        .filter(|&id| idx.fns[id].is_method)
+        .collect()
+}
+
+/// `crate dir -> set of crate dirs it may call into`, derived from the
+/// layering table (package names mapped back to directories).
+fn allowed_dirs() -> BTreeMap<&'static str, BTreeSet<&'static str>> {
+    let dir_of_pkg: BTreeMap<&str, &str> = LAYERS.iter().map(|(d, p, ..)| (*p, *d)).collect();
+    LAYERS
+        .iter()
+        .map(|(dir, _, _, allowed)| {
+            let set = allowed
+                .iter()
+                .filter_map(|p| dir_of_pkg.get(p).copied())
+                .collect();
+            (*dir, set)
+        })
+        .collect()
+}
+
+/// Ids of functions in `dir` whose `(self_ty, name)` matches.
+pub fn find_fns(idx: &ItemIndex, self_ty: Option<&str>, name: &str, dir: &str) -> Vec<usize> {
+    idx.named(name)
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let f = &idx.fns[id];
+            f.crate_dir == dir && f.self_ty.as_deref() == self_ty
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn ws_of(files: &[(&str, &str)]) -> (Workspace, ItemIndex) {
+        let mut ws = Workspace::default();
+        for (rel, src) in files {
+            ws.files.push(SourceFile::from_source(rel, src));
+        }
+        let idx = ItemIndex::build(&ws);
+        (ws, idx)
+    }
+
+    #[test]
+    fn self_calls_resolve_precisely() {
+        let (ws, idx) = ws_of(&[(
+            "crates/core/src/a.rs",
+            "struct A;\nimpl A {\n    fn top(&self) { self.helper(); }\n    fn helper(&self) {}\n}\n\
+             struct B;\nimpl B {\n    fn helper(&self) { boom(); }\n}\nfn boom() {}\n",
+        )]);
+        let g = CallGraph::build(&ws, &idx);
+        let top = idx.named("top")[0];
+        let a_helper = idx
+            .named("helper")
+            .iter()
+            .copied()
+            .find(|&id| idx.fns[id].self_ty.as_deref() == Some("A"))
+            .unwrap();
+        let reach = g.reachable(&[top]);
+        assert!(reach.contains_key(&a_helper));
+        let boom = idx.named("boom")[0];
+        assert!(
+            !reach.contains_key(&boom),
+            "B::helper is not reachable through self.helper() in A"
+        );
+    }
+
+    #[test]
+    fn dyn_dispatch_over_approximates() {
+        let (ws, idx) = ws_of(&[(
+            "crates/sim/src/a.rs",
+            "fn drive(p: &mut dyn Policy) { p.tick(); }\n\
+             struct P1;\nimpl P1 {\n    fn tick(&mut self) {}\n}\n\
+             struct P2;\nimpl P2 {\n    fn tick(&mut self) {}\n}\n",
+        )]);
+        let g = CallGraph::build(&ws, &idx);
+        let reach = g.reachable(&[idx.named("drive")[0]]);
+        for &id in idx.named("tick") {
+            assert!(reach.contains_key(&id), "both tick impls are candidates");
+        }
+    }
+
+    #[test]
+    fn layering_prunes_upward_edges() {
+        let (ws, idx) = ws_of(&[
+            (
+                "crates/core/src/a.rs",
+                "struct S;\nimpl S {\n    fn go(&self) { self.helper2(); }\n    fn helper2(&self) {}\n}\n",
+            ),
+            (
+                "crates/sim/src/b.rs",
+                "struct T;\nimpl T {\n    fn helper2(&self) { hidden(); }\n}\nfn hidden() {}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ws, &idx);
+        let go = idx.named("go")[0];
+        let reach = g.reachable(&[go]);
+        let hidden = idx.named("hidden")[0];
+        assert!(
+            !reach.contains_key(&hidden),
+            "core cannot call upward into sim: {reach:?}"
+        );
+    }
+
+    #[test]
+    fn std_shadowed_names_make_no_edges() {
+        let (ws, idx) = ws_of(&[(
+            "crates/mem/src/a.rs",
+            "struct M;\nimpl M {\n    fn get(&self) { oops(); }\n}\n\
+             fn walk(m: &std::collections::HashMap<u32, u32>) { m.get(&1); }\nfn oops() {}\n",
+        )]);
+        let g = CallGraph::build(&ws, &idx);
+        let reach = g.reachable(&[idx.named("walk")[0]]);
+        assert!(
+            !reach.contains_key(&idx.named("oops")[0]),
+            ".get( is std-shadowed and resolves to nothing"
+        );
+    }
+}

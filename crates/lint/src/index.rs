@@ -1,0 +1,399 @@
+//! A hand-rolled item index over the blanked workspace sources.
+//!
+//! The semantic passes (determinism, panic-reach, result) need to know
+//! *which functions exist* — their names, receivers, return types and body
+//! spans — so they can resolve calls and walk reachability. Like the rest
+//! of mc-lint this is lexical, not a parse: `fn` items are recognised by
+//! keyword + brace matching over blanked text, `impl`/`trait` headers give
+//! each method its self type, and anything the scanner cannot model
+//! (macros, closures treated as their enclosing function, nested items) is
+//! a documented false negative, never a false positive.
+
+use crate::source::{is_ident_byte, SourceFile};
+use crate::Workspace;
+use std::collections::BTreeMap;
+
+/// Crate directories covered by the index: everything the engine can
+/// reach. `bench` (harness-only) and `lint` (this crate) stay out.
+pub const INDEXED_DIRS: [&str; 9] = [
+    "obs",
+    "fault",
+    "mem",
+    "clock",
+    "core",
+    "policies",
+    "trace",
+    "workloads",
+    "sim",
+];
+
+/// One indexed function (free function, inherent/trait method, or trait
+/// default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the containing file in [`Workspace::files`].
+    pub file: usize,
+    /// Crate directory under `crates/` (e.g. `core`).
+    pub crate_dir: String,
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name (`None` for free functions).
+    pub self_ty: Option<String>,
+    /// Whether the first parameter is a `self` receiver.
+    pub is_method: bool,
+    /// Return-type text (`""` when the function returns unit).
+    pub ret: String,
+    /// Byte offset of the `fn` keyword (for line reporting).
+    pub decl_off: usize,
+    /// Byte span of the body including braces (`None` for trait
+    /// declarations without a default body).
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// `Type::name` or just `name`, for diagnostics.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace-wide function index.
+#[derive(Debug, Default)]
+pub struct ItemIndex {
+    /// All indexed functions; ids are indices into this vec.
+    pub fns: Vec<FnItem>,
+    /// Function name → ids, for call resolution.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl ItemIndex {
+    /// Builds the index over every library file of the indexed crates
+    /// (test-gated items are skipped).
+    pub fn build(ws: &Workspace) -> Self {
+        let mut idx = ItemIndex::default();
+        for (fid, file) in ws.files.iter().enumerate() {
+            let Some(dir) = indexed_dir(&file.rel) else {
+                continue;
+            };
+            index_file(&mut idx, fid, dir, file);
+        }
+        for (id, f) in idx.fns.iter().enumerate() {
+            idx.by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        idx
+    }
+
+    /// Ids of functions named `name` (empty when unknown).
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// The crate directory of a library source file, if it is indexed.
+pub fn indexed_dir(rel: &str) -> Option<&'static str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (dir, tail) = rest.split_once('/')?;
+    if !tail.starts_with("src/") && tail != "src" {
+        return None;
+    }
+    INDEXED_DIRS.iter().find(|d| **d == dir).copied()
+}
+
+/// An `impl`/`trait` block: its body span and the self-type name.
+struct TyBlock {
+    body: (usize, usize),
+    ty: String,
+}
+
+fn index_file(idx: &mut ItemIndex, fid: usize, dir: &str, file: &SourceFile) {
+    let blanked = &file.blanked;
+    let blocks = ty_blocks(blanked);
+    let bytes = blanked.as_bytes();
+    for off in word_occurrences(blanked, "fn") {
+        if file.in_test(off) {
+            continue;
+        }
+        let mut i = off + 2;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = blanked[name_start..i].to_string();
+        let Some((ret, is_method, body)) = parse_signature(blanked, i) else {
+            continue;
+        };
+        let self_ty = blocks
+            .iter()
+            .filter(|b| (b.body.0..b.body.1).contains(&off))
+            .min_by_key(|b| b.body.1 - b.body.0)
+            .map(|b| b.ty.clone());
+        idx.fns.push(FnItem {
+            file: fid,
+            crate_dir: dir.to_string(),
+            name,
+            self_ty,
+            is_method,
+            ret,
+            decl_off: off,
+            body,
+        });
+    }
+}
+
+/// Parses from just past the function name: generics/params/return type up
+/// to the body `{` or the declaration-terminating `;`.
+#[allow(clippy::type_complexity)]
+fn parse_signature(blanked: &str, from: usize) -> Option<(String, bool, Option<(usize, usize)>)> {
+    let bytes = blanked.as_bytes();
+    let mut i = from;
+    let (mut paren, mut bracket) = (0i32, 0i32);
+    let mut params_open = None;
+    let mut arrow = None;
+    let mut open = None;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => {
+                if paren == 0 && params_open.is_none() {
+                    params_open = Some(i);
+                }
+                paren += 1;
+            }
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'-' if paren == 0 && bracket == 0 && bytes.get(i + 1) == Some(&b'>') => {
+                if arrow.is_none() {
+                    arrow = Some(i + 2);
+                }
+                i += 2;
+                continue;
+            }
+            b'{' if paren == 0 && bracket == 0 => {
+                open = Some(i);
+                break;
+            }
+            b';' if paren == 0 && bracket == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    let end_of_sig = open.unwrap_or(i);
+    let ret = match arrow {
+        Some(a) => {
+            let text = blanked.get(a..end_of_sig).unwrap_or("").trim();
+            // A where-clause is not part of the return type.
+            text.split(" where ")
+                .next()
+                .unwrap_or(text)
+                .trim()
+                .to_string()
+        }
+        None => String::new(),
+    };
+    let is_method = params_open.is_some_and(|p| {
+        let inner = blanked[p + 1..].trim_start();
+        inner.starts_with("&self")
+            || inner.starts_with("&mut self")
+            || inner.starts_with("self")
+            || inner.starts_with("mut self")
+            || inner.starts_with('&') && {
+                // `&'a self` / `&'a mut self`
+                let after_lt = inner[1..]
+                    .trim_start_matches('\'')
+                    .trim_start_matches(is_ident_char)
+                    .trim_start();
+                after_lt.starts_with("self") || after_lt.starts_with("mut self")
+            }
+    });
+    let body = open.map(|o| (o, matching_brace(blanked, o)));
+    Some((ret, is_method, body))
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Finds the offset just past the brace matching the `{` at `open`.
+pub fn matching_brace(blanked: &str, open: usize) -> usize {
+    let bytes = blanked.as_bytes();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Finds every `impl`/`trait` block and extracts its self-type name.
+fn ty_blocks(blanked: &str) -> Vec<TyBlock> {
+    let mut out = Vec::new();
+    for kw in ["impl", "trait"] {
+        for off in word_occurrences(blanked, kw) {
+            let Some(open) = block_open(blanked, off + kw.len()) else {
+                continue;
+            };
+            let header = &blanked[off + kw.len()..open];
+            let Some(ty) = self_ty_of(header, kw == "impl") else {
+                continue;
+            };
+            out.push(TyBlock {
+                body: (open, matching_brace(blanked, open)),
+                ty,
+            });
+        }
+    }
+    out
+}
+
+/// The first `{` after an `impl`/`trait` header (none before a `;`).
+fn block_open(blanked: &str, from: usize) -> Option<usize> {
+    let bytes = blanked.as_bytes();
+    let mut i = from;
+    let mut paren = 0i32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'{' if paren == 0 => return Some(i),
+            b';' if paren == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Extracts the self-type name from an `impl`/`trait` header: for
+/// `impl<T> Trait for Type<T>` the last path segment of the for-type, for
+/// `impl Type` / `trait Name` the type itself.
+fn self_ty_of(header: &str, is_impl: bool) -> Option<String> {
+    let mut text = header.trim();
+    // Strip leading generics `<...>` (angle-bracket matched).
+    if let Some(rest) = text.strip_prefix('<') {
+        let mut depth = 1i32;
+        let mut cut = None;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        text = rest.get(cut?..)?.trim();
+    }
+    if is_impl {
+        if let Some((_, for_ty)) = text.split_once(" for ") {
+            text = for_ty.trim();
+        }
+    }
+    // `&mut Type`, `dyn Trait`, paths, generics: reduce to the last plain
+    // path segment before any generic arguments.
+    let text = text
+        .trim_start_matches(['&', ' '])
+        .trim_start_matches("mut ")
+        .trim_start_matches("dyn ");
+    let text = text.split('<').next()?.trim();
+    let name = text.rsplit("::").next()?.trim();
+    (!name.is_empty() && name.chars().all(is_ident_char)).then(|| name.to_string())
+}
+
+/// Whole-word occurrences of `word` in blanked text.
+pub fn word_occurrences(blanked: &str, word: &str) -> Vec<usize> {
+    let bytes = blanked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = blanked[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let ok_before = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let ok_after = bytes.get(end).is_none_or(|b| !is_ident_byte(*b));
+        if ok_before && ok_after {
+            out.push(start);
+        }
+        from = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn index_of(src: &str) -> ItemIndex {
+        let mut ws = Workspace::default();
+        ws.files
+            .push(SourceFile::from_source("crates/core/src/x.rs", src));
+        ItemIndex::build(&ws)
+    }
+
+    #[test]
+    fn free_and_method_fns_are_indexed() {
+        let idx = index_of(
+            "pub fn free(x: u32) -> Result<u32, ()> { Ok(x) }\n\
+             struct S;\n\
+             impl S {\n    pub fn m(&self) -> bool { true }\n    fn assoc() {}\n}\n\
+             impl std::fmt::Debug for S {\n    fn fmt(&self, f: &mut F) -> fmt::Result { todo()! }\n}\n",
+        );
+        let free = &idx.fns[idx.named("free")[0]];
+        assert_eq!(free.self_ty, None);
+        assert!(!free.is_method);
+        assert!(free.ret.contains("Result"));
+        let m = &idx.fns[idx.named("m")[0]];
+        assert_eq!(m.self_ty.as_deref(), Some("S"));
+        assert!(m.is_method);
+        let assoc = &idx.fns[idx.named("assoc")[0]];
+        assert_eq!(assoc.self_ty.as_deref(), Some("S"));
+        assert!(!assoc.is_method);
+        let fmt = &idx.fns[idx.named("fmt")[0]];
+        assert_eq!(fmt.self_ty.as_deref(), Some("S"), "for-type wins");
+    }
+
+    #[test]
+    fn generic_impls_and_trait_defaults() {
+        let idx = index_of(
+            "impl<'a, T: Clone> Holder<'a, T> {\n    fn held(&self) -> &T { &self.t }\n}\n\
+             trait Policy {\n    fn name(&self) -> &str;\n    fn tick(&mut self) -> u32 { 0 }\n}\n",
+        );
+        assert_eq!(
+            idx.fns[idx.named("held")[0]].self_ty.as_deref(),
+            Some("Holder")
+        );
+        let name = &idx.fns[idx.named("name")[0]];
+        assert_eq!(name.self_ty.as_deref(), Some("Policy"));
+        assert!(name.body.is_none(), "declaration without body");
+        assert!(idx.fns[idx.named("tick")[0]].body.is_some());
+    }
+
+    #[test]
+    fn test_gated_fns_are_skipped() {
+        let idx = index_of("#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn real() {}\n");
+        assert!(idx.named("helper").is_empty());
+        assert_eq!(idx.named("real").len(), 1);
+    }
+}

@@ -6,7 +6,7 @@
 //! (`crates/lint/tests/workspace_clean.rs`), so `cargo test -q` fails on
 //! any violation.
 //!
-//! The six lint classes (see [`lints`]):
+//! The nine lint classes (see [`lints`]) plus the suppression audit:
 //!
 //! 1. **state-machine** — every `match` over `PageState`/`WhichList` in
 //!    `crates/core` and `crates/clock` must be exhaustive with no wildcard
@@ -19,23 +19,38 @@
 //! 3. **boundary** — the `inactive`/`active`/`promote` lists may only be
 //!    mutated by the core list machinery and `crates/clock`;
 //! 4. **panic** — no `unwrap`/`expect`/`panic!` in non-test library code of
-//!    `mem`/`clock`/`core` outside the justified allowlist;
+//!    `fault`/`mem`/`clock`/`core` outside the justified allowlist;
 //! 5. **docs** — every `pub` item in `mem`/`clock`/`core` is documented;
 //! 6. **parallel** — scan-phase isolation: `std::thread` in `crates/core`
 //!    only inside `executor.rs`, no shared-mutable primitives
 //!    (`Mutex`/`RwLock`/`Atomic*`/`RefCell`/`static mut`/`unsafe`) in the
 //!    policy crate, and a strictly read-only memory system inside the
 //!    executor — workers communicate only through the ordered
-//!    `ShardScanOut` merge.
+//!    `ShardScanOut` merge;
+//! 7. **determinism** — no hash-order iteration, wall clocks or ambient
+//!    entropy in engine-reachable library code (`mem`/`clock`/`core`/`sim`);
+//! 8. **panic-reach** — no panic source (including explicit indexing) in
+//!    any function transitively reachable from the engine hot loop, walked
+//!    over the approximate call graph in [`callgraph`];
+//! 9. **result** — no `let _ =` / `.ok();` discard of a `Result` in
+//!    `mem`/`core`/`sim` library code;
+//! 10. **suppression** — `lint: allow(...)` markers and
+//!     `panic_allowlist.txt` entries that no longer suppress anything are
+//!     themselves violations.
 //!
-//! Analysis is lexical (comment/string-blanked text, brace matching), not a
-//! full parse: precise enough for this codebase's rustfmt-formatted style,
-//! and honest about it — each check is written so that a miss is a false
-//! negative, not a false positive.
+//! Analysis is lexical (comment/string-blanked text, brace matching) with
+//! a lightweight semantic layer on top (the [`index`] item indexer and the
+//! [`callgraph`] reachability walk), not a full parse: precise enough for
+//! this codebase's rustfmt-formatted style, and honest about it — each
+//! check is written so that a miss is a false negative, not a false
+//! positive.
 
+pub mod callgraph;
 pub mod fig4;
+pub mod index;
 pub mod lints;
 pub mod source;
+pub mod suppress;
 
 use source::SourceFile;
 use std::fmt;
@@ -167,15 +182,122 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
+/// Every pass name, in execution order, as accepted by `--only`/`--skip`.
+pub const PASS_NAMES: [&str; 10] = [
+    "state-machine",
+    "layering",
+    "boundary",
+    "panic",
+    "docs",
+    "parallel",
+    "determinism",
+    "panic-reach",
+    "result",
+    "suppression",
+];
+
 /// Runs every lint class over the workspace, in a stable order.
 pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    run_passes(ws, |_| true)
+}
+
+/// Runs the passes selected by `enabled`, sharing one item index and one
+/// suppression registry across them. The suppression audit judges only the
+/// marker classes whose consuming passes actually ran.
+pub fn run_passes(ws: &Workspace, enabled: impl Fn(&str) -> bool) -> Vec<Diagnostic> {
+    let idx = index::ItemIndex::build(ws);
+    let mut sup = suppress::Suppressions::collect(ws);
     let mut diags = Vec::new();
-    diags.extend(lints::state_machine::check(ws));
-    diags.extend(lints::layering::check(ws));
-    diags.extend(lints::boundary::check(ws));
-    diags.extend(lints::panics::check(ws));
-    diags.extend(lints::docs::check(ws));
-    diags.extend(lints::parallel::check(ws));
+    if enabled("state-machine") {
+        diags.extend(lints::state_machine::check(ws));
+    }
+    if enabled("layering") {
+        diags.extend(lints::layering::check(ws));
+    }
+    if enabled("boundary") {
+        diags.extend(lints::boundary::check(ws));
+    }
+    if enabled("panic") {
+        diags.extend(lints::panics::check_with(ws, &mut sup));
+    }
+    if enabled("docs") {
+        diags.extend(lints::docs::check(ws));
+    }
+    if enabled("parallel") {
+        diags.extend(lints::parallel::check(ws));
+    }
+    if enabled("determinism") {
+        diags.extend(lints::determinism::check_with(ws, &mut sup));
+    }
+    if enabled("panic-reach") {
+        diags.extend(lints::panic_reach::check_with(ws, &idx, &mut sup));
+    }
+    if enabled("result") {
+        diags.extend(lints::results::check_with(ws, &idx, &mut sup));
+    }
+    if enabled("suppression") {
+        diags.extend(suppress::audit(ws, &sup));
+    }
     diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     diags
+}
+
+/// Serialises diagnostics as a JSON array of
+/// `{"file", "line", "lint", "message"}` objects (hand-rolled: mc-lint is
+/// dependency-free).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+            esc(&d.file),
+            d.line,
+            esc(d.lint),
+            esc(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_validates() {
+        assert_eq!(to_json(&[]), "[]");
+        let diags = [Diagnostic {
+            file: "crates/mem/src/a.rs".into(),
+            line: 7,
+            lint: "panic-reach",
+            message: "a \"quoted\" path\\with\nnewline".into(),
+        }];
+        let json = to_json(&diags);
+        assert!(json.contains(r#""line": 7"#), "{json}");
+        assert!(
+            json.contains(r#"a \"quoted\" path\\with\nnewline"#),
+            "{json}"
+        );
+        // No raw control characters survive escaping.
+        assert!(json.chars().all(|c| c == '\n' || (c as u32) >= 0x20));
+    }
 }

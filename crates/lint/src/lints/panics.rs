@@ -1,26 +1,29 @@
 //! Lint 4: panic hygiene.
 //!
-//! Library code in `crates/{mem, clock, core}` models an OS subsystem whose
-//! error paths are part of the reproduction — it must return `MemError`s,
-//! not crash. `unwrap()`, `expect(...)` and `panic!(...)` are therefore
-//! banned in non-test code of those crates, with a narrow, justified
-//! allowlist:
+//! Library code in `crates/{fault, mem, clock, core}` models an OS
+//! subsystem whose error paths are part of the reproduction — it must
+//! return `MemError`s, not crash. `unwrap()`, `expect(...)` and
+//! `panic!(...)` are therefore banned in non-test code of those crates,
+//! with a narrow, justified allowlist:
 //!
 //! * the offending line (or the line above it) carries a
 //!   `// lint: allow(panic) - <reason>` comment, **and**
 //! * the file is listed in `crates/lint/panic_allowlist.txt`.
 //!
-//! Both halves are kept honest: an annotation in an unlisted file and a
-//! listed file without any annotation are each violations, so the allowlist
-//! cannot rot silently.
+//! Both halves are kept honest: an annotation in an unlisted file is a
+//! violation here, and allowlist entries no justified site exercises are
+//! reported by the suppression audit (lint 10) after every panic pass —
+//! including the transitive one (lint 8), which covers the crates this
+//! lexical pass does not — has run.
 
+use crate::suppress::Suppressions;
 use crate::{Diagnostic, Workspace};
 use std::collections::BTreeSet;
 
 const LINT: &str = "panic";
 
-/// Crates whose library code must be panic-free.
-const SCOPES: [&str; 4] = [
+/// Crates whose library code must be panic-free, reachable or not.
+pub const SCOPES: [&str; 4] = [
     "crates/fault/src/",
     "crates/mem/src/",
     "crates/clock/src/",
@@ -29,8 +32,15 @@ const SCOPES: [&str; 4] = [
 
 const MARKER: &str = "lint: allow(panic)";
 
-/// Runs the panic-hygiene lint.
+/// Runs the panic-hygiene lint standalone (used by tests).
 pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut sup = Suppressions::collect(ws);
+    check_with(ws, &mut sup)
+}
+
+/// Runs the panic-hygiene lint against the shared suppression registry.
+pub fn check_with(ws: &Workspace, sup: &mut Suppressions) -> Vec<Diagnostic> {
+    sup.activate(LINT);
     let mut diags = Vec::new();
     let allowlist: BTreeSet<String> = ws
         .panic_allowlist
@@ -41,7 +51,6 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .map(str::to_string)
         .collect();
-    let mut annotated_files: BTreeSet<String> = BTreeSet::new();
 
     for file in ws
         .files
@@ -68,11 +77,7 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
                     continue;
                 }
                 let line = file.line_of(at);
-                let here = justification(file.raw_line(line));
-                let above = (line > 1)
-                    .then(|| justification(file.raw_line(line - 1)))
-                    .flatten();
-                match here.or(above) {
+                match sup.check(&file.rel, line, "panic") {
                     Some(reason) if reason.is_empty() => diags.push(Diagnostic {
                         file: file.rel.clone(),
                         line,
@@ -83,8 +88,9 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
                         ),
                     }),
                     Some(_) => {
-                        annotated_files.insert(file.rel.clone());
-                        if !allowlist.contains(&file.rel) {
+                        if allowlist.contains(&file.rel) {
+                            sup.note_allowlisted(&file.rel);
+                        } else {
                             diags.push(Diagnostic {
                                 file: file.rel.clone(),
                                 line,
@@ -110,30 +116,5 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
             }
         }
     }
-
-    for entry in &allowlist {
-        if !annotated_files.contains(entry) {
-            diags.push(Diagnostic {
-                file: "crates/lint/panic_allowlist.txt".into(),
-                line: 0,
-                lint: LINT,
-                message: format!(
-                    "stale allowlist entry `{entry}`: no annotated panic site found there"
-                ),
-            });
-        }
-    }
     diags
-}
-
-/// If the raw line carries the allow marker, returns its justification text
-/// (empty string when the marker has no reason).
-fn justification(raw_line: &str) -> Option<String> {
-    let comment_at = raw_line.find("//")?;
-    let comment = &raw_line[comment_at..];
-    let marker_at = comment.find(MARKER)?;
-    let reason = comment[marker_at + MARKER.len()..]
-        .trim_start_matches([' ', '-', ':', '—'])
-        .trim();
-    Some(reason.to_string())
 }

@@ -1,0 +1,171 @@
+//! Lint 9: Result discipline.
+//!
+//! PR 3's fault-injection work made error handling load-bearing: a
+//! migration failure must surface as a retry/backoff decision, not vanish.
+//! Discarding a `Result` with `let _ = fallible();` (or `.ok();`)
+//! reintroduces exactly the silent drop-on-failure bug class the retry
+//! path fixed. In the library code of `crates/{mem, core, sim}` this pass
+//! flags:
+//!
+//! * `let _ = <expr>;` where the expression's final call resolves — via
+//!   the item index — to workspace function(s) that return `Result`. The
+//!   honesty rule: a discard is flagged only when **every** candidate the
+//!   call could resolve to returns `Result`, so an ambiguous name never
+//!   produces a false positive;
+//! * a statement-terminating `.ok();`, which is always a silent
+//!   `Result` discard.
+//!
+//! Justified discards carry `// lint: allow(result) - <reason>` on the
+//! line or the line above. Discards of non-`Result` values (`let _ =
+//! bool_returning();`) are out of scope — annotate those with ordinary
+//! comments where the intent is non-obvious.
+
+use crate::callgraph::{calls_in, resolve};
+use crate::index::ItemIndex;
+use crate::suppress::Suppressions;
+use crate::{Diagnostic, Workspace};
+
+const LINT: &str = "result";
+
+/// Crates whose library code the pass covers.
+const SCOPES: [&str; 3] = ["crates/mem/src/", "crates/core/src/", "crates/sim/src/"];
+
+/// Runs the result-discipline lint standalone (used by tests).
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let idx = ItemIndex::build(ws);
+    let mut sup = Suppressions::collect(ws);
+    check_with(ws, &idx, &mut sup)
+}
+
+/// Runs the lint against a prebuilt index and the shared registry.
+pub fn check_with(ws: &Workspace, idx: &ItemIndex, sup: &mut Suppressions) -> Vec<Diagnostic> {
+    sup.activate(LINT);
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if !SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+            continue;
+        }
+        let blanked = &file.blanked;
+        let bytes = blanked.as_bytes();
+
+        let mut from = 0;
+        while let Some(pos) = blanked[from..].find("let _ ") {
+            let at = from + pos;
+            from = at + 6;
+            // Word boundary before `let`, and `=` (not `==`) after `_`.
+            if at > 0 && crate::source::is_ident_byte(bytes[at - 1]) {
+                continue;
+            }
+            let mut i = at + 5;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) != Some(&b'=') || bytes.get(i + 1) == Some(&b'=') {
+                continue;
+            }
+            if file.in_test(at) {
+                continue;
+            }
+            let expr_start = i + 1;
+            let expr_end = stmt_end(blanked, expr_start);
+            // `let _ = f()?;` already handles the Result via `?`.
+            if blanked[expr_start..expr_end].trim_end().ends_with('?') {
+                continue;
+            }
+            let Some(final_call) = final_call_name(blanked, expr_start, expr_end) else {
+                continue;
+            };
+            let candidates = resolve(idx, None, &final_call);
+            if candidates.is_empty()
+                || !candidates
+                    .iter()
+                    .all(|&id| idx.fns[id].ret.contains("Result"))
+            {
+                continue;
+            }
+            let line = file.line_of(at);
+            if sup.check(&file.rel, line, LINT).is_some() {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.rel.clone(),
+                line,
+                lint: LINT,
+                message: format!(
+                    "`let _ =` discards the `Result` of `{}`; handle or propagate it — \
+                     or justify with `// lint: allow(result) - <reason>`",
+                    final_call.name
+                ),
+            });
+        }
+
+        let mut from = 0;
+        while let Some(pos) = blanked[from..].find(".ok();") {
+            let at = from + pos;
+            from = at + 6;
+            if file.in_test(at) {
+                continue;
+            }
+            let line = file.line_of(at);
+            if sup.check(&file.rel, line, LINT).is_some() {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.rel.clone(),
+                line,
+                lint: LINT,
+                message: "statement-ending `.ok();` silently discards a `Result`; handle or \
+                          propagate it — or justify with `// lint: allow(result) - <reason>`"
+                    .into(),
+            });
+        }
+    }
+    diags
+}
+
+/// Byte offset of the `;` terminating the statement starting at `from`
+/// (depth-aware), or the text end.
+fn stmt_end(blanked: &str, from: usize) -> usize {
+    let bytes = blanked.as_bytes();
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' => brace += 1,
+            b'}' => brace -= 1,
+            b';' if paren == 0 && bracket == 0 && brace == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The last top-level call in an expression span (`a.b(x).c(y)` → `c`,
+/// `mem.harvest(f)` → `harvest`, `bfs::bfs(..)` → `bfs`). Calls nested
+/// inside another call's arguments sit at paren depth > 0 and are ignored.
+fn final_call_name(blanked: &str, start: usize, end: usize) -> Option<crate::callgraph::CallSite> {
+    let bytes = blanked.as_bytes();
+    let mut depth_at = Vec::with_capacity(end - start);
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    for &b in &bytes[start..end] {
+        depth_at.push(paren + bracket + brace);
+        match b {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' => brace += 1,
+            b'}' => brace -= 1,
+            _ => {}
+        }
+    }
+    calls_in(blanked, start, end)
+        .into_iter()
+        .filter(|c| depth_at.get(c.off - start).copied() == Some(0))
+        .next_back()
+}

@@ -191,7 +191,9 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
     match bytes.get(i + 1)? {
         b'\\' => {
             // Escape: scan to the closing quote (handles \n, \x7f, \u{..}).
-            let mut j = i + 2;
+            // Start past the escaped character so `'\''` finds the real
+            // closing quote, not the escaped one.
+            let mut j = i + 3;
             while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
                 j += 1;
             }
@@ -418,6 +420,80 @@ mod tests {
         assert!(b.contains("let x = 1;"));
         assert!(!b.contains("inner"));
         assert!(!b.contains("a \" b"));
+    }
+
+    #[test]
+    fn raw_string_variants_end_where_their_guard_ends() {
+        // Plain raw string: `"` inside does not close it, `"#` does not
+        // exist, so it closes at the bare quote... `r"…"` closes at `"`.
+        let src = "let a = r\"no escape \\\"; live();";
+        let b = blank(src);
+        assert!(b.contains("live();"), "r\"..\" ignores backslash escapes");
+        // Guarded raw string: `"` alone must NOT close it.
+        let src = "let b = r#\"quote \" inside\"#; live();";
+        let b = blank(src);
+        assert!(b.contains("live();"));
+        assert!(!b.contains("inside"));
+        // Double-guarded, with a single-guard closer inside.
+        let src = "let c = r##\"has \"# inside\"##; live();";
+        let b = blank(src);
+        assert!(b.contains("live();"));
+        assert!(!b.contains("inside"));
+        // Byte raw string.
+        let src = "let d = br#\"bytes \" here\"#; live();";
+        let b = blank(src);
+        assert!(b.contains("live();"));
+        assert!(!b.contains("here"));
+        // A raw *identifier* is not a raw string.
+        let src = "let r#type = 1; live();";
+        let b = blank(src);
+        assert!(b.contains("r#type"), "raw identifiers survive blanking");
+        // Unterminated raw string blanks to the end without panicking.
+        let src = "let e = r#\"never closed";
+        let b = blank(src);
+        assert_eq!(b.len(), src.len());
+        assert!(!b.contains("closed"));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let src = "/* a /* b /* c */ b */ a */ live(); /* tail */";
+        let b = blank(src);
+        assert!(b.contains("live();"));
+        assert!(!b.contains('a'));
+        assert!(!b.contains("tail"));
+        // Unterminated nested comment blanks to the end.
+        let src = "live(); /* open /* deeper */ never closed";
+        let b = blank(src);
+        assert!(b.contains("live();"));
+        assert!(!b.contains("never"));
+        // Newlines inside comments survive for line numbering.
+        let src = "/* x\ny */ fn f() {}";
+        let b = blank(src);
+        assert_eq!(
+            src.match_indices('\n').count(),
+            b.match_indices('\n').count()
+        );
+        assert!(b.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_swallow_code() {
+        // `'\''` once left the real closing quote live, which could start
+        // a phantom char literal and wipe following code.
+        let src = "let q = '\\''; let keep = ('x', 'y'); live();";
+        let b = blank(src);
+        assert!(b.contains("live();"), "code after '\\'' must survive: {b}");
+        assert!(b.contains("let keep = ("));
+        let src = "match c { '\\'' => 1, 'b' => 2, _ => 0 }";
+        let b = blank(src);
+        assert!(b.contains("=> 1"), "{b}");
+        assert!(b.contains("=> 2"), "{b}");
+        // Multi-char escapes still close correctly.
+        let src = "let u = '\\u{7f}'; live();";
+        let b = blank(src);
+        assert!(b.contains("live();"), "{b}");
+        assert!(!b.contains("7f"));
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The shared suppression registry and its staleness audit.
+//!
+//! Every escape hatch in mc-lint is a `// lint: allow(<class>) - <reason>`
+//! comment on the offending line or the line above it. The registry
+//! pre-scans all of them once; passes ask [`Suppressions::check`] (which
+//! records usage) instead of re-parsing comments. After all passes ran,
+//! [`audit`] reports the markers nothing consumed and the
+//! `panic_allowlist.txt` entries no justified site exercised — so
+//! suppressions cannot rot silently.
+//!
+//! The audit only judges classes whose pass actually ran this invocation
+//! (`--only determinism` must not declare every panic marker stale), and
+//! only markers in the crates some pass scopes cover (`crates/bench` and
+//! `crates/lint` carry advisory markers no pass consumes).
+
+use crate::{Diagnostic, Workspace};
+use std::collections::BTreeSet;
+
+const LINT: &str = "suppression";
+
+/// Classes a `lint: allow(...)` marker may name.
+pub const CLASSES: [&str; 4] = ["panic", "indexing", "determinism", "result"];
+
+/// Crates whose markers the audit judges; bench (harness-only) and lint
+/// (self) are advisory-only territory.
+const AUDIT_DIRS: [&str; 9] = [
+    "obs",
+    "fault",
+    "mem",
+    "clock",
+    "core",
+    "policies",
+    "trace",
+    "workloads",
+    "sim",
+];
+
+/// One `// lint: allow(<class>) - <reason>` marker found in raw source.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line the marker comment sits on.
+    pub line: usize,
+    /// The class inside the parentheses (not validated at collect time).
+    pub class: String,
+    /// Justification text after the marker (may be empty).
+    pub reason: String,
+}
+
+/// The registry: all markers plus which ones passes consumed.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    markers: Vec<Marker>,
+    used: Vec<bool>,
+    active: BTreeSet<&'static str>,
+    /// Files whose `panic_allowlist.txt` entry a justified site exercised.
+    allowlist_used: BTreeSet<String>,
+}
+
+impl Suppressions {
+    /// Scans every workspace file for markers.
+    pub fn collect(ws: &Workspace) -> Self {
+        let mut markers = Vec::new();
+        for file in &ws.files {
+            for (i, line) in file.raw.lines().enumerate() {
+                let Some(comment_at) = line.find("//") else {
+                    continue;
+                };
+                let comment = &line[comment_at..];
+                let Some(at) = comment.find("lint: allow(") else {
+                    continue;
+                };
+                let rest = &comment[at + "lint: allow(".len()..];
+                let Some(close) = rest.find(')') else {
+                    continue;
+                };
+                let class = rest[..close].trim().to_string();
+                let reason = rest[close + 1..]
+                    .trim_start_matches([' ', '-', ':', '—'])
+                    .trim()
+                    .to_string();
+                markers.push(Marker {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    class,
+                    reason,
+                });
+            }
+        }
+        let used = vec![false; markers.len()];
+        Suppressions {
+            markers,
+            used,
+            active: BTreeSet::new(),
+            allowlist_used: BTreeSet::new(),
+        }
+    }
+
+    /// A pass declares it ran, so the audit may judge its class.
+    pub fn activate(&mut self, class: &'static str) {
+        self.active.insert(class);
+    }
+
+    /// Looks for a marker of `class` covering `line` of `file` (same line
+    /// or the line above); marks it used and returns its reason.
+    pub fn check(&mut self, file: &str, line: usize, class: &str) -> Option<String> {
+        for (i, m) in self.markers.iter().enumerate() {
+            if m.class == class && m.file == file && (m.line == line || m.line + 1 == line) {
+                self.used[i] = true;
+                return Some(m.reason.clone());
+            }
+        }
+        None
+    }
+
+    /// Records that a justified panic site exercised `file`'s allowlist
+    /// entry.
+    pub fn note_allowlisted(&mut self, file: &str) {
+        self.allowlist_used.insert(file.to_string());
+    }
+
+    fn audited(&self, m: &Marker) -> bool {
+        let Some(rest) = m.file.strip_prefix("crates/") else {
+            return false;
+        };
+        let Some((dir, tail)) = rest.split_once('/') else {
+            return false;
+        };
+        tail.starts_with("src/") && AUDIT_DIRS.contains(&dir)
+    }
+}
+
+/// Reports unused markers and stale `panic_allowlist.txt` entries.
+pub fn audit(ws: &Workspace, sup: &Suppressions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, m) in sup.markers.iter().enumerate() {
+        if !sup.audited(m) {
+            continue;
+        }
+        if !CLASSES.contains(&m.class.as_str()) {
+            diags.push(Diagnostic {
+                file: m.file.clone(),
+                line: m.line,
+                lint: LINT,
+                message: format!(
+                    "unknown suppression class `{}`; the classes are {CLASSES:?}",
+                    m.class
+                ),
+            });
+            continue;
+        }
+        // A class is judged only when every pass that can consume it ran:
+        // `panic` markers feed both the lexical pass (in its scopes) and
+        // the reachability pass (elsewhere).
+        let required: &[&str] = match m.class.as_str() {
+            "panic" => &["panic", "panic-reach"],
+            "indexing" => &["panic-reach"],
+            "determinism" => &["determinism"],
+            _ => &["result"],
+        };
+        if !required.iter().all(|c| sup.active.contains(c)) {
+            continue; // a consuming pass did not run this invocation
+        }
+        if !sup.used[i] {
+            diags.push(Diagnostic {
+                file: m.file.clone(),
+                line: m.line,
+                lint: LINT,
+                message: format!(
+                    "stale `lint: allow({})` marker: no diagnostic is suppressed here; \
+                     delete it (or fix the pattern it was meant to cover)",
+                    m.class
+                ),
+            });
+        }
+    }
+    // Allowlist staleness needs both panic passes' usage records.
+    if sup.active.contains("panic") && sup.active.contains("panic-reach") {
+        let entries = ws
+            .panic_allowlist
+            .as_deref()
+            .unwrap_or("")
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        for entry in entries {
+            if !sup.allowlist_used.contains(entry) {
+                diags.push(Diagnostic {
+                    file: "crates/lint/panic_allowlist.txt".into(),
+                    line: 0,
+                    lint: LINT,
+                    message: format!(
+                        "stale allowlist entry `{entry}`: no justified panic site found there"
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}

@@ -224,12 +224,15 @@ fn panic_lint_requires_annotation_and_allowlist() {
     ws.panic_allowlist = Some("crates/mem/src/bad.rs\n".into());
     assert!(lints::panics::check(&ws).is_empty());
 
-    // Stale allowlist entry: flagged.
+    // Stale allowlist entry: flagged by the suppression audit (which only
+    // judges the allowlist when both panic passes ran — run_all does).
     let mut ws = ws_with(&[]);
     ws.panic_allowlist = Some("crates/mem/src/gone.rs\n".into());
-    let diags = lints::panics::check(&ws);
+    let diags = mc_lint::run_all(&ws);
     assert!(
-        diags.iter().any(|d| d.message.contains("stale")),
+        diags
+            .iter()
+            .any(|d| d.lint == "suppression" && d.message.contains("stale allowlist entry")),
         "{diags:?}"
     );
 }
@@ -242,6 +245,133 @@ fn panic_lint_ignores_tests_and_unwrap_or() {
     )]);
     let diags = lints::panics::check(&ws);
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn determinism_flags_hash_iteration_and_wall_clocks() {
+    let ws = ws_with(&[(
+        "crates/mem/src/bad.rs",
+        "use std::collections::HashMap;\nuse std::time::Instant;\npub fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in m.iter() {\n        drop((k, v));\n    }\n    let t = Instant::now();\n    drop(t);\n}\n",
+    )]);
+    let diags = lints::determinism::check(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 5 && d.message.contains("unspecified order")),
+        "hash-map iteration must be reported: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 8 && d.message.contains("Instant")),
+        "wall-clock use must be reported: {diags:?}"
+    );
+}
+
+#[test]
+fn determinism_accepts_btree_and_keyed_lookups() {
+    let ws = ws_with(&[(
+        "crates/mem/src/ok.rs",
+        "use std::collections::{BTreeMap, HashMap};\npub fn f() {\n    let b: BTreeMap<u32, u32> = BTreeMap::new();\n    for (k, v) in b.iter() {\n        drop((k, v));\n    }\n    let m: HashMap<u32, u32> = HashMap::new();\n    drop(m.get(&1));\n}\n",
+    )]);
+    let diags = lints::determinism::check(&ws);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_reach_follows_calls_from_engine_roots() {
+    let ws = ws_with(&[(
+        "crates/sim/src/eng.rs",
+        "pub struct Simulation;\nimpl Simulation {\n    pub fn read(&mut self, x: Option<u32>) -> u32 {\n        helper(x)\n    }\n}\npub fn helper(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\npub fn unreached(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )]);
+    let diags = lints::panic_reach::check(&ws);
+    let hit = diags
+        .iter()
+        .find(|d| d.file == "crates/sim/src/eng.rs" && d.line == 8)
+        .expect("the transitively reachable unwrap must be reported");
+    assert!(
+        hit.message.contains("Simulation::read"),
+        "the origin root is named: {}",
+        hit.message
+    );
+    assert!(
+        !diags.iter().any(|d| d.line == 11),
+        "an unreachable unwrap is out of scope for this pass: {diags:?}"
+    );
+}
+
+#[test]
+fn panic_reach_flags_indexing_but_not_typed_ids_or_ranges() {
+    let ws = ws_with(&[(
+        "crates/sim/src/eng.rs",
+        "pub struct Simulation;\nimpl Simulation {\n    pub fn read(&mut self, xs: &[u32], i: usize) -> u32 {\n        let a = xs[i];\n        let b = &xs[..1];\n        a + b[0]\n    }\n}\n",
+    )]);
+    let diags = lints::panic_reach::check(&ws);
+    assert!(
+        diags.iter().any(|d| d.line == 4),
+        "bare indexing must be reported: {diags:?}"
+    );
+    assert!(
+        !diags.iter().any(|d| d.line == 5),
+        "range slicing is exempt: {diags:?}"
+    );
+}
+
+#[test]
+fn results_flag_discarded_and_ok_dropped_results() {
+    let ws = ws_with(&[(
+        "crates/mem/src/bad.rs",
+        "pub fn fallible() -> Result<u32, u32> {\n    Ok(1)\n}\npub fn caller() {\n    let _ = fallible();\n    fallible().ok();\n}\n",
+    )]);
+    let diags = lints::results::check(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 5 && d.message.contains("discard")),
+        "`let _ =` over a Result must be reported: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 6 && d.message.contains("ok()")),
+        "`.ok();` must be reported: {diags:?}"
+    );
+}
+
+#[test]
+fn results_accept_infallible_discards_and_question_mark() {
+    let ws = ws_with(&[(
+        "crates/mem/src/ok.rs",
+        "pub fn count() -> u32 {\n    1\n}\npub fn fallible() -> Result<u32, u32> {\n    Ok(1)\n}\npub fn caller() -> Result<(), u32> {\n    let _ = count();\n    let _ = fallible()?;\n    Ok(())\n}\n",
+    )]);
+    let diags = lints::results::check(&ws);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn suppression_audit_reports_unused_markers() {
+    let ws = ws_with(&[(
+        "crates/mem/src/ok.rs",
+        "pub fn f() -> u32 {\n    // lint: allow(determinism) - nothing here needs this\n    1\n}\n",
+    )]);
+    let diags = mc_lint::run_all(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "suppression" && d.line == 2 && d.message.contains("stale")),
+        "an unconsumed marker must be reported: {diags:?}"
+    );
+
+    // The same marker is NOT judged when its consuming pass is filtered out.
+    let ws = ws_with(&[(
+        "crates/mem/src/ok.rs",
+        "pub fn f() -> u32 {\n    // lint: allow(determinism) - nothing here needs this\n    1\n}\n",
+    )]);
+    let diags = mc_lint::run_passes(&ws, |p| p != "determinism");
+    assert!(
+        !diags.iter().any(|d| d.lint == "suppression"),
+        "audit must not judge classes whose pass was skipped: {diags:?}"
+    );
 }
 
 #[test]

@@ -57,3 +57,23 @@ fn substrate_public_api_is_documented() {
 fn scan_parallelism_is_isolated_to_the_executor() {
     assert_clean(lints::parallel::check(workspace()));
 }
+
+#[test]
+fn engine_code_iterates_deterministically() {
+    assert_clean(lints::determinism::check(workspace()));
+}
+
+#[test]
+fn engine_hot_loop_is_transitively_panic_free_or_justified() {
+    assert_clean(lints::panic_reach::check(workspace()));
+}
+
+#[test]
+fn library_code_does_not_discard_results() {
+    assert_clean(lints::results::check(workspace()));
+}
+
+#[test]
+fn all_passes_including_the_suppression_audit_are_clean() {
+    assert_clean(mc_lint::run_all(workspace()));
+}

@@ -13,7 +13,7 @@
 
 use crate::ids::{FrameId, VPage};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One page-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,9 +41,12 @@ impl PteEntry {
 }
 
 /// The virtual-to-physical mapping for the simulated address space.
+///
+/// Keyed by `BTreeMap` so iteration is in virtual-address order — scan
+/// passes that walk the table see pages in the same order on every run.
 #[derive(Debug, Default, Clone)]
 pub struct PageTable {
-    entries: HashMap<VPage, PteEntry>,
+    entries: BTreeMap<VPage, PteEntry>,
 }
 
 impl PageTable {
@@ -109,7 +112,7 @@ impl PageTable {
         self.entries.is_empty()
     }
 
-    /// Iterates over all mappings in unspecified order.
+    /// Iterates over all mappings in virtual-address order.
     pub fn iter(&self) -> impl Iterator<Item = (&VPage, &PteEntry)> {
         self.entries.iter()
     }

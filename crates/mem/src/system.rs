@@ -566,6 +566,7 @@ impl MemorySystem {
         }
         let batch_src = self
             .frames
+            // lint: allow(indexing) - `frames.len() <= 1` returned early above
             .get(frames[0].index())
             .map_or(dst_tier, Frame::tier);
         let mut results = Vec::with_capacity(frames.len());

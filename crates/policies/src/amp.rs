@@ -90,8 +90,8 @@ impl Amp {
     /// bit (this is the cost that made AMP undeployable at kernel scale).
     fn profile(&mut self, mem: &mut MemorySystem) -> u64 {
         let mut scanned = 0;
-        for t in 0..self.rings.len() {
-            let frames: Vec<FrameId> = self.rings[t].iter().collect();
+        for ring in &self.rings {
+            let frames: Vec<FrameId> = ring.iter().collect();
             for frame in frames {
                 scanned += 1;
                 let referenced = mem.harvest_referenced(frame);
@@ -150,7 +150,10 @@ impl TieringPolicy for Amp {
         // tick (coldest first) so the exchange loop stays O(n log n).
         for t in (1..self.rings.len()).rev() {
             let tier = TierId::new(t as u8);
-            let upper = tier.upper().expect("non-top tier");
+            let Some(upper) = tier.upper() else {
+                continue; // t >= 1: never the top tier
+            };
+            // lint: allow(indexing) - t ranges over 1..rings.len()
             let mut scored: Vec<(u32, FrameId)> = self.rings[t]
                 .iter()
                 .collect::<Vec<_>>()

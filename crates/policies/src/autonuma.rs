@@ -120,14 +120,15 @@ impl TieringPolicy for AutoNuma {
         // Clear last interval's fault markers and poison the next sample.
         let total: usize = self.rings.iter().map(|r| r.len()).sum();
         if total > 0 {
-            for t in 0..self.rings.len() {
-                let share = (self.sample_batch * self.rings[t].len()).div_ceil(total);
-                let n = share.min(self.rings[t].len());
+            let sample_batch = self.sample_batch;
+            for ring in &mut self.rings {
+                let share = (sample_batch * ring.len()).div_ceil(total);
+                let n = share.min(ring.len());
                 for _ in 0..n {
-                    let Some(frame) = self.rings[t].pop_front() else {
+                    let Some(frame) = ring.pop_front() else {
                         break;
                     };
-                    self.rings[t].push_back(frame);
+                    ring.push_back(frame);
                     self.faulted[frame.index()] = false;
                     if let Some(vpage) = mem.frame(frame).vpage() {
                         mem.poison(vpage);

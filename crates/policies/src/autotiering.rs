@@ -326,8 +326,8 @@ impl TieringPolicy for AutoTiering {
         // Fold the interval's faults into the history vectors of every
         // tracked page, then poison the next sample of PTEs.
         let mask = ((1u16 << self.cfg.history_bits) - 1) as u8;
-        for t in 0..self.rings.len() {
-            for frame in self.rings[t].iter().collect::<Vec<_>>() {
+        for ring in &self.rings {
+            for frame in ring.iter().collect::<Vec<_>>() {
                 let h = &mut self.history[frame.index()];
                 *h = ((*h << 1) | u8::from(self.faulted[frame.index()])) & mask;
                 self.faulted[frame.index()] = false;
@@ -337,14 +337,15 @@ impl TieringPolicy for AutoTiering {
         // Round-robin PTE poisoning across tiers, proportional to size.
         let total: usize = self.rings.iter().map(|r| r.len()).sum();
         if total > 0 {
-            for t in 0..self.rings.len() {
-                let tier_share = (self.cfg.sample_batch * self.rings[t].len()).div_ceil(total);
-                let n = tier_share.min(self.rings[t].len());
+            let sample_batch = self.cfg.sample_batch;
+            for ring in &mut self.rings {
+                let tier_share = (sample_batch * ring.len()).div_ceil(total);
+                let n = tier_share.min(ring.len());
                 for _ in 0..n {
-                    let Some(frame) = self.rings[t].pop_front() else {
+                    let Some(frame) = ring.pop_front() else {
                         break;
                     };
-                    self.rings[t].push_back(frame);
+                    ring.push_back(frame);
                     if let Some(vpage) = mem.frame(frame).vpage() {
                         mem.poison(vpage);
                         out.pages_scanned += 1;

@@ -179,7 +179,9 @@ impl TieringPolicy for OraclePolicy {
         let tier_count = mem.topology().tier_count();
         for t in (1..tier_count).rev() {
             let tier = TierId::new(t as u8);
-            let upper = tier.upper().expect("non-top tier has an upper");
+            let Some(upper) = tier.upper() else {
+                continue; // t >= 1: never the top tier
+            };
             let hot: Vec<FrameId> = self
                 .by_heat(mem, tier)
                 .into_iter()

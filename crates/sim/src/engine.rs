@@ -424,12 +424,14 @@ impl Simulation {
                         self.maybe_tick();
                         return;
                     };
+                    // lint: allow(panic) - frame was allocated above for a vpage lookup() reported unmapped
                     self.mem.map(vpage, frame).expect("fresh page maps");
                     policy.on_page_mapped(&mut self.mem, frame);
                     self.clock.advance(self.cfg.minor_fault);
                     self.metrics.costs_mut().stall_time += self.cfg.minor_fault;
                     self.metrics.costs_mut().minor_faults += 1;
                 }
+                // lint: allow(panic) - the fault path above maps the page before falling through
                 let out = self.mem.access(vpage, kind).expect("page is mapped");
                 self.clock.advance(out.latency);
                 self.metrics.costs_mut().access_time += out.latency;

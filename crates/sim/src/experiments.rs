@@ -491,6 +491,9 @@ fn run_gapbs_cfg(cfg: SimConfig, kernel: Kernel, scale: &Scale) -> (RunOutcome, 
     };
     let mut csr = Csr::build(&gcfg, &mut sim);
 
+    // The kernels return their computed values (distances, ranks, counts);
+    // this driver only measures the memory traffic they generate, so the
+    // results are deliberately dropped.
     let run_trial = |csr: &mut Csr, sim: &mut Simulation, trial: usize| {
         csr.reset_arena();
         match kernel {

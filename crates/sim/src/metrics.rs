@@ -2,7 +2,7 @@
 //! recently promoted pages (Fig. 9) and the cost breakdown (§V-F).
 
 use mc_mem::{Nanos, VPage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where time went over a run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +67,8 @@ pub struct Metrics {
     /// Horizon after promotion within which a re-access counts.
     horizon: Nanos,
     windows: Vec<WindowStats>,
-    pending: HashMap<VPage, Pending>,
+    /// `BTreeMap` so settle/finish walk pending promotions in page order.
+    pending: BTreeMap<VPage, Pending>,
     costs: CostBreakdown,
 }
 
@@ -90,7 +91,7 @@ impl Metrics {
             window_len,
             horizon,
             windows: vec![WindowStats::default()],
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             costs: CostBreakdown::default(),
         }
     }
@@ -104,6 +105,7 @@ impl Metrics {
         if idx >= self.windows.len() {
             self.windows.resize(idx + 1, WindowStats::default());
         }
+        // lint: allow(indexing) - the resize above guarantees idx < len
         &mut self.windows[idx]
     }
 
@@ -175,8 +177,8 @@ impl Metrics {
     /// Finalises at end of run: everything unsettled is settled as
     /// not-re-accessed.
     pub fn finish(&mut self, now: Nanos) {
-        let drained: Vec<(VPage, Pending)> = self.pending.drain().collect();
-        for (_, p) in drained {
+        let drained = std::mem::take(&mut self.pending);
+        for p in drained.into_values() {
             let w = self.ensure_window(p.window);
             w.promoted_settled += 1;
             if p.reaccessed {

@@ -180,6 +180,7 @@ mod tests {
     #[should_panic(expected = "static")]
     fn normalisation_requires_static_baseline() {
         let rows = vec![row(SystemKind::MultiClock, 10.0, 0)];
+        // Discarded on purpose: the call must panic before returning.
         let _ = normalize_throughput(&rows);
     }
 }
