@@ -23,6 +23,12 @@
 //! [`mc_bench::SweepRunner`]. With N > 1 the sweep is first run
 //! sequentially, then in parallel, and the wall-clock speedup is
 //! reported — the results themselves are identical either way.
+//!
+//! `--json PATH` persists the sweep to a flat JSON artifact: the grid
+//! axes, per-config throughput/promotions/overhead-share, and (with
+//! `--threads N > 1`) the measured sequential/parallel wall times and
+//! speedup that were previously print-only. With `--obs DIR` and no
+//! explicit `--json`, the artifact lands at `DIR/sweep.json`.
 
 use mc_bench::{banner, scale_from_args, threads_from_args, SweepRunner};
 use mc_sim::experiments::{Experiment, RunOutcome};
@@ -73,11 +79,66 @@ fn run_grid(
     })
 }
 
+/// The sweep's wall-clock timing (only measured with `--threads N > 1`).
+struct SweepTiming {
+    sequential_secs: f64,
+    parallel_secs: f64,
+    threads: usize,
+}
+
+impl SweepTiming {
+    fn speedup(&self) -> f64 {
+        self.sequential_secs / self.parallel_secs.max(1e-9)
+    }
+}
+
+/// Serialises the sweep — axes, per-config outcomes and (when measured)
+/// the parallel speedup — as one flat JSON object.
+fn sweep_json(
+    grid: &[(usize, usize)],
+    outcomes: &[RunOutcome],
+    batches: &[usize],
+    shard_counts: &[usize],
+    timing: Option<&SweepTiming>,
+) -> String {
+    let mut w = mc_obs::json::ObjectWriter::new();
+    w.str_field("bench", "mc-batch");
+    w.str_field("workload", "ycsb_a");
+    w.num_arr_field(
+        "batches",
+        &batches.iter().map(|&b| b as f64).collect::<Vec<_>>(),
+    );
+    w.num_arr_field(
+        "shards",
+        &shard_counts.iter().map(|&s| s as f64).collect::<Vec<_>>(),
+    );
+    for ((batch, shards), o) in grid.iter().zip(outcomes) {
+        let key = format!("run.batch_{batch}.shards_{shards}");
+        w.float_field(&format!("{key}.ops_per_sec"), o.ops_per_sec);
+        w.num_field(&format!("{key}.promotions"), o.promotions);
+        w.float_field(&format!("{key}.overhead_share"), o.overhead_share());
+    }
+    w.num_field(
+        "host.cores",
+        std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+    );
+    if let Some(t) = timing {
+        w.num_field("sweep.threads", t.threads as u64);
+        w.float_field("sweep.sequential_secs", t.sequential_secs);
+        w.float_field("sweep.parallel_secs", t.parallel_secs);
+        w.float_field("sweep.speedup", t.speedup());
+    }
+    w.finish()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = scale_from_args();
     let threads = threads_from_args();
     let obs_root = arg_value(&args, "--obs").map(std::path::PathBuf::from);
+    let json_path = arg_value(&args, "--json")
+        .map(std::path::PathBuf::from)
+        .or_else(|| obs_root.as_ref().map(|root| root.join("sweep.json")));
     let batches: Vec<usize> = arg_value(&args, "--batches")
         .map(|s| parse_list(&s, "--batches"))
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
@@ -105,7 +166,7 @@ fn main() {
     // byte-identical artifacts — the parallel pass simply overwrites the
     // sequential pass's files with the same contents, keeping the two
     // timed passes doing exactly the same work.
-    let outcomes = if threads > 1 {
+    let (outcomes, timing) = if threads > 1 {
         eprintln!("timing sequential sweep ({} runs) ...", grid.len());
         let t0 = std::time::Instant::now();
         let _ = run_grid(&grid, &scale, obs_root.as_deref(), SweepRunner::new(1));
@@ -119,18 +180,24 @@ fn main() {
             SweepRunner::new(threads),
         );
         let parallel = t1.elapsed();
+        let timing = SweepTiming {
+            sequential_secs: sequential.as_secs_f64(),
+            parallel_secs: parallel.as_secs_f64(),
+            threads,
+        };
         println!(
             "sweep wall-clock: sequential {:.2}s, {} threads {:.2}s -> speedup {:.2}x \
              (host cores: {})",
-            sequential.as_secs_f64(),
+            timing.sequential_secs,
             threads,
-            parallel.as_secs_f64(),
-            sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+            timing.parallel_secs,
+            timing.speedup(),
             std::thread::available_parallelism().map_or(1, |n| n.get()),
         );
-        outcomes
+        (outcomes, Some(timing))
     } else {
-        run_grid(&grid, &scale, obs_root.as_deref(), SweepRunner::new(1))
+        let outcomes = run_grid(&grid, &scale, obs_root.as_deref(), SweepRunner::new(1));
+        (outcomes, None)
     };
 
     let mut rows = Vec::new();
@@ -176,5 +243,13 @@ fn main() {
             "obs artifacts under {} (one dir per config)",
             root.display()
         );
+    }
+    if let Some(path) = &json_path {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create sweep artifact directory");
+        }
+        let text = sweep_json(&grid, &outcomes, &batches, &shard_counts, timing.as_ref());
+        std::fs::write(path, text + "\n").expect("write sweep artifact");
+        println!("sweep artifact: {}", path.display());
     }
 }

@@ -1,0 +1,72 @@
+//! `mc-perf`: runs the pinned host-time performance suites and writes
+//! the per-PR `BENCH_<pr>.json` artifact.
+//!
+//! ```text
+//! mc-perf [--smoke] [--reps N] [--pr N] [--out PATH]
+//! ```
+//!
+//! * `--smoke`   CI shape: 2 repetitions at a reduced run length.
+//! * `--reps N`  repetitions per suite (default 5; 2 with `--smoke`).
+//! * `--pr N`    PR number stamped into the artifact (default 7).
+//! * `--out P`   output path (default `BENCH_<pr>.json`).
+//!
+//! The artifact is validated with the same `check()` the report binary
+//! uses before it is written; an invalid artifact is a bug and exits
+//! nonzero.
+
+use mc_bench::perf::{build_profile, default_config, host_cores, run_suites};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg = default_config(smoke);
+    if let Some(reps) = arg_value(&args, "--reps") {
+        cfg.reps = reps
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .expect("--reps requires a positive integer");
+    }
+    if let Some(pr) = arg_value(&args, "--pr") {
+        cfg.pr = pr
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .expect("--pr requires a positive integer");
+    }
+    let out = arg_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{}.json", cfg.pr));
+
+    println!("==============================================================");
+    println!(
+        "mc-perf: pinned performance suites (PR {}, scale {}, {} reps)",
+        cfg.pr, cfg.scale_label, cfg.reps
+    );
+    println!(
+        "host: {}/{}, {} cores, {} build",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        host_cores(),
+        build_profile()
+    );
+    if build_profile() == "debug" {
+        println!("warning: debug build — numbers are not comparable to release artifacts");
+    }
+    println!("==============================================================");
+
+    let artifact = run_suites(&cfg);
+    if let Err(e) = artifact.check() {
+        eprintln!("mc-perf: produced an invalid artifact: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, artifact.to_json() + "\n") {
+        eprintln!("mc-perf: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out} ({} suites)", artifact.suites.len());
+}

@@ -1,0 +1,124 @@
+//! `mc-perf-report`: validates and compares the `BENCH_*.json`
+//! performance artifacts committed at the repo root.
+//!
+//! ```text
+//! mc-perf-report --check FILE          # schema-validate one artifact
+//! mc-perf-report [--dir D] [--threshold F] [--no-fail]
+//! ```
+//!
+//! Without `--check`, loads every `BENCH_*.json` in `--dir` (default
+//! `.`), prints the cross-PR trajectory table, and compares the two
+//! newest artifacts: any suite whose median moved in its bad direction
+//! by more than `--threshold` (relative; default 0.5, i.e. 50%) is a
+//! regression and the exit status is nonzero unless `--no-fail` is
+//! given. The generous default absorbs host-to-host variance — CI hosts
+//! differ; the threshold is a tripwire for order-of-magnitude
+//! collapses, not a ±5% gate.
+
+use mc_bench::artifact::{compare, load_dir, render_trajectory, BenchArtifact};
+use std::path::Path;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mc-perf-report: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let verdict = BenchArtifact::from_json(&text).and_then(|a| a.check().map(|()| a));
+        match verdict {
+            Ok(a) => {
+                println!(
+                    "{path}: ok (PR {}, {} suites, scale {}, {}/{} {})",
+                    a.pr,
+                    a.suites.len(),
+                    a.scale,
+                    a.host_os,
+                    a.host_arch,
+                    a.profile
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let dir = arg_value(&args, "--dir").unwrap_or_else(|| ".".to_string());
+    let threshold = arg_value(&args, "--threshold")
+        .map(|t| {
+            t.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .expect("--threshold requires a positive number")
+        })
+        .unwrap_or(0.5);
+    let no_fail = args.iter().any(|a| a == "--no-fail");
+
+    let artifacts = match load_dir(Path::new(&dir)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mc-perf-report: {e}");
+            std::process::exit(1);
+        }
+    };
+    if artifacts.is_empty() {
+        eprintln!("mc-perf-report: no BENCH_*.json artifacts under {dir}");
+        std::process::exit(1);
+    }
+    let mut bad = false;
+    for a in &artifacts {
+        if let Err(e) = a.check() {
+            eprintln!("BENCH_{}.json: INVALID: {e}", a.pr);
+            bad = true;
+        }
+    }
+    if bad {
+        std::process::exit(1);
+    }
+
+    println!("performance trajectory ({} artifacts):", artifacts.len());
+    print!("{}", render_trajectory(&artifacts));
+
+    if artifacts.len() < 2 {
+        println!("\nonly one artifact — nothing to compare.");
+        return;
+    }
+    let prev = &artifacts[artifacts.len() - 2];
+    let next = &artifacts[artifacts.len() - 1];
+    let regs = compare(prev, next, threshold);
+    println!(
+        "\ncomparing PR {} -> PR {} at threshold {:.0}%:",
+        prev.pr,
+        next.pr,
+        threshold * 100.0
+    );
+    if regs.is_empty() {
+        println!("no regressions.");
+        return;
+    }
+    for r in &regs {
+        println!(
+            "REGRESSION {}: {:.4} -> {:.4} ({:+.1}%)",
+            r.suite,
+            r.prev,
+            r.next,
+            r.change * 100.0
+        );
+    }
+    if !no_fail {
+        std::process::exit(1);
+    }
+}

@@ -1,5 +1,9 @@
 //! Shared plumbing for the figure binaries: scale selection from the
-//! command line and common printing.
+//! command line and common printing, plus the performance-artifact
+//! machinery behind `mc-perf`/`mc-perf-report` ([`artifact`], [`perf`]).
+
+pub mod artifact;
+pub mod perf;
 
 use mc_sim::experiments::Scale;
 use mc_sim::SystemKind;

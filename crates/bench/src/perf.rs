@@ -1,0 +1,261 @@
+//! The pinned `mc-perf` suite definitions: fixed workload configurations
+//! measured with [`mc_obs::perf`] hooks, repeated N times, summarised as
+//! median/MAD into a [`BenchArtifact`].
+//!
+//! Suites are *pinned*: names, workloads and knob settings stay stable
+//! across PRs so `mc-perf-report` can chart a trajectory. Adding a suite
+//! is fine (old artifacts simply show `-`); renaming or re-knobbing one
+//! breaks comparability and needs a schema bump.
+//!
+//! All measurements here are host wall-clock (this crate is inside the
+//! `wallclock` lint's allow-list, alongside `mc_obs::perf` itself):
+//!
+//! * engine ticks/sec — [`Phase::Tick`] spans over fixed YCSB-A and
+//!   GAPBS-BFS runs;
+//! * scan throughput — [`Phase::Scan`] items/sec at 1/2/4/8 scan threads;
+//! * migration-overhead share — simulated-cost ratio at batch 1 vs 8
+//!   (deterministic, so its MAD is 0 by construction);
+//! * sweep speedup — wall time of a 4-job grid under [`SweepRunner`]
+//!   with 1 worker vs several.
+
+use crate::artifact::{BenchArtifact, SuiteResult, SCHEMA_VERSION};
+use crate::SweepRunner;
+use mc_obs::{PerfHooks, Phase};
+use mc_sim::experiments::{Experiment, RunOutcome, Scale};
+use mc_workloads::graph::Kernel;
+use mc_workloads::ycsb::YcsbWorkload;
+use std::time::Instant;
+
+/// Everything `mc-perf` needs to run the pinned suites.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Repetitions per suite (median/MAD are taken over these).
+    pub reps: usize,
+    /// PR number stamped into the artifact (`BENCH_<pr>.json`).
+    pub pr: u64,
+    /// Scale label recorded in the artifact (`perf` / `smoke`).
+    pub scale_label: String,
+    /// The experiment scale all suites run at.
+    pub scale: Scale,
+    /// Worker count for the parallel side of the sweep-speedup suite.
+    pub sweep_threads: usize,
+}
+
+/// The standard configuration: `smoke` shrinks repetitions and run
+/// length for CI, the default is the committed-artifact shape.
+pub fn default_config(smoke: bool) -> PerfConfig {
+    let mut scale = Scale::tiny();
+    if smoke {
+        scale.warmup = mc_mem::Nanos::from_millis(200);
+        scale.measure = mc_mem::Nanos::from_millis(400);
+        scale.graph_scale = 8;
+    } else {
+        scale.warmup = mc_mem::Nanos::from_millis(400);
+        scale.measure = mc_mem::Nanos::from_millis(800);
+        scale.graph_scale = 10;
+    }
+    PerfConfig {
+        reps: if smoke { 2 } else { 5 },
+        pr: 7,
+        scale_label: if smoke { "smoke" } else { "perf" }.to_string(),
+        scale,
+        sweep_threads: host_cores().clamp(2, 4),
+    }
+}
+
+/// Logical cores on this host (1 if undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The build profile the suites ran under.
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+fn run_hooked(exp: Experiment) -> (RunOutcome, PerfHooks) {
+    let hooks = PerfHooks::new();
+    let outcome = exp
+        .perf(hooks.clone())
+        .run()
+        .expect("no obs artifacts requested, so no I/O can fail");
+    (outcome, hooks)
+}
+
+/// Engine ticks/sec for one repetition of the given experiment.
+fn ticks_per_sec(exp: Experiment) -> f64 {
+    let (_, hooks) = run_hooked(exp);
+    hooks.profiler().summary(Phase::Tick).per_sec()
+}
+
+/// Pages scanned per wall-second at the given scan-thread count.
+fn scan_pages_per_sec(scale: &Scale, threads: usize) -> f64 {
+    let (_, hooks) = run_hooked(
+        Experiment::ycsb(YcsbWorkload::A)
+            .scale(scale)
+            .shards(8)
+            .threads(threads),
+    );
+    hooks.profiler().summary(Phase::Scan).items_per_sec()
+}
+
+fn repeat(reps: usize, mut f: impl FnMut() -> f64) -> Vec<f64> {
+    (0..reps).map(|_| f()).collect()
+}
+
+/// Runs every pinned suite and assembles the artifact (host metadata,
+/// suite medians/MADs, per-phase percentile extras). Progress and
+/// per-suite summaries go to stdout.
+pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
+    let mut suites = Vec::new();
+    let mut push = |name: &str, unit: &str, higher: bool, reps: Vec<f64>| {
+        let s = SuiteResult::from_reps(name, unit, higher, reps);
+        println!(
+            "  {:<36} median {:>12.2} {:<9} mad {:.3} ({} reps)",
+            s.name,
+            s.median,
+            s.unit,
+            s.mad,
+            s.reps.len()
+        );
+        suites.push(s);
+    };
+
+    println!("[1/4] engine ticks/sec (YCSB-A, GAPBS-BFS)");
+    push(
+        "engine_ticks_per_sec.ycsb_a",
+        "ticks/sec",
+        true,
+        repeat(cfg.reps, || {
+            ticks_per_sec(Experiment::ycsb(YcsbWorkload::A).scale(&cfg.scale))
+        }),
+    );
+    push(
+        "engine_ticks_per_sec.gapbs_bfs",
+        "ticks/sec",
+        true,
+        repeat(cfg.reps, || {
+            ticks_per_sec(Experiment::gapbs(Kernel::Bfs).scale(&cfg.scale))
+        }),
+    );
+
+    println!("[2/4] scan throughput at 1/2/4/8 threads (8 shards)");
+    for threads in [1usize, 2, 4, 8] {
+        push(
+            &format!("scan_pages_per_sec.threads_{threads}"),
+            "pages/sec",
+            true,
+            repeat(cfg.reps, || scan_pages_per_sec(&cfg.scale, threads)),
+        );
+    }
+
+    println!("[3/4] migration-overhead share at batch 1/8");
+    for batch in [1usize, 8] {
+        push(
+            &format!("migration_overhead_share.batch_{batch}"),
+            "share",
+            false,
+            repeat(cfg.reps, || {
+                Experiment::ycsb(YcsbWorkload::A)
+                    .scale(&cfg.scale)
+                    .shards(4)
+                    .batch(batch)
+                    .run()
+                    .expect("no obs artifacts requested, so no I/O can fail")
+                    .overhead_share()
+            }),
+        );
+    }
+
+    println!(
+        "[4/4] sweep parallel speedup (4-job grid, 1 vs {} workers)",
+        cfg.sweep_threads
+    );
+    push(
+        "sweep_parallel_speedup",
+        "x",
+        true,
+        repeat(cfg.reps, || sweep_speedup(&cfg.scale, cfg.sweep_threads)),
+    );
+
+    // Per-phase wall-time detail from one representative hooked run.
+    let (_, hooks) = run_hooked(
+        Experiment::ycsb(YcsbWorkload::A)
+            .scale(&cfg.scale)
+            .shards(4),
+    );
+    let mut extras = Vec::new();
+    println!("phase breakdown (YCSB-A, 4 shards):");
+    println!(
+        "  {:<14} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "phase", "spans", "total_ns", "p50_ns", "p95_ns", "p99_ns"
+    );
+    for s in hooks.profiler().summaries() {
+        println!(
+            "  {:<14} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            s.phase.name(),
+            s.count,
+            s.total_nanos,
+            s.p50_nanos,
+            s.p95_nanos,
+            s.p99_nanos
+        );
+        let p = s.phase.name();
+        extras.push((format!("phase.{p}.count"), s.count as f64));
+        extras.push((format!("phase.{p}.total_ns"), s.total_nanos as f64));
+        extras.push((format!("phase.{p}.p50_ns"), s.p50_nanos as f64));
+        extras.push((format!("phase.{p}.p95_ns"), s.p95_nanos as f64));
+        extras.push((format!("phase.{p}.p99_ns"), s.p99_nanos as f64));
+    }
+
+    BenchArtifact {
+        schema_version: SCHEMA_VERSION,
+        pr: cfg.pr,
+        host_os: std::env::consts::OS.to_string(),
+        host_arch: std::env::consts::ARCH.to_string(),
+        host_cores: host_cores() as u64,
+        profile: build_profile().to_string(),
+        scale: cfg.scale_label.clone(),
+        suites,
+        extras,
+    }
+}
+
+/// One repetition of the sweep-speedup suite: wall time of the same
+/// 4-job grid under a 1-worker runner vs a `threads`-worker runner.
+/// Each job is a full deterministic experiment, so only the wall time
+/// differs between the two runs.
+fn sweep_speedup(scale: &Scale, threads: usize) -> f64 {
+    let jobs = || {
+        vec![
+            YcsbWorkload::A,
+            YcsbWorkload::B,
+            YcsbWorkload::C,
+            YcsbWorkload::F,
+        ]
+    };
+    let run_one = |w: YcsbWorkload| {
+        Experiment::ycsb(w)
+            .scale(scale)
+            .run()
+            .expect("no obs artifacts requested, so no I/O can fail")
+            .ops_per_sec
+    };
+    let t0 = Instant::now();
+    let seq = SweepRunner::new(1).run(jobs(), run_one);
+    let sequential = t0.elapsed();
+    let t1 = Instant::now();
+    let par = SweepRunner::new(threads).run(jobs(), run_one);
+    let parallel = t1.elapsed();
+    assert_eq!(seq, par, "sweep results must not depend on worker count");
+    let p = parallel.as_secs_f64();
+    if p == 0.0 {
+        1.0
+    } else {
+        sequential.as_secs_f64() / p
+    }
+}

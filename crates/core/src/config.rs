@@ -2,6 +2,7 @@
 
 use mc_fault::RetryPolicy;
 use mc_mem::Nanos;
+use mc_obs::PerfHooks;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`crate::MultiClock`].
@@ -57,6 +58,13 @@ pub struct MultiClockConfig {
     /// pre-fault-layer behaviour; [`RetryPolicy::backoff`] retries with
     /// exponential backoff before degrading to the active-list fallback.
     pub retry: RetryPolicy,
+    /// Optional host-time profiling hooks ([`mc_obs::perf`]). `None` (the
+    /// default) makes every phase boundary a no-op; `Some` opens a
+    /// wall-clock span around each scan/merge/promote-drain/pressure/
+    /// migrate-batch phase. Hooks only *observe* host time — no clock
+    /// value flows back into the engine — so any setting produces results
+    /// bit-identical to `None`.
+    pub perf: Option<PerfHooks>,
 }
 
 impl Default for MultiClockConfig {
@@ -73,6 +81,7 @@ impl Default for MultiClockConfig {
             migrate_batch_size: 1,
             scan_threads: 1,
             retry: RetryPolicy::immediate(),
+            perf: None,
         }
     }
 }

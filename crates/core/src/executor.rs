@@ -93,7 +93,26 @@ pub(crate) struct ShardScanOut {
 
 /// Runs every job, fanning contiguous chunks across up to `threads`
 /// scoped workers, and returns the outputs in job order.
+///
+/// When perf hooks are configured, the whole fan-out (including the
+/// sequential inline path) is wrapped in one [`mc_obs::Phase::Scan`]
+/// span whose item count is the total pages scanned. The span only
+/// observes the host clock; results are unaffected.
 pub(crate) fn run_scan_jobs<'a>(
+    jobs: Vec<ScanJob<'a>>,
+    ctx: ScanCtx<'_>,
+    threads: usize,
+) -> Vec<ShardScanOut> {
+    let mut span = ctx.cfg.perf.as_ref().map(|p| p.span(mc_obs::Phase::Scan));
+    let outs = run_scan_jobs_inner(jobs, ctx, threads);
+    if let Some(s) = span.as_mut() {
+        s.add_items(outs.iter().map(|o| o.pages_scanned).sum());
+    }
+    outs
+}
+
+/// The unobserved fan-out body of [`run_scan_jobs`].
+fn run_scan_jobs_inner<'a>(
     jobs: Vec<ScanJob<'a>>,
     ctx: ScanCtx<'_>,
     threads: usize,

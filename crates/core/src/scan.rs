@@ -31,6 +31,10 @@ impl MultiClock {
         mem.recorder_mut().emit(|| EventKind::TickBegin { tick });
         let mut out = TickOutcome::default();
         let tier_count = self.tiers.len();
+        // Host-time phase spans (no-ops when hooks are off). Cloning the
+        // handle up front keeps the later `&mut self` phases borrowable;
+        // spans only observe the host clock, never engine state.
+        let perf = self.cfg.perf.clone();
 
         // Scan phase: snapshot the reference bits, run every shard's scan
         // as an independent job (workers write nothing shared), then merge
@@ -59,6 +63,7 @@ impl MultiClock {
             }
             run_scan_jobs(jobs, ctx, cfg.scan_threads)
         };
+        let merge_span = perf.as_ref().map(|p| p.span(mc_obs::Phase::Merge));
         for so in shard_outs {
             out.pages_scanned += so.pages_scanned;
             saturating_add(&mut self.stats.ladder_decays, so.ladder_decays);
@@ -84,16 +89,23 @@ impl MultiClock {
                 let _ = mem.harvest_referenced(frame);
             }
         }
+        drop(merge_span);
 
         // Drain promote lists bottom-up relative to their target: tier 1
         // promotes into tier 0 before tier 2 promotes into tier 1.
+        let mut drain_span = perf.as_ref().map(|p| p.span(mc_obs::Phase::PromoteDrain));
         let mut promoted = 0u64;
         for tier in 1..tier_count {
             promoted += self.promote_all(mem, TierId::new(tier as u8));
         }
         out.promoted = promoted;
+        if let Some(s) = drain_span.as_mut() {
+            s.add_items(promoted);
+        }
+        drop(drain_span);
 
         // kswapd-style balancing: react to watermark pressure.
+        let mut pressure_span = perf.as_ref().map(|p| p.span(mc_obs::Phase::Pressure));
         for tier in 0..tier_count {
             let tier = TierId::new(tier as u8);
             if mem.tier_under_pressure(tier) {
@@ -101,8 +113,12 @@ impl MultiClock {
                 out.pages_scanned += p.pages_scanned;
                 out.demoted += p.demoted;
                 out.promoted += p.promoted;
+                if let Some(s) = pressure_span.as_mut() {
+                    s.add_items(p.demoted + p.promoted);
+                }
             }
         }
+        drop(pressure_span);
 
         saturating_add(&mut self.stats.pages_scanned, out.pages_scanned);
         self.adapt_interval(out.promoted + out.demoted);
@@ -240,7 +256,19 @@ impl MultiClock {
             return 0;
         }
         let mut promoted = 0;
+        // Span over the batched migration call itself (items = batch
+        // length); the per-page settle loop below is accounted to the
+        // surrounding promote-drain span.
+        let mut batch_span = self
+            .cfg
+            .perf
+            .as_ref()
+            .map(|p| p.span(mc_obs::Phase::MigrateBatch));
+        if let Some(s) = batch_span.as_mut() {
+            s.add_items(pending.len() as u64);
+        }
         let results = mem.migrate_batch(pending, upper);
+        drop(batch_span);
         for (frame, result) in pending.drain(..).zip(results) {
             match result {
                 Ok(new_frame) => {

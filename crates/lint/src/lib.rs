@@ -6,7 +6,7 @@
 //! (`crates/lint/tests/workspace_clean.rs`), so `cargo test -q` fails on
 //! any violation.
 //!
-//! The nine lint classes (see [`lints`]) plus the suppression audit:
+//! The ten lint classes (see [`lints`]) plus the suppression audit:
 //!
 //! 1. **state-machine** — every `match` over `PageState`/`WhichList` in
 //!    `crates/core` and `crates/clock` must be exhaustive with no wildcard
@@ -27,14 +27,17 @@
 //!    policy crate, and a strictly read-only memory system inside the
 //!    executor — workers communicate only through the ordered
 //!    `ShardScanOut` merge;
-//! 7. **determinism** — no hash-order iteration, wall clocks or ambient
-//!    entropy in engine-reachable library code (`mem`/`clock`/`core`/`sim`);
-//! 8. **panic-reach** — no panic source (including explicit indexing) in
+//! 7. **determinism** — no hash-order iteration or ambient entropy in
+//!    engine-reachable library code (`mem`/`clock`/`core`/`sim`);
+//! 8. **wallclock** — host clocks (`Instant`/`SystemTime`) only inside
+//!    the sanctioned boundary: `mc_obs::perf` (the `PerfHooks` layer) and
+//!    the `crates/bench` harness; flagged in all other library code;
+//! 9. **panic-reach** — no panic source (including explicit indexing) in
 //!    any function transitively reachable from the engine hot loop, walked
 //!    over the approximate call graph in [`callgraph`];
-//! 9. **result** — no `let _ =` / `.ok();` discard of a `Result` in
-//!    `mem`/`core`/`sim` library code;
-//! 10. **suppression** — `lint: allow(...)` markers and
+//! 10. **result** — no `let _ =` / `.ok();` discard of a `Result` in
+//!     `mem`/`core`/`sim` library code;
+//! 11. **suppression** — `lint: allow(...)` markers and
 //!     `panic_allowlist.txt` entries that no longer suppress anything are
 //!     themselves violations.
 //!
@@ -183,7 +186,7 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Every pass name, in execution order, as accepted by `--only`/`--skip`.
-pub const PASS_NAMES: [&str; 10] = [
+pub const PASS_NAMES: [&str; 11] = [
     "state-machine",
     "layering",
     "boundary",
@@ -191,6 +194,7 @@ pub const PASS_NAMES: [&str; 10] = [
     "docs",
     "parallel",
     "determinism",
+    "wallclock",
     "panic-reach",
     "result",
     "suppression",
@@ -228,6 +232,9 @@ pub fn run_passes(ws: &Workspace, enabled: impl Fn(&str) -> bool) -> Vec<Diagnos
     }
     if enabled("determinism") {
         diags.extend(lints::determinism::check_with(ws, &mut sup));
+    }
+    if enabled("wallclock") {
+        diags.extend(lints::wallclock::check_with(ws, &mut sup));
     }
     if enabled("panic-reach") {
         diags.extend(lints::panic_reach::check_with(ws, &idx, &mut sup));

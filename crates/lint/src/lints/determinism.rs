@@ -9,11 +9,14 @@
 //!   `.values()`, `.drain()`, `.retain()`, `for _ in &map`, ...): use
 //!   `BTreeMap`/`BTreeSet`, or sort explicitly and justify with
 //!   `// lint: allow(determinism) - <how order is restored>`;
-//! * **wall-clock sources** (`Instant`, `SystemTime`): simulated time is
-//!   [`Nanos`] threaded through the engine;
 //! * **ambient entropy** (`thread_rng`, `from_entropy`, `rand::random`,
 //!   `RandomState`): all randomness flows from mc-fault's seeded
 //!   SplitMix64 (or the workloads' own seeded generators).
+//!
+//! Wall-clock sources (`Instant`, `SystemTime`) used to be banned here
+//! too; they now have their own workspace-wide boundary pass
+//! ([`super::wallclock`]) with an allow-list for the perf observability
+//! module and the bench harness.
 //!
 //! Bindings are recognised lexically (`name: HashMap<...>` fields and
 //! annotations, `name = HashMap::new()` initialisers), so a hash-typed
@@ -53,16 +56,8 @@ const ORDER_METHODS: [&str; 10] = [
     ".into_values()",
 ];
 
-/// Tokens that read the wall clock or ambient entropy.
-const BANNED_TOKENS: [(&str, &str); 6] = [
-    (
-        "Instant",
-        "wall-clock time; engine time is simulated `Nanos`",
-    ),
-    (
-        "SystemTime",
-        "wall-clock time; engine time is simulated `Nanos`",
-    ),
+/// Tokens that read ambient entropy.
+const BANNED_TOKENS: [(&str, &str); 4] = [
     (
         "thread_rng",
         "ambient entropy; use mc-fault's seeded SplitMix64",

@@ -19,7 +19,7 @@ use std::collections::BTreeSet;
 const LINT: &str = "suppression";
 
 /// Classes a `lint: allow(...)` marker may name.
-pub const CLASSES: [&str; 4] = ["panic", "indexing", "determinism", "result"];
+pub const CLASSES: [&str; 5] = ["panic", "indexing", "determinism", "wallclock", "result"];
 
 /// Crates whose markers the audit judges; bench (harness-only) and lint
 /// (self) are advisory-only territory.
@@ -157,6 +157,7 @@ pub fn audit(ws: &Workspace, sup: &Suppressions) -> Vec<Diagnostic> {
             "panic" => &["panic", "panic-reach"],
             "indexing" => &["panic-reach"],
             "determinism" => &["determinism"],
+            "wallclock" => &["wallclock"],
             _ => &["result"],
         };
         if !required.iter().all(|c| sup.active.contains(c)) {

@@ -248,24 +248,79 @@ fn panic_lint_ignores_tests_and_unwrap_or() {
 }
 
 #[test]
-fn determinism_flags_hash_iteration_and_wall_clocks() {
+fn determinism_flags_hash_iteration_and_ambient_entropy() {
     let ws = ws_with(&[(
         "crates/mem/src/bad.rs",
-        "use std::collections::HashMap;\nuse std::time::Instant;\npub fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in m.iter() {\n        drop((k, v));\n    }\n    let t = Instant::now();\n    drop(t);\n}\n",
+        "use std::collections::HashMap;\npub fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in m.iter() {\n        drop((k, v));\n    }\n    let r = thread_rng();\n    drop(r);\n}\n",
     )]);
     let diags = lints::determinism::check(&ws);
     assert!(
         diags
             .iter()
-            .any(|d| d.line == 5 && d.message.contains("unspecified order")),
+            .any(|d| d.line == 4 && d.message.contains("unspecified order")),
         "hash-map iteration must be reported: {diags:?}"
     );
     assert!(
         diags
             .iter()
-            .any(|d| d.line == 8 && d.message.contains("Instant")),
-        "wall-clock use must be reported: {diags:?}"
+            .any(|d| d.line == 7 && d.message.contains("thread_rng")),
+        "ambient entropy must be reported: {diags:?}"
     );
+    // Wall clocks are the wallclock pass's business now, not this one's.
+    assert!(
+        !diags.iter().any(|d| d.message.contains("Instant")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wallclock_flags_host_clocks_outside_the_boundary() {
+    let bad = "use std::time::Instant;\npub fn f() -> u64 {\n    let t = Instant::now();\n    t.elapsed().as_nanos() as u64\n}\n";
+    let ws = ws_with(&[
+        ("crates/sim/src/bad.rs", bad),
+        (
+            "crates/policies/src/worse.rs",
+            "pub fn g() {\n    let _ = std::time::SystemTime::now();\n}\n",
+        ),
+        // Inside the boundary: the perf module and the bench harness.
+        ("crates/obs/src/perf.rs", bad),
+        ("crates/bench/src/bin/timer.rs", bad),
+    ]);
+    let diags = lints::wallclock::check(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.file == "crates/sim/src/bad.rs" && d.line == 1),
+        "the `use` line must be reported: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.file == "crates/sim/src/bad.rs" && d.line == 3),
+        "the construction site must be reported: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.file == "crates/policies/src/worse.rs" && d.message.contains("SystemTime")),
+        "SystemTime anywhere in library code is out of bounds: {diags:?}"
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.file.starts_with("crates/obs/") || d.file.starts_with("crates/bench/")),
+        "the sanctioned boundary must stay quiet: {diags:?}"
+    );
+}
+
+#[test]
+fn wallclock_honors_markers_and_skips_tests() {
+    let ws = ws_with(&[(
+        "crates/sim/src/timed.rs",
+        "// lint: allow(wallclock) - documented exception for this test fixture\nuse std::time::Instant;\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::time::Instant::now();\n    }\n}\n",
+    )]);
+    let diags = lints::wallclock::check(&ws);
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]

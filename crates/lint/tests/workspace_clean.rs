@@ -64,6 +64,11 @@ fn engine_code_iterates_deterministically() {
 }
 
 #[test]
+fn host_clocks_stay_inside_the_wallclock_boundary() {
+    assert_clean(lints::wallclock::check(workspace()));
+}
+
+#[test]
 fn engine_hot_loop_is_transitively_panic_free_or_justified() {
     assert_clean(lints::panic_reach::check(workspace()));
 }

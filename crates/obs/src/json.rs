@@ -2,8 +2,10 @@
 //!
 //! The vendored `serde` is a no-op stub (marker traits only), so all
 //! serialisation in this workspace is hand-written. Trace events and the
-//! report binary only need flat objects — string, integer and null
-//! values, no nesting — which keeps both directions small and auditable.
+//! report binary only need flat objects — string, number, null and flat
+//! numeric-array values, no nesting — which keeps both directions small
+//! and auditable. (The arrays exist for the BENCH_*.json artifacts, which
+//! store per-repetition samples alongside their median/MAD.)
 
 /// Escapes a string for embedding inside a JSON string literal.
 pub fn escape(s: &str) -> String {
@@ -81,6 +83,24 @@ impl ObjectWriter {
         self.buf.push_str("null");
     }
 
+    /// Appends a flat array of numbers (non-finite values become `null`,
+    /// mirroring [`ObjectWriter::float_field`]).
+    pub fn num_arr_field(&mut self, key: &str, values: &[f64]) {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            if v.is_finite() {
+                self.buf.push_str(&format!("{v}"));
+            } else {
+                self.buf.push_str("null");
+            }
+        }
+        self.buf.push(']');
+    }
+
     /// Closes the object and returns the JSON text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -98,13 +118,16 @@ pub enum Value {
     Num(f64),
     /// A JSON boolean.
     Bool(bool),
+    /// A flat array of numbers (no nested arrays or objects).
+    Arr(Vec<f64>),
     /// JSON `null`.
     Null,
 }
 
-/// Parses one flat JSON object (no nested objects/arrays) into key/value
-/// pairs, preserving order. Returns a human-readable error on malformed
-/// input — the report binary surfaces these verbatim.
+/// Parses one flat JSON object (no nested objects; arrays of numbers
+/// only) into key/value pairs, preserving order. Returns a
+/// human-readable error on malformed input — the report binary surfaces
+/// these verbatim.
 pub fn parse_flat_object(input: &str) -> Result<Vec<(String, Value)>, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
@@ -162,6 +185,16 @@ pub fn get_num(obj: &[(String, Value)], key: &str) -> Option<f64> {
         .find(|(k, _)| k == key)
         .and_then(|(_, v)| match v {
             Value::Num(n) => Some(*n),
+            _ => None,
+        })
+}
+
+/// Looks up a numeric-array value by key in a parsed object.
+pub fn get_arr<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a [f64]> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::Arr(xs) => Some(xs.as_slice()),
             _ => None,
         })
 }
@@ -268,11 +301,54 @@ impl Parser<'_> {
             Some(b'f') => self.parse_lit("false", Value::Bool(false)),
             Some(b'n') => self.parse_lit("null", Value::Null),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b'[') => self.parse_num_array(),
             other => Err(format!(
                 "expected value at byte {}, found {:?}",
                 self.pos,
                 other.map(|b| b as char)
             )),
+        }
+    }
+
+    /// Parses a flat array of numbers; nested arrays/objects and
+    /// non-numeric elements are rejected.
+    fn parse_num_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            match self.parse_value()? {
+                Value::Num(n) => out.push(n),
+                other => {
+                    return Err(format!(
+                        "array element at byte {} is {other:?}; only flat numeric \
+                         arrays are supported",
+                        self.pos
+                    ))
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(out));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
         }
     }
 
@@ -338,6 +414,27 @@ mod tests {
         assert!(parse_flat_object("{\"a\":}").is_err());
         assert!(parse_flat_object("{\"a\":1} trailing").is_err());
         assert!(parse_flat_object("not json").is_err());
+    }
+
+    #[test]
+    fn num_arrays_round_trip() {
+        let mut w = ObjectWriter::new();
+        w.num_arr_field("reps", &[1.5, 2.0, 3.25]);
+        w.num_arr_field("empty", &[]);
+        let text = w.finish();
+        assert_eq!(text, r#"{"reps":[1.5,2,3.25],"empty":[]}"#);
+        let obj = parse_flat_object(&text).unwrap();
+        assert_eq!(get_arr(&obj, "reps"), Some(&[1.5, 2.0, 3.25][..]));
+        assert_eq!(get_arr(&obj, "empty"), Some(&[][..]));
+        assert_eq!(get_arr(&obj, "missing"), None);
+    }
+
+    #[test]
+    fn rejects_non_flat_arrays() {
+        assert!(parse_flat_object(r#"{"a":[[1]]}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":["x"]}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":[1,"#).is_err());
+        assert!(parse_flat_object(r#"{"a":{"b":1}}"#).is_err());
     }
 
     #[test]

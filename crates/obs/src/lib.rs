@@ -13,6 +13,10 @@
 //! * [`ReportBuilder`] — a human-readable run report.
 //! * [`json`] — a dependency-free JSON writer/parser subset used by the
 //!   JSONL exporter, the `mc-obs-report` binary and round-trip tests.
+//! * [`perf`] — host-time phase profiling ([`PerfHooks`] /
+//!   [`PhaseProfiler`]): the one sanctioned wall-clock boundary, used by
+//!   `mc-perf` to measure engine throughput without perturbing the
+//!   deterministic simulated-time engine.
 //!
 //! # Layering
 //!
@@ -26,6 +30,7 @@ pub mod config;
 pub mod counter;
 pub mod event;
 pub mod json;
+pub mod perf;
 pub mod recorder;
 pub mod report;
 pub mod ring;
@@ -35,6 +40,7 @@ pub use buffer::EventBuffer;
 pub use config::ObsConfig;
 pub use counter::{saturating_add, saturating_bump};
 pub use event::{Event, EventKind, FIG4_EDGES};
+pub use perf::{PerfHooks, Phase, PhaseProfiler, PhaseSpan, PhaseSummary};
 pub use recorder::Recorder;
 pub use report::ReportBuilder;
 pub use ring::EventRing;

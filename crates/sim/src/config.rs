@@ -2,7 +2,7 @@
 
 use mc_fault::{FaultConfig, RetryPolicy};
 use mc_mem::{MemConfig, Nanos};
-use mc_obs::ObsConfig;
+use mc_obs::{ObsConfig, PerfHooks};
 
 /// Which memory system to simulate — the paper's comparison set plus the
 /// ablation oracles.
@@ -111,6 +111,11 @@ pub struct SimConfig {
     /// executor merges per-shard output in fixed shard order); other
     /// systems ignore it.
     pub threads: usize,
+    /// Optional host-time profiling hooks, forwarded to MULTI-CLOCK's
+    /// phase boundaries and the simulation tick loop. `None` (the
+    /// default) makes every boundary a no-op; hooks only observe the
+    /// host's monotonic clock, so enabling them never changes results.
+    pub perf: Option<PerfHooks>,
 }
 
 impl SimConfig {
@@ -132,6 +137,7 @@ impl SimConfig {
             scan_shards: 1,
             migrate_batch_size: 1,
             threads: 1,
+            perf: None,
         }
     }
 
@@ -150,6 +156,7 @@ impl SimConfig {
             system,
             mem: self.mem.clone(),
             fault: self.fault.clone(),
+            perf: self.perf.clone(),
             ..*self
         }
     }
@@ -160,6 +167,7 @@ impl SimConfig {
             scan_interval: interval,
             mem: self.mem.clone(),
             fault: self.fault.clone(),
+            perf: self.perf.clone(),
             ..*self
         }
     }

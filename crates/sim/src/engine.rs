@@ -74,6 +74,7 @@ impl Simulation {
                         scan_shards: cfg.scan_shards,
                         migrate_batch_size: cfg.migrate_batch_size,
                         scan_threads: cfg.threads,
+                        perf: cfg.perf.clone(),
                         // Adaptive bounds scale with the configured
                         // interval (the defaults are paper-scale).
                         min_interval: Nanos::from_nanos(cfg.scan_interval.as_nanos() / 10),
@@ -322,7 +323,15 @@ impl Simulation {
                 return;
             };
             self.mem.set_now(due.as_nanos());
+            // Host-time span around the whole daemon tick. The guard only
+            // observes the monotonic clock; nothing it reads flows back
+            // into engine state, so hooks-on stays bit-identical.
+            let mut span = self.cfg.perf.as_ref().map(|p| p.span(mc_obs::Phase::Tick));
             let out = policy.tick(&mut self.mem, due);
+            if let Some(s) = span.as_mut() {
+                s.add_items(1);
+            }
+            drop(span);
             // Scan CPU cost.
             let scan_cost =
                 Nanos::from_nanos(out.pages_scanned * self.mem.latency().scan_per_page.as_nanos());

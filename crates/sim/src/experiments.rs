@@ -281,6 +281,7 @@ pub struct Experiment {
     scan_shards: usize,
     migrate_batch_size: usize,
     threads: usize,
+    perf: Option<mc_obs::PerfHooks>,
 }
 
 impl Experiment {
@@ -296,6 +297,7 @@ impl Experiment {
             scan_shards: 1,
             migrate_batch_size: 1,
             threads: 1,
+            perf: None,
         }
     }
 
@@ -377,6 +379,16 @@ impl Experiment {
         self
     }
 
+    /// Installs host-time profiling hooks ([`mc_obs::perf`]): wall-clock
+    /// spans around the engine's tick/scan/merge/promote-drain/pressure/
+    /// migrate-batch phases land in the hooks' shared profiler. Purely
+    /// observational — a hooked run is bit-identical to an unhooked one
+    /// (`crates/sim/tests/perf_differential.rs` enforces it).
+    pub fn perf(mut self, hooks: mc_obs::PerfHooks) -> Self {
+        self.perf = Some(hooks);
+        self
+    }
+
     /// Runs the experiment.
     ///
     /// # Errors
@@ -403,6 +415,7 @@ impl Experiment {
         cfg.scan_shards = self.scan_shards;
         cfg.migrate_batch_size = self.migrate_batch_size;
         cfg.threads = self.threads;
+        cfg.perf = self.perf.clone();
         if self.obs_dir.is_some() {
             cfg.obs = mc_obs::ObsConfig::on();
         }
