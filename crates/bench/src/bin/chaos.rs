@@ -1,10 +1,13 @@
 //! `mc-chaos` — fault-injection robustness sweep.
 //!
-//! Runs YCSB-A on MULTI-CLOCK under increasing injected fault rates
-//! (migrations and allocations failing by seeded chance) and reports how
-//! throughput and promotion traffic degrade. The tiering daemon must
-//! degrade gracefully: no crash, no lost page, throughput falling roughly
-//! with the fault rate rather than collapsing.
+//! Runs YCSB-A on MULTI-CLOCK (or any system named with `--system`,
+//! notably `nomad` — MULTI-CLOCK under transactional migration, where
+//! injected faults land inside copy windows and abort transactions)
+//! under increasing injected fault rates (migrations and allocations
+//! failing by seeded chance) and reports how throughput and promotion
+//! traffic degrade. The tiering daemon must degrade gracefully: no
+//! crash, no lost page, throughput falling roughly with the fault rate
+//! rather than collapsing.
 //!
 //! Usage:
 //!
@@ -13,12 +16,13 @@
 //! mc-chaos --fault-rate 0.1            # single rate instead of the sweep
 //! mc-chaos --seed 7 --obs /tmp/chaos   # export obs artifacts per rate
 //! mc-chaos --threads 4                 # fan the rate sweep across workers
+//! mc-chaos --system nomad              # sweep the transactional baseline
 //! ```
 //!
 //! `--obs DIR` writes `events.jsonl`, `ticks.csv` and `report.txt` under
 //! `DIR/rate-<rate>/`, the layout `mc-obs-report` consumes.
 
-use mc_bench::{banner, scale_from_args, threads_from_args, SweepRunner};
+use mc_bench::{banner, parse_system, scale_from_args, threads_from_args, SweepRunner};
 use mc_sim::experiments::{Experiment, RunOutcome};
 use mc_sim::report::format_table;
 use mc_sim::{FaultConfig, RetryPolicy, SystemKind};
@@ -45,6 +49,14 @@ fn main() {
         .map(|s| s.parse().expect("--seed takes an integer"))
         .unwrap_or(42);
     let obs_root = arg_value(&args, "--obs").map(std::path::PathBuf::from);
+    let system = arg_value(&args, "--system")
+        .map(|s| {
+            parse_system(&s).unwrap_or_else(|| {
+                // lint: allow(panic) - CLI argument validation in a binary
+                panic!("--system {s}: unknown system name")
+            })
+        })
+        .unwrap_or(SystemKind::MultiClock);
     let rates: Vec<f64> = match arg_value(&args, "--fault-rate") {
         Some(r) => vec![r.parse().expect("--fault-rate takes a probability")],
         None => vec![0.0, 0.05, 0.1, 0.2, 0.4],
@@ -55,11 +67,14 @@ fn main() {
         "YCSB-A throughput under injected migration/allocation faults",
         &scale,
     );
-    println!("fault seed {seed}; retry policy: bounded exponential backoff");
+    println!(
+        "system {}; fault seed {seed}; retry policy: bounded exponential backoff",
+        system.label()
+    );
 
     eprintln!("running fault-free baseline ...");
     let base = Experiment::ycsb(YcsbWorkload::A)
-        .system(SystemKind::MultiClock)
+        .system(system)
         .scale(&scale)
         .run()
         .expect("no obs artifacts requested");
@@ -69,7 +84,7 @@ fn main() {
         eprintln!("running fault rate {rate} ...");
         let obs_dir = obs_root.as_ref().map(|d| d.join(format!("rate-{rate}")));
         let mut exp = Experiment::ycsb(YcsbWorkload::A)
-            .system(SystemKind::MultiClock)
+            .system(system)
             .scale(&scale)
             .fault(FaultConfig::rate(seed, rate), RetryPolicy::backoff());
         if let Some(dir) = &obs_dir {

@@ -1,5 +1,6 @@
 //! Fig. 6 — GAPBS execution time normalised to static tiering (lower is
-//! better) for the six kernels.
+//! better) for the six kernels, across the Fig. 5 comparison grid
+//! (including the Nomad transactional-migration baseline).
 //!
 //! Expected shape (paper): MULTI-CLOCK beats static by 4-68% (most on
 //! SSSP), Nimble by 1-16%; AT-CPM may narrowly win on BFS/BC; AT-OPM
@@ -13,6 +14,7 @@
 use mc_bench::{banner, scale_from_args, threads_from_args, SweepRunner};
 use mc_sim::experiments::gapbs_comparison;
 use mc_sim::report::{format_table, normalize_time};
+use mc_sim::SystemKind;
 use mc_workloads::graph::Kernel;
 
 fn main() {
@@ -45,14 +47,8 @@ fn main() {
             r
         });
     }
-    let headers = [
-        "kernel",
-        "Static",
-        "MULTI-CLOCK",
-        "Nimble",
-        "AT-CPM",
-        "AT-OPM",
-    ];
+    let mut headers = vec!["kernel"];
+    headers.extend(SystemKind::TIERED_COMPARISON.iter().map(|s| s.label()));
     println!("\nNormalised execution time (static = 1.00, lower is better):");
     println!("{}", format_table(&headers, &rows));
     println!("Raw time per trial:");

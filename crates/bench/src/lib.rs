@@ -15,6 +15,7 @@ pub fn parse_system(s: &str) -> Option<SystemKind> {
     Some(match s.to_ascii_lowercase().as_str() {
         "static" => SystemKind::Static,
         "multi-clock" | "multiclock" | "mc" => SystemKind::MultiClock,
+        "nomad" => SystemKind::Nomad,
         "nimble" => SystemKind::Nimble,
         "at-cpm" | "atcpm" => SystemKind::AtCpm,
         "at-opm" | "atopm" => SystemKind::AtOpm,
@@ -177,6 +178,7 @@ mod tests {
     #[test]
     fn system_names_parse_with_aliases() {
         assert_eq!(parse_system("mc"), Some(SystemKind::MultiClock));
+        assert_eq!(parse_system("nomad"), Some(SystemKind::Nomad));
         assert_eq!(parse_system("MULTI-CLOCK"), Some(SystemKind::MultiClock));
         assert_eq!(parse_system("at-cpm"), Some(SystemKind::AtCpm));
         assert_eq!(parse_system("mm"), Some(SystemKind::MemoryMode));

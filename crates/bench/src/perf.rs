@@ -15,13 +15,23 @@
 //! * scan throughput — [`Phase::Scan`] items/sec at 1/2/4/8 scan threads;
 //! * migration-overhead share — simulated-cost ratio at batch 1 vs 8
 //!   (deterministic, so its MAD is 0 by construction);
+//! * promote-stall share — the application-stall share of accounted time
+//!   on pinned YCSB-A under [`MigrationMode::Sync`] vs
+//!   [`MigrationMode::Transactional`] (deterministic; the transactional
+//!   number must be strictly lower — copy windows replace the full
+//!   migration stall with one atomic-remap charge per settled batch);
+//! * shadow-hit rate — the fraction of demotions served by a retained
+//!   shadow copy (zero-copy mapping flip) on pinned YCSB-B in
+//!   transactional mode (deterministic);
 //! * sweep speedup — wall time of a 4-job grid under [`SweepRunner`]
 //!   with 1 worker vs several.
 
 use crate::artifact::{BenchArtifact, SuiteResult, SCHEMA_VERSION};
 use crate::SweepRunner;
+use mc_mem::Nanos;
 use mc_obs::{PerfHooks, Phase};
 use mc_sim::experiments::{Experiment, RunOutcome, Scale};
+use mc_sim::MigrationMode;
 use mc_workloads::graph::Kernel;
 use mc_workloads::ycsb::YcsbWorkload;
 use std::time::Instant;
@@ -56,7 +66,7 @@ pub fn default_config(smoke: bool) -> PerfConfig {
     }
     PerfConfig {
         reps: if smoke { 2 } else { 5 },
-        pr: 7,
+        pr: 8,
         scale_label: if smoke { "smoke" } else { "perf" }.to_string(),
         scale,
         sweep_threads: host_cores().clamp(2, 4),
@@ -107,6 +117,40 @@ fn repeat(reps: usize, mut f: impl FnMut() -> f64) -> Vec<f64> {
     (0..reps).map(|_| f()).collect()
 }
 
+/// The application-stall share of total accounted time on pinned YCSB-A
+/// under the given migration mode. Deterministic (virtual-time ratio),
+/// so its MAD is 0 by construction; the suite exists for the *gap*
+/// between the two modes, not the absolute number.
+fn promote_stall_share(scale: &Scale, mode: MigrationMode) -> f64 {
+    let o = Experiment::ycsb(YcsbWorkload::A)
+        .scale(scale)
+        .migration(mode)
+        .run()
+        .expect("no obs artifacts requested, so no I/O can fail");
+    let c = &o.costs;
+    let total = c.access_time + c.stall_time + c.daemon_time + c.background_time;
+    if total == Nanos::ZERO {
+        0.0
+    } else {
+        c.stall_time.as_nanos() as f64 / total.as_nanos() as f64
+    }
+}
+
+/// The fraction of demotions served by a retained shadow copy on pinned
+/// YCSB-B in transactional mode (also deterministic).
+fn shadow_hit_rate(scale: &Scale) -> f64 {
+    let o = Experiment::ycsb(YcsbWorkload::B)
+        .scale(scale)
+        .migration(MigrationMode::Transactional)
+        .run()
+        .expect("no obs artifacts requested, so no I/O can fail");
+    if o.demotions == 0 {
+        0.0
+    } else {
+        o.shadow_hits as f64 / o.demotions as f64
+    }
+}
+
 /// Runs every pinned suite and assembles the artifact (host metadata,
 /// suite medians/MADs, per-phase percentile extras). Progress and
 /// per-suite summaries go to stdout.
@@ -125,7 +169,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         suites.push(s);
     };
 
-    println!("[1/4] engine ticks/sec (YCSB-A, GAPBS-BFS)");
+    println!("[1/6] engine ticks/sec (YCSB-A, GAPBS-BFS)");
     push(
         "engine_ticks_per_sec.ycsb_a",
         "ticks/sec",
@@ -143,7 +187,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         }),
     );
 
-    println!("[2/4] scan throughput at 1/2/4/8 threads (8 shards)");
+    println!("[2/6] scan throughput at 1/2/4/8 threads (8 shards)");
     for threads in [1usize, 2, 4, 8] {
         push(
             &format!("scan_pages_per_sec.threads_{threads}"),
@@ -153,7 +197,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         );
     }
 
-    println!("[3/4] migration-overhead share at batch 1/8");
+    println!("[3/6] migration-overhead share at batch 1/8");
     for batch in [1usize, 8] {
         push(
             &format!("migration_overhead_share.batch_{batch}"),
@@ -171,8 +215,29 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         );
     }
 
+    println!("[4/6] promote-stall share, sync vs transactional (YCSB-A)");
+    for (label, mode) in [
+        ("sync", MigrationMode::Sync),
+        ("transactional", MigrationMode::Transactional),
+    ] {
+        push(
+            &format!("promote_stall_share.{label}"),
+            "share",
+            false,
+            repeat(cfg.reps, || promote_stall_share(&cfg.scale, mode)),
+        );
+    }
+
+    println!("[5/6] shadow-hit rate (YCSB-B, transactional)");
+    push(
+        "shadow_hit_rate.ycsb_b",
+        "share",
+        true,
+        repeat(cfg.reps, || shadow_hit_rate(&cfg.scale)),
+    );
+
     println!(
-        "[4/4] sweep parallel speedup (4-job grid, 1 vs {} workers)",
+        "[6/6] sweep parallel speedup (4-job grid, 1 vs {} workers)",
         cfg.sweep_threads
     );
     push(

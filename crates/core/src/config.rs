@@ -1,7 +1,7 @@
 //! MULTI-CLOCK tunables.
 
 use mc_fault::RetryPolicy;
-use mc_mem::Nanos;
+use mc_mem::{MigrationMode, Nanos};
 use mc_obs::PerfHooks;
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +58,24 @@ pub struct MultiClockConfig {
     /// pre-fault-layer behaviour; [`RetryPolicy::backoff`] retries with
     /// exponential backoff before degrading to the active-list fallback.
     pub retry: RetryPolicy,
+    /// How promotions move pages: [`MigrationMode::Sync`] (the default)
+    /// copies and remaps inside the kpromoted run, stalling the
+    /// application for the whole unmap/copy/remap sequence —
+    /// bit-identical to the engine before transactional migration
+    /// existed. [`MigrationMode::Transactional`] opens a Nomad-style
+    /// transaction instead: the page stays mapped at its source while
+    /// the copy proceeds in the background, a dirty write during the
+    /// copy window aborts the transaction into the retry/backoff path,
+    /// and a clean copy commits with one cheap atomic remap at the next
+    /// tick.
+    pub migration_mode: MigrationMode,
+    /// Whether committed transactional promotions retain their source
+    /// frame as a non-exclusive *shadow copy*, so demoting a page that
+    /// stayed clean upstairs is a zero-copy mapping flip back to the
+    /// retained frame. Only consulted in `Transactional` mode; shadows
+    /// are invalidated on the first dirty write and released under
+    /// allocation pressure.
+    pub shadow_pages: bool,
     /// Optional host-time profiling hooks ([`mc_obs::perf`]). `None` (the
     /// default) makes every phase boundary a no-op; `Some` opens a
     /// wall-clock span around each scan/merge/promote-drain/pressure/
@@ -81,6 +99,8 @@ impl Default for MultiClockConfig {
             migrate_batch_size: 1,
             scan_threads: 1,
             retry: RetryPolicy::immediate(),
+            migration_mode: MigrationMode::Sync,
+            shadow_pages: true,
             perf: None,
         }
     }
@@ -164,6 +184,12 @@ mod tests {
         assert_eq!(c.scan_shards, 1);
         assert_eq!(c.migrate_batch_size, 1);
         assert_eq!(c.scan_threads, 1, "sequential scan is the baseline");
+        assert_eq!(
+            c.migration_mode,
+            MigrationMode::Sync,
+            "synchronous migration is the baseline"
+        );
+        assert!(c.shadow_pages, "shadows are on once transactions are");
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub struct MultiClock {
     /// attempt and is waiting (requeued at the promote-list tail) for its
     /// backoff to elapse.
     pub(crate) retry_state: Vec<Option<RetryState>>,
+    /// Source frames of open migration transactions
+    /// ([`mc_mem::MigrationMode::Transactional`] only). These pages stay
+    /// tracked in `Promote` state but sit on **no** list across the tick
+    /// boundary — the copy window spans the inter-tick application run —
+    /// and are settled (committed or aborted) at the start of the next
+    /// kpromoted run. Unlike `in_flight`, this detachment persists
+    /// across quiescent points, so the invariant checker exempts these
+    /// frames explicitly instead of being suspended.
+    pub(crate) txn_pending: Vec<FrameId>,
 }
 
 /// Retry bookkeeping for one page's current promotion episode.
@@ -101,6 +110,7 @@ impl MultiClock {
             pressure_guard: vec![false; topology.tier_count()],
             in_flight: 0,
             retry_state: vec![None; topology.total_pages()],
+            txn_pending: Vec::new(),
         }
     }
 
@@ -132,6 +142,13 @@ impl MultiClock {
         &self.tiers[tier.index()]
     }
 
+    /// Source frames of migration transactions opened last tick and not
+    /// yet settled (empty in `Sync` mode and at pre-tick quiescent
+    /// points of a fresh policy).
+    pub fn txn_pending(&self) -> &[FrameId] {
+        &self.txn_pending
+    }
+
     /// The shard (within its tier's [`TierShards`]) a frame belongs to.
     pub(crate) fn shard_of(&self, frame: FrameId) -> usize {
         self.shard_table[frame.index()] as usize
@@ -147,6 +164,13 @@ impl MultiClock {
     /// scanned or migrated until [`Self::munlock`].
     pub fn mlock(&mut self, mem: &mut MemorySystem, frame: FrameId) {
         if self.states[frame.index()].is_none() {
+            return;
+        }
+        // A page mid-copy-window is on no list; pinning it now would
+        // corrupt the settle step. The lock lands after the transaction
+        // resolves (commit retracks, abort requeues — either way the
+        // page is listed again and a later mlock succeeds).
+        if self.txn_pending.contains(&frame) {
             return;
         }
         let tier = mem.frame(frame).tier();
@@ -212,6 +236,9 @@ impl MultiClock {
     /// transition (4).
     pub(crate) fn untrack(&mut self, mem: &mut MemorySystem, frame: FrameId) {
         self.retry_state[frame.index()] = None;
+        // Unmapping mid-copy-window: the substrate already aborted the
+        // transaction eagerly; drop our settle bookkeeping to match.
+        self.txn_pending.retain(|f| *f != frame);
         if self.states[frame.index()].take().is_some() {
             let tier = mem.frame(frame).tier();
             // fig4: 4 — tracking ends; the page leaves every list.
@@ -427,6 +454,11 @@ impl TieringPolicy for MultiClock {
             ("mc_demotions", self.stats.demotions),
             ("mc_evictions", self.stats.evictions),
             ("mc_pressure_runs", self.stats.pressure_runs),
+            ("mc_txn_begins", self.stats.txn_begins),
+            ("mc_txn_aborts", self.stats.txn_aborts),
+            ("mc_txn_commits", self.stats.txn_commits),
+            ("mc_shadow_hits", self.stats.shadow_hits),
+            ("mc_shadow_invalidations", self.stats.shadow_invalidations),
         ]
     }
 }

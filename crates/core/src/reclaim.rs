@@ -13,7 +13,7 @@
 use crate::multi_clock::MultiClock;
 use crate::state::PageState;
 use mc_clock::balance::inactive_is_low;
-use mc_mem::{FrameId, MemError, MemorySystem, PageKind, TickOutcome, TierId};
+use mc_mem::{FrameId, MemError, MemorySystem, MigrationMode, PageKind, TickOutcome, TierId};
 use mc_obs::{saturating_bump, EventKind};
 
 /// What one inactive-list shrink step achieved.
@@ -393,6 +393,22 @@ impl MultiClock {
         let tier_count = self.tiers.len();
         match tier.lower(tier_count) {
             Some(lower) => {
+                // Transactional mode keeps a shadow copy of cleanly
+                // promoted pages downstairs; if this page's shadow is
+                // still valid the demotion is a zero-copy mapping flip.
+                if self.cfg.migration_mode == MigrationMode::Transactional {
+                    if let Some(copy) = mem.try_shadow_demote(frame, lower) {
+                        // fig4: 3 — same landing as a copied demotion.
+                        self.retrack_after_migration(mem, frame, copy, PageState::InactiveUnref);
+                        saturating_bump(&mut self.stats.demotions);
+                        mem.recorder_mut().emit(|| EventKind::Fig4 {
+                            edge: 3,
+                            frame: copy.index() as u64,
+                            tier: lower.index() as u8,
+                        });
+                        return ShrinkResult::Demoted;
+                    }
+                }
                 match mem.migrate(frame, lower) {
                     Ok(new_frame) => {
                         // fig4: 3 — demotion lands cold on the lower tier.

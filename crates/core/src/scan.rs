@@ -4,7 +4,9 @@
 use crate::executor::{run_scan_jobs, ScanCtx, ScanJob};
 use crate::multi_clock::MultiClock;
 use crate::state::PageState;
-use mc_mem::{FrameId, MemError, MemorySystem, Nanos, PageKind, TickOutcome, TierId};
+use mc_mem::{
+    FrameId, MemError, MemorySystem, MigrationMode, Nanos, PageKind, TickOutcome, TierId,
+};
 use mc_obs::{saturating_add, saturating_bump, EventKind};
 
 impl MultiClock {
@@ -31,6 +33,16 @@ impl MultiClock {
         mem.recorder_mut().emit(|| EventKind::TickBegin { tick });
         let mut out = TickOutcome::default();
         let tier_count = self.tiers.len();
+
+        // Transactional mode: settle last tick's migration transactions
+        // before anything else looks at the lists. The copy window
+        // spanned the inter-tick application run; by now every copy has
+        // either stayed clean (commit: atomic remap) or been dirtied
+        // (abort: back into the retry/backoff path). A no-op in Sync
+        // mode, where no transaction is ever opened.
+        if self.cfg.migration_mode == MigrationMode::Transactional {
+            out.promoted += self.settle_txns(mem);
+        }
         // Host-time phase spans (no-ops when hooks are off). Cloning the
         // handle up front keeps the later `&mut self` phases borrowable;
         // spans only observe the host clock, never engine state.
@@ -98,7 +110,7 @@ impl MultiClock {
         for tier in 1..tier_count {
             promoted += self.promote_all(mem, TierId::new(tier as u8));
         }
-        out.promoted = promoted;
+        out.promoted += promoted;
         if let Some(s) = drain_span.as_mut() {
             s.add_items(promoted);
         }
@@ -122,6 +134,14 @@ impl MultiClock {
 
         saturating_add(&mut self.stats.pages_scanned, out.pages_scanned);
         self.adapt_interval(out.promoted + out.demoted);
+        // Mirror the substrate's transaction/shadow counters into the
+        // policy's vmstat rows (absolute values; all zero in Sync mode).
+        let ms = mem.stats();
+        self.stats.txn_begins = ms.txn_begins;
+        self.stats.txn_aborts = ms.txn_aborts;
+        self.stats.txn_commits = ms.txn_commits;
+        self.stats.shadow_hits = ms.shadow_hits;
+        self.stats.shadow_invalidations = ms.shadow_invalidations;
         self.debug_validate(mem);
         mem.recorder_mut().emit(|| EventKind::TickEnd {
             tick,
@@ -236,11 +256,73 @@ impl MultiClock {
         promoted
     }
 
+    /// Settles every migration transaction opened by the previous run:
+    /// clean copies commit (one atomic remap each — transition 13,
+    /// exactly like a synchronous promotion landing), doomed or faulted
+    /// copies abort and re-enter the retry/backoff path as if a
+    /// synchronous attempt had failed with the same error. Returns the
+    /// number of pages promoted.
+    pub(crate) fn settle_txns(&mut self, mem: &mut MemorySystem) -> u64 {
+        if self.txn_pending.is_empty() {
+            return 0;
+        }
+        let keep_shadows = self.cfg.shadow_pages;
+        let results = mem.resolve_migrations(keep_shadows);
+        // Every pending frame is tracked but listless until its result
+        // re-lists it below; suspend invariant validation meanwhile.
+        self.in_flight += results.len();
+        let mut promoted = 0;
+        for (frame, result) in results {
+            self.txn_pending.retain(|f| *f != frame);
+            match result {
+                Ok(new_frame) => {
+                    // fig4: 13 — the commit lands active-referenced
+                    // upstairs, same as a synchronous promotion.
+                    let upper = mem.frame(new_frame).tier();
+                    self.retrack_after_migration(mem, frame, new_frame, PageState::ActiveRef);
+                    saturating_bump(&mut self.stats.promotions);
+                    promoted += 1;
+                    mem.recorder_mut().emit(|| EventKind::Fig4 {
+                        edge: 13,
+                        frame: new_frame.index() as u64,
+                        tier: upper.index() as u8,
+                    });
+                }
+                // A dirty-write abort surfaces as FrameLocked (the page
+                // was "busy" during the window); a commit-time injected
+                // fault surfaces as TierFull/FrameLocked. Both are
+                // transient — same retry budget as the sync path.
+                Err(MemError::TierFull(_) | MemError::FrameLocked(_)) => {
+                    let tier = mem.frame(frame).tier();
+                    let kind = mem.frame(frame).kind();
+                    self.promote_retry_or_fallback(mem, frame, tier, kind);
+                }
+                Err(_) => {
+                    let tier = mem.frame(frame).tier();
+                    let kind = mem.frame(frame).kind();
+                    self.promote_fallback(mem, frame, tier, kind);
+                }
+            }
+            self.in_flight -= 1;
+        }
+        debug_assert!(
+            self.txn_pending.is_empty(),
+            "every opened transaction must settle (eager substrate aborts \
+             purge txn_pending via untrack)"
+        );
+        self.debug_validate(mem);
+        promoted
+    }
+
     /// Flushes one batch of promote candidates through
     /// [`MemorySystem::migrate_batch`] and settles every page: successes
     /// are retracked upstairs (transition 13), transient failures requeue
     /// or fall back via the retry policy, permanent failures fall back to
     /// the active list. Returns the number promoted.
+    ///
+    /// In [`MigrationMode::Transactional`] this instead *opens* one
+    /// transaction per candidate — no copy stall, no remap yet — and the
+    /// batch settles at the start of the next run.
     #[allow(clippy::too_many_arguments)]
     fn promote_flush(
         &mut self,
@@ -254,6 +336,9 @@ impl MultiClock {
     ) -> u64 {
         if pending.is_empty() {
             return 0;
+        }
+        if self.cfg.migration_mode == MigrationMode::Transactional {
+            return self.promote_flush_txn(mem, pending, tier, upper, kind, tried_reclaim, demand);
         }
         let mut promoted = 0;
         // Span over the batched migration call itself (items = batch
@@ -329,6 +414,52 @@ impl MultiClock {
             self.in_flight -= 1;
         }
         promoted
+    }
+
+    /// The transactional drain: opens a Nomad-style transaction per
+    /// candidate instead of copying synchronously. Reservation failures
+    /// (the destination is full) get the same one-round gentle reclaim
+    /// and single retry the sync path uses; pages whose transaction
+    /// opens move to `txn_pending` and stay mapped at the source — the
+    /// application keeps running against the source frame for the whole
+    /// copy window. Returns 0: promotions are counted at commit time.
+    #[allow(clippy::too_many_arguments)]
+    fn promote_flush_txn(
+        &mut self,
+        mem: &mut MemorySystem,
+        pending: &mut Vec<FrameId>,
+        tier: TierId,
+        upper: TierId,
+        kind: PageKind,
+        tried_reclaim: &mut bool,
+        demand: usize,
+    ) -> u64 {
+        for frame in pending.drain(..) {
+            match mem.begin_migration(frame, upper) {
+                Ok(()) => self.txn_pending.push(frame),
+                Err(MemError::TierFull(_)) => {
+                    // Same room-making as the sync path: one gentle
+                    // reclaim round upstairs, then a single retry.
+                    if !*tried_reclaim && !self.pressure_guard[upper.index()] {
+                        *tried_reclaim = true;
+                        self.run_pressure_toward(mem, upper, false, Some(demand));
+                    }
+                    match mem.begin_migration(frame, upper) {
+                        Ok(()) => self.txn_pending.push(frame),
+                        Err(MemError::TierFull(_) | MemError::FrameLocked(_)) => {
+                            self.promote_retry_or_fallback(mem, frame, tier, kind);
+                        }
+                        Err(_) => self.promote_fallback(mem, frame, tier, kind),
+                    }
+                }
+                Err(MemError::FrameLocked(_)) => {
+                    self.promote_retry_or_fallback(mem, frame, tier, kind);
+                }
+                Err(_) => self.promote_fallback(mem, frame, tier, kind),
+            }
+            self.in_flight -= 1;
+        }
+        0
     }
 
     /// Books a failed-but-retryable migration attempt: while the episode's
@@ -671,6 +802,136 @@ mod tests {
         mc.tick(&mut mem, Nanos::from_secs(3));
         assert!(mem.fault_injector().unwrap().stats().offline_rejections > after_first);
         assert_eq!(mc.stats().promote_retries, 2);
+        mc.assert_invariants(&mem);
+    }
+
+    fn setup_transactional(retry: mc_fault::RetryPolicy) -> (MemorySystem, MultiClock) {
+        let mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let cfg = MultiClockConfig {
+            migration_mode: MigrationMode::Transactional,
+            retry,
+            ..Default::default()
+        };
+        let mc = MultiClock::new(cfg, mem.topology());
+        (mem, mc)
+    }
+
+    #[test]
+    fn transactional_promotion_commits_on_the_next_tick() {
+        let (mut mem, mut mc) = setup_transactional(mc_fault::RetryPolicy::immediate());
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        make_promotable(&mut mem, &mut mc, f);
+        // Tick 1 opens the transaction: no copy stall, the page still
+        // mapped (and served) at the source for the whole window.
+        let out = mc.tick(&mut mem, Nanos::from_secs(1));
+        assert_eq!(out.promoted, 0);
+        assert_eq!(mc.txn_pending(), &[f]);
+        assert_eq!(mem.translate(VPage::new(1)), Some(f), "still at source");
+        assert_eq!(mc.stats().txn_begins, 1);
+        mc.assert_invariants(&mem);
+        // Tick 2 settles: the copy stayed clean, so it commits.
+        let out = mc.tick(&mut mem, Nanos::from_secs(2));
+        assert_eq!(out.promoted, 1);
+        assert!(mc.txn_pending().is_empty());
+        let nf = mem.translate(VPage::new(1)).unwrap();
+        assert_eq!(mem.frame(nf).tier(), TierId::TOP);
+        // The commit landed ActiveRef at the start of the tick; the same
+        // tick's scan then saw it unreferenced and decayed it one step.
+        assert_eq!(mc.state_of(nf), Some(PageState::ActiveUnref));
+        assert_eq!(mc.stats().promotions, 1);
+        assert_eq!(mc.stats().txn_commits, 1);
+        // The clean source frame stayed behind as a shadow copy.
+        assert_eq!(mem.shadow_pages().get(nf), Some(f));
+        mc.assert_invariants(&mem);
+    }
+
+    #[test]
+    fn dirty_write_during_copy_window_reenters_retry_path() {
+        let (mut mem, mut mc) = setup_transactional(mc_fault::RetryPolicy::backoff());
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        make_promotable(&mut mem, &mut mc, f);
+        mc.tick(&mut mem, Nanos::from_secs(1));
+        assert_eq!(mc.txn_pending(), &[f]);
+        // A store hits the source mid-window: the copy is stale.
+        mem.access(VPage::new(1), AccessKind::Write).unwrap();
+        let out = mc.tick(&mut mem, Nanos::from_secs(2));
+        assert_eq!(out.promoted, 0, "stale copy must not commit");
+        assert_eq!(mc.stats().txn_aborts, 1);
+        assert_eq!(mc.stats().promote_retries, 1, "abort re-enters retry path");
+        assert_eq!(mc.state_of(f), Some(PageState::Promote), "episode paused");
+        assert!(mc.tier_lists(pm).shard(0).anon.promote.contains(f));
+        mc.assert_invariants(&mem);
+        // Backoff elapses; the retry opens a fresh transaction and — with
+        // no further writes — commits.
+        mc.tick(&mut mem, Nanos::from_secs(3));
+        let out = mc.tick(&mut mem, Nanos::from_secs(4));
+        assert_eq!(out.promoted, 1);
+        let nf = mem.translate(VPage::new(1)).unwrap();
+        assert_eq!(mem.frame(nf).tier(), TierId::TOP);
+        // The dirty write predates the retry's copy window, so the fresh
+        // copy captured it: the source stays behind as a shadow and the
+        // page's dirty bit resets against it.
+        assert_eq!(mem.shadow_pages().get(nf), Some(f));
+        assert!(!mem.frame(nf).flags().contains(mc_mem::PageFlags::DIRTY));
+        mc.assert_invariants(&mem);
+    }
+
+    #[test]
+    fn cold_clean_page_demotes_via_its_shadow() {
+        let (mut mem, mut mc) = setup_transactional(mc_fault::RetryPolicy::immediate());
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        make_promotable(&mut mem, &mut mc, f);
+        mc.tick(&mut mem, Nanos::from_secs(1));
+        mc.tick(&mut mem, Nanos::from_secs(2));
+        let nf = mem.translate(VPage::new(1)).unwrap();
+        assert_eq!(mem.shadow_pages().get(nf), Some(f));
+        // Park the page cold on the inactive list (the slow route there
+        // is several decay scans plus a rebalance; the landing state is
+        // what matters to the demotion path), then fill DRAM so reclaim
+        // has real pressure: the shadowed page is the oldest inactive
+        // page, and its demotion must be a zero-copy flip back to the
+        // retained frame.
+        mc.transition(&mut mem, nf, PageState::InactiveUnref);
+        let mut v = 100u64;
+        while let Ok(extra) = mem.alloc_page_in_tier(mc_mem::PageKind::Anon, TierId::TOP) {
+            mem.map(VPage::new(v), extra).unwrap();
+            mc.on_page_mapped(&mut mem, extra);
+            v += 1;
+        }
+        mc.on_pressure(&mut mem, TierId::TOP, Nanos::from_secs(9));
+        assert_eq!(mem.stats().shadow_hits, 1);
+        assert_eq!(
+            mem.translate(VPage::new(1)),
+            Some(f),
+            "the page is back in its original frame without a copy"
+        );
+        assert_eq!(mc.state_of(f), Some(PageState::InactiveUnref));
+        assert!(mem.shadow_pages().is_empty());
+        mc.assert_invariants(&mem);
+    }
+
+    #[test]
+    fn shadow_retention_can_be_disabled() {
+        let mem = MemorySystem::new(MemConfig::two_tier(64, 256));
+        let cfg = MultiClockConfig {
+            migration_mode: MigrationMode::Transactional,
+            shadow_pages: false,
+            ..Default::default()
+        };
+        let mut mc = MultiClock::new(cfg, mem.topology());
+        let mut mem = mem;
+        let pm = TierId::new(1);
+        let f = map_in_tier(&mut mem, &mut mc, 1, pm);
+        let pm_free = mem.tier_free(pm);
+        make_promotable(&mut mem, &mut mc, f);
+        mc.tick(&mut mem, Nanos::from_secs(1));
+        mc.tick(&mut mem, Nanos::from_secs(2));
+        assert_eq!(mc.stats().txn_commits, 1);
+        assert!(mem.shadow_pages().is_empty());
+        assert_eq!(mem.tier_free(pm), pm_free + 1, "source freed at commit");
         mc.assert_invariants(&mem);
     }
 

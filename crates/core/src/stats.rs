@@ -38,6 +38,20 @@ pub struct MultiClockStats {
     pub evictions: u64,
     /// Pressure invocations.
     pub pressure_runs: u64,
+    /// Migration transactions opened (mirrors the substrate counter;
+    /// non-zero only in [`mc_mem::MigrationMode::Transactional`]).
+    pub txn_begins: u64,
+    /// Migration transactions aborted (dirty write in the copy window,
+    /// injected commit fault, or the source page disappearing).
+    pub txn_aborts: u64,
+    /// Migration transactions committed via atomic remap.
+    pub txn_commits: u64,
+    /// Demotions satisfied by flipping the mapping back to a retained
+    /// shadow copy (zero-copy fast path).
+    pub shadow_hits: u64,
+    /// Shadow copies discarded before use (dirty write, page movement,
+    /// or allocation pressure reclaiming the retained frame).
+    pub shadow_invalidations: u64,
 }
 
 #[cfg(test)]

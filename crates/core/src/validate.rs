@@ -15,7 +15,15 @@
 //!    pages in `Promote` state;
 //! 7. a frame listed in shard `s` belongs to shard `s` under the static
 //!    frame→shard assignment (sharded scanning never strands a page on a
-//!    foreign shard).
+//!    foreign shard);
+//! 8. transactional-migration bookkeeping is sound: a frame is the
+//!    source of **at most one** open transaction, every pending source
+//!    is tracked in `Promote` state (listless by design — the copy
+//!    window spans the tick boundary), transaction destination frames
+//!    are allocated but unmapped reservations, shadow copies exist only
+//!    for clean mapped pages with the retained frame one or more tiers
+//!    below, and stored retry bookkeeping never exceeds the
+//!    [`mc_fault::RetryPolicy`] budget.
 //!
 //! Validation runs only on the coordinating thread at quiescent points
 //! (tick end, post-promote) — never inside the parallel scan phase, where
@@ -64,7 +72,10 @@ impl MultiClock {
 
         for raw in 0..mem.total_frames() as u32 {
             let frame = FrameId::new(raw);
-            if self.state_of(frame).is_some() && !seen.contains(&raw) {
+            if self.state_of(frame).is_some()
+                && !seen.contains(&raw)
+                && !self.txn_pending.contains(&frame)
+            {
                 violations.push(InvariantViolation {
                     frame,
                     message: "tracked but on no list".into(),
@@ -80,8 +91,88 @@ impl MultiClock {
                     message: "has retry bookkeeping but is not in Promote state".into(),
                 });
             }
+            // 8 (retry-boundedness). A stored episode is a *paused* one:
+            //    its attempt count must still leave budget, or the give-up
+            //    path failed to fire.
+            if let Some(rs) = self.retry_state[frame.index()] {
+                if self.cfg.retry.exhausted(rs.attempts) {
+                    violations.push(InvariantViolation {
+                        frame,
+                        message: format!(
+                            "retry bookkeeping holds {} attempts but the policy \
+                             exhausts at {}",
+                            rs.attempts, self.cfg.retry.max_attempts
+                        ),
+                    });
+                }
+            }
         }
+        self.check_txn_bookkeeping(mem, &mut violations);
         violations
+    }
+
+    /// Invariant 8: cross-checks the policy's pending-transaction list
+    /// against the substrate's open transactions and shadow table.
+    fn check_txn_bookkeeping(&self, mem: &MemorySystem, violations: &mut Vec<InvariantViolation>) {
+        let mut pending_seen: HashSet<u32> = HashSet::new();
+        for frame in &self.txn_pending {
+            if !pending_seen.insert(frame.raw()) {
+                violations.push(InvariantViolation {
+                    frame: *frame,
+                    message: "appears twice in the pending-transaction list".into(),
+                });
+            }
+            if self.state_of(*frame) != Some(PageState::Promote) {
+                violations.push(InvariantViolation {
+                    frame: *frame,
+                    message: "pending transaction source is not in Promote state".into(),
+                });
+            }
+            if !mem.migration_txns().iter().any(|t| t.frame == *frame) {
+                violations.push(InvariantViolation {
+                    frame: *frame,
+                    message: "pending in the policy but the substrate has no transaction".into(),
+                });
+            }
+        }
+        let mut src_seen: HashSet<u32> = HashSet::new();
+        for txn in mem.migration_txns() {
+            if !src_seen.insert(txn.frame.raw()) {
+                violations.push(InvariantViolation {
+                    frame: txn.frame,
+                    message: "frame is the source of more than one open transaction".into(),
+                });
+            }
+            let dst = mem.frame(txn.dst_frame);
+            if dst.state() != mc_mem::FrameState::Allocated || dst.vpage().is_some() {
+                violations.push(InvariantViolation {
+                    frame: txn.dst_frame,
+                    message: "transaction destination is not an unmapped reservation".into(),
+                });
+            }
+        }
+        for (key, copy) in mem.shadow_pages().iter() {
+            let live = mem.frame(key);
+            if live.state() != mc_mem::FrameState::Allocated
+                || live.vpage().is_none()
+                || live.flags().contains(mc_mem::PageFlags::DIRTY)
+            {
+                violations.push(InvariantViolation {
+                    frame: key,
+                    message: "shadowed page is not a clean mapped page".into(),
+                });
+            }
+            let retained = mem.frame(copy);
+            if retained.state() != mc_mem::FrameState::Allocated
+                || retained.vpage().is_some()
+                || retained.tier() <= live.tier()
+            {
+                violations.push(InvariantViolation {
+                    frame: copy,
+                    message: "shadow copy is not an unmapped lower-tier retention".into(),
+                });
+            }
+        }
     }
 
     /// Checks invariants 1–5 and 7 for one shard's lists, accumulating

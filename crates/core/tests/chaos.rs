@@ -6,7 +6,8 @@
 
 use mc_fault::{FaultInjector, FaultPlan, OfflineWindow, RetryPolicy};
 use mc_mem::{
-    AccessKind, FrameId, MemConfig, MemorySystem, Nanos, PageKind, TierId, TieringPolicy, VPage,
+    AccessKind, FrameId, MemConfig, MemorySystem, MigrationMode, Nanos, PageKind, TierId,
+    TieringPolicy, VPage,
 };
 use multi_clock::{MultiClock, MultiClockConfig};
 use proptest::prelude::*;
@@ -72,6 +73,102 @@ fn assert_conserved(mem: &MemorySystem, live: &[VPage]) {
     }
 }
 
+/// The shared trace interpreter: drives one random trace against one
+/// random fault plan in the given migration mode, checking the full
+/// invariant set after every step and draining at the end. In
+/// transactional mode the same injected failures land *inside the copy
+/// window* (migrations fail at settle time, after the transaction
+/// opened), so the abort -> retry -> give-up ladder is exercised under
+/// exactly the fault plans the synchronous path faces.
+fn run_chaos(seed: u64, fault_plan: FaultPlan, ops: Vec<Op>, mode: MigrationMode) {
+    let mut mem = MemorySystem::new(MemConfig::two_tier(24, 48));
+    mem.set_fault_injector(FaultInjector::new(fault_plan, seed));
+    let cfg = MultiClockConfig {
+        retry: RetryPolicy::backoff(),
+        migration_mode: mode,
+        ..Default::default()
+    };
+    let mut mc = MultiClock::new(cfg, mem.topology());
+    let mut live: Vec<VPage> = Vec::new();
+    let mut next_vp = 0u64;
+    let mut ticks = 0u64;
+
+    for op in ops {
+        match &op {
+            Op::Map => {
+                // Allocation may fail by injection; the engine treats
+                // that as a skipped fault, so the trace just moves on.
+                if let Ok(frame) = mem.alloc_page(PageKind::Anon) {
+                    let vp = VPage::new(next_vp);
+                    next_vp += 1;
+                    mem.map(vp, frame).expect("fresh vpage maps");
+                    mc.on_page_mapped(&mut mem, frame);
+                    live.push(vp);
+                }
+            }
+            Op::Unmap(index) => {
+                if !live.is_empty() {
+                    let vp = live.swap_remove(index % live.len());
+                    let frame = mem.unmap(vp).expect("live page unmaps");
+                    mc.on_page_unmapped(&mut mem, frame);
+                    mem.free_page(frame).expect("unmapped page frees");
+                }
+            }
+            Op::Access { index, write } => {
+                if !live.is_empty() {
+                    let vp = live[index % live.len()];
+                    let kind = if *write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    mem.access(vp, kind).expect("live page is accessible");
+                    let frame = mem.translate(vp).expect("live page translates");
+                    mc.on_supervised_access(&mut mem, frame, kind);
+                }
+            }
+            Op::Tick => {
+                ticks += 1;
+                mc.tick(&mut mem, Nanos::from_secs(ticks));
+            }
+            Op::Pressure(t) => {
+                mc.on_pressure(&mut mem, TierId::new(*t as u8), Nanos::from_secs(ticks));
+            }
+        }
+        let violations = mc.check_invariants(&mem);
+        prop_assert!(
+            violations.is_empty(),
+            "invariants broken after {:?}: {:?}",
+            op,
+            violations
+        );
+        prop_assert_eq!(mc.in_flight(), 0, "in-flight page leaked after {:?}", op);
+        assert_conserved(&mem, &live);
+    }
+
+    // Drain: run well past every offline window (they end by t=260 s)
+    // with the injector still rolling failures; paused promotion
+    // episodes must resolve — promoted, retried or degraded — without
+    // ever losing a page.
+    for extra in 1..=40u64 {
+        mc.tick(&mut mem, Nanos::from_secs(300 + extra));
+        prop_assert_eq!(mc.in_flight(), 0);
+    }
+    prop_assert!(mc.check_invariants(&mem).is_empty());
+    assert_conserved(&mem, &live);
+    let s = mc.stats();
+    prop_assert!(s.promote_gave_ups <= s.promote_fallbacks);
+    if mode == MigrationMode::Transactional {
+        // The transaction ledger must balance once the drain settled
+        // every copy window.
+        let ms = mem.stats();
+        prop_assert!(mem.migration_txns().is_empty());
+        prop_assert_eq!(ms.txn_begins, ms.txn_commits + ms.txn_aborts);
+    } else {
+        prop_assert_eq!(mem.stats().txn_begins, 0, "sync mode opened a txn");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -81,77 +178,19 @@ proptest! {
         fault_plan in plan(),
         ops in prop::collection::vec(op(), 1..140),
     ) {
-        let mut mem = MemorySystem::new(MemConfig::two_tier(24, 48));
-        mem.set_fault_injector(FaultInjector::new(fault_plan, seed));
-        let cfg = MultiClockConfig {
-            retry: RetryPolicy::backoff(),
-            ..Default::default()
-        };
-        let mut mc = MultiClock::new(cfg, mem.topology());
-        let mut live: Vec<VPage> = Vec::new();
-        let mut next_vp = 0u64;
-        let mut ticks = 0u64;
+        run_chaos(seed, fault_plan, ops, MigrationMode::Sync);
+    }
 
-        for op in ops {
-            match &op {
-                Op::Map => {
-                    // Allocation may fail by injection; the engine treats
-                    // that as a skipped fault, so the trace just moves on.
-                    if let Ok(frame) = mem.alloc_page(PageKind::Anon) {
-                        let vp = VPage::new(next_vp);
-                        next_vp += 1;
-                        mem.map(vp, frame).expect("fresh vpage maps");
-                        mc.on_page_mapped(&mut mem, frame);
-                        live.push(vp);
-                    }
-                }
-                Op::Unmap(index) => {
-                    if !live.is_empty() {
-                        let vp = live.swap_remove(index % live.len());
-                        let frame = mem.unmap(vp).expect("live page unmaps");
-                        mc.on_page_unmapped(&mut mem, frame);
-                        mem.free_page(frame).expect("unmapped page frees");
-                    }
-                }
-                Op::Access { index, write } => {
-                    if !live.is_empty() {
-                        let vp = live[index % live.len()];
-                        let kind = if *write { AccessKind::Write } else { AccessKind::Read };
-                        mem.access(vp, kind).expect("live page is accessible");
-                        let frame = mem.translate(vp).expect("live page translates");
-                        mc.on_supervised_access(&mut mem, frame, kind);
-                    }
-                }
-                Op::Tick => {
-                    ticks += 1;
-                    mc.tick(&mut mem, Nanos::from_secs(ticks));
-                }
-                Op::Pressure(t) => {
-                    mc.on_pressure(&mut mem, TierId::new(*t as u8), Nanos::from_secs(ticks));
-                }
-            }
-            let violations = mc.check_invariants(&mem);
-            prop_assert!(
-                violations.is_empty(),
-                "invariants broken after {:?}: {:?}",
-                op,
-                violations
-            );
-            prop_assert_eq!(mc.in_flight(), 0, "in-flight page leaked after {:?}", op);
-            assert_conserved(&mem, &live);
-        }
-
-        // Drain: run well past every offline window (they end by t=260 s)
-        // with the injector still rolling failures; paused promotion
-        // episodes must resolve — promoted, retried or degraded — without
-        // ever losing a page.
-        for extra in 1..=40u64 {
-            mc.tick(&mut mem, Nanos::from_secs(300 + extra));
-            prop_assert_eq!(mc.in_flight(), 0);
-        }
-        prop_assert!(mc.check_invariants(&mem).is_empty());
-        assert_conserved(&mem, &live);
-        let s = mc.stats();
-        prop_assert!(s.promote_gave_ups <= s.promote_fallbacks);
+    /// The same arbitrary fault plans with every promotion routed through
+    /// a copy window: injected failures now fire at settle time — inside
+    /// an open transaction — and must abort it into the retry/backoff
+    /// path without breaking any invariant.
+    #[test]
+    fn invariants_survive_faults_inside_the_copy_window(
+        seed in any::<u64>(),
+        fault_plan in plan(),
+        ops in prop::collection::vec(op(), 1..140),
+    ) {
+        run_chaos(seed, fault_plan, ops, MigrationMode::Transactional);
     }
 }

@@ -11,6 +11,13 @@
 //! `promote` fields (e.g. the Nimble baseline's private two-list bookkeeping)
 //! is exempt for exactly those fields — the rule governs the shared core
 //! lists, not lookalike private state.
+//!
+//! The same machinery guards the migration-transaction tables
+//! (`MemorySystem.txns` / `.shadows`): a transaction may only mutate the
+//! memory system inside the commit boundary — `crates/mem/src/system.rs`
+//! (begin/resolve/abort/shadow paths) and `crates/mem/src/txn.rs` (the
+//! table types themselves). Everything else reads via `migration_txns()`
+//! and `shadow_pages()`.
 
 use crate::source::{is_ident_byte, SourceFile};
 use crate::{Diagnostic, Workspace};
@@ -28,6 +35,14 @@ const ALLOWED: [&str; 5] = [
 
 /// The guarded field names.
 const FIELDS: [&str; 3] = ["inactive", "active", "promote"];
+
+/// Files allowed to mutate the migration-transaction tables (the commit
+/// boundary: every `txns`/`shadows` write goes through `MemorySystem`'s
+/// begin/resolve/abort/shadow methods or the table types themselves).
+const TXN_ALLOWED: [&str; 2] = ["crates/mem/src/system.rs", "crates/mem/src/txn.rs"];
+
+/// The guarded transaction-table field names.
+const TXN_FIELDS: [&str; 2] = ["txns", "shadows"];
 
 /// Methods that mutate an `IndexedList` (or any list-like container).
 const MUTATORS: [&str; 24] = [
@@ -67,17 +82,21 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
         if !file.rel.starts_with("crates/") || !file.rel.contains("/src/") {
             continue;
         }
-        if ALLOWED.contains(&file.rel.as_str()) || file.rel.starts_with("crates/clock/") {
-            continue;
+        if !(ALLOWED.contains(&file.rel.as_str()) || file.rel.starts_with("crates/clock/")) {
+            let own = declared_fields(file, &FIELDS);
+            scan_list_fields(file, &own, &mut diags);
+            scan_mut_accessors(file, &mut diags);
         }
-        let own = declared_fields(file);
-        scan_file(file, &own, &mut diags);
+        if !TXN_ALLOWED.contains(&file.rel.as_str()) {
+            let own = declared_fields(file, &TXN_FIELDS);
+            scan_txn_fields(file, &own, &mut diags);
+        }
     }
     diags
 }
 
 /// Which of the guarded field names this file declares in its own structs.
-fn declared_fields(file: &SourceFile) -> Vec<&'static str> {
+fn declared_fields(file: &SourceFile, guarded: &[&'static str]) -> Vec<&'static str> {
     let mut own = Vec::new();
     let blanked = &file.blanked;
     let bytes = blanked.as_bytes();
@@ -121,9 +140,9 @@ fn declared_fields(file: &SourceFile) -> Vec<&'static str> {
             end += 1;
         }
         let body = &blanked[open + 1..end.min(blanked.len())];
-        for field in FIELDS {
+        for field in guarded {
             if field_declared_in(body, field) {
-                own.push(field);
+                own.push(*field);
             }
         }
         from = end.max(from);
@@ -147,12 +166,44 @@ fn field_declared_in(body: &str, field: &str) -> bool {
     false
 }
 
-fn scan_file(file: &SourceFile, own: &[&str], diags: &mut Vec<Diagnostic>) {
+/// Detects a mutation of `.{field}` at `start..`: a mutating method
+/// call, an assignment, or a compound assignment. Returns a description
+/// of what the site does, or `None` for reads.
+fn mutation_verdict(blanked: &str, end: usize) -> Option<String> {
+    let rest = blanked[end..].trim_start();
+    if let Some(chain) = rest.strip_prefix('.') {
+        let chain = chain.trim_start();
+        let method: String = chain
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let calls = chain[method.len()..].trim_start().starts_with('(');
+        (calls && MUTATORS.contains(&method.as_str()))
+            .then(|| format!("calls mutating method `{method}` on"))
+    } else if rest.starts_with('=') && !rest.starts_with("==") {
+        Some("assigns to".to_string())
+    } else if rest.len() >= 2
+        && matches!(rest.as_bytes()[0], b'+' | b'-' | b'*' | b'/' | b'%')
+        && rest.as_bytes()[1] == b'='
+    {
+        Some("compound-assigns to".to_string())
+    } else {
+        None
+    }
+}
+
+/// Every `.{field}` mutation site in the file for fields not in `own`,
+/// as `(field, offset, what)`.
+fn mutation_sites(
+    file: &SourceFile,
+    guarded: &[&'static str],
+    own: &[&str],
+) -> Vec<(&'static str, usize, String)> {
     let blanked = &file.blanked;
     let bytes = blanked.as_bytes();
-
-    for field in FIELDS {
-        if own.contains(&field) {
+    let mut out = Vec::new();
+    for field in guarded {
+        if own.contains(field) {
             continue;
         }
         let needle = format!(".{field}");
@@ -167,40 +218,47 @@ fn scan_file(file: &SourceFile, own: &[&str], diags: &mut Vec<Diagnostic>) {
             if file.in_test(start) {
                 continue;
             }
-            let rest = blanked[end..].trim_start();
-            let verdict = if let Some(chain) = rest.strip_prefix('.') {
-                let chain = chain.trim_start();
-                let method: String = chain
-                    .chars()
-                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                    .collect();
-                let calls = chain[method.len()..].trim_start().starts_with('(');
-                (calls && MUTATORS.contains(&method.as_str()))
-                    .then(|| format!("calls mutating method `{method}` on"))
-            } else if rest.starts_with('=') && !rest.starts_with("==") {
-                Some("assigns to".to_string())
-            } else if rest.len() >= 2
-                && matches!(rest.as_bytes()[0], b'+' | b'-' | b'*' | b'/' | b'%')
-                && rest.as_bytes()[1] == b'='
-            {
-                Some("compound-assigns to".to_string())
-            } else {
-                None
-            };
-            if let Some(what) = verdict {
-                diags.push(Diagnostic {
-                    file: file.rel.clone(),
-                    line: file.line_of(start),
-                    lint: LINT,
-                    message: format!(
-                        "{what} list field `{field}` outside the core list machinery; \
-                         go through the MultiClock API (allowed files: executor.rs, \
-                         lists.rs, multi_clock.rs, reclaim.rs, scan.rs, crates/clock)"
-                    ),
-                });
+            if let Some(what) = mutation_verdict(blanked, end) {
+                out.push((*field, start, what));
             }
         }
     }
+    out
+}
+
+fn scan_list_fields(file: &SourceFile, own: &[&str], diags: &mut Vec<Diagnostic>) {
+    for (field, start, what) in mutation_sites(file, &FIELDS, own) {
+        diags.push(Diagnostic {
+            file: file.rel.clone(),
+            line: file.line_of(start),
+            lint: LINT,
+            message: format!(
+                "{what} list field `{field}` outside the core list machinery; \
+                 go through the MultiClock API (allowed files: executor.rs, \
+                 lists.rs, multi_clock.rs, reclaim.rs, scan.rs, crates/clock)"
+            ),
+        });
+    }
+}
+
+fn scan_txn_fields(file: &SourceFile, own: &[&str], diags: &mut Vec<Diagnostic>) {
+    for (field, start, what) in mutation_sites(file, &TXN_FIELDS, own) {
+        diags.push(Diagnostic {
+            file: file.rel.clone(),
+            line: file.line_of(start),
+            lint: LINT,
+            message: format!(
+                "{what} migration-transaction table `{field}` outside the commit \
+                 boundary; only crates/mem/src/system.rs and crates/mem/src/txn.rs \
+                 may mutate `MemorySystem` transaction state — go through \
+                 begin_migration/resolve_migrations/try_shadow_demote"
+            ),
+        });
+    }
+}
+
+fn scan_mut_accessors(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let blanked = &file.blanked;
 
     for accessor in MUT_ACCESSORS {
         let needle = format!(".{accessor}(");

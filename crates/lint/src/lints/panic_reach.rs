@@ -37,8 +37,12 @@ use std::collections::BTreeSet;
 
 const LINT: &str = "panic-reach";
 
-/// Engine entry points: `(crate dir, impl type, method name)`.
-const ROOTS: [(&str, Option<&str>, &str); 11] = [
+/// Engine entry points: `(crate dir, impl type, method name)`. The three
+/// `MemorySystem` migration-transaction entries root the commit/abort
+/// paths: `resolve_migrations` runs at the start of every transactional
+/// tick and must never panic mid-settle (a half-settled batch would leak
+/// reservations), and the begin/shadow entries open and flip mappings.
+const ROOTS: [(&str, Option<&str>, &str); 14] = [
     ("sim", Some("Simulation"), "mmap"),
     ("sim", Some("Simulation"), "read"),
     ("sim", Some("Simulation"), "write"),
@@ -50,6 +54,9 @@ const ROOTS: [(&str, Option<&str>, &str); 11] = [
     ("sim", Some("Simulation"), "finish"),
     ("core", None, "run_scan_jobs"),
     ("core", Some("ShardScanner"), "run"),
+    ("mem", Some("MemorySystem"), "begin_migration"),
+    ("mem", Some("MemorySystem"), "resolve_migrations"),
+    ("mem", Some("MemorySystem"), "try_shadow_demote"),
 ];
 
 /// Runs the panic-reachability lint standalone (used by tests).

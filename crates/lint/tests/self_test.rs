@@ -175,6 +175,60 @@ fn boundary_flags_mut_accessors_and_assignment() {
 }
 
 #[test]
+fn boundary_flags_txn_table_mutation_outside_the_commit_boundary() {
+    // A "transaction" that reaches into `MemorySystem` and mutates the
+    // txn/shadow tables directly, bypassing the commit boundary
+    // (begin_migration/resolve_migrations/try_shadow_demote).
+    let ws = ws_with(&[(
+        "crates/core/src/rogue_txn.rs",
+        "fn commit_early(mem: &mut MemorySystem, txn: MigrationTxn) {\n    mem.txns.push(txn);\n    mem.shadows.remove(txn.frame);\n}\n",
+    )]);
+    let diags = lints::boundary::check(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 2 && d.message.contains("`txns`")),
+        "a direct txn-table push must be reported: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 3 && d.message.contains("`shadows`")),
+        "a direct shadow-table removal must be reported: {diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.message.contains("commit boundary")),
+        "the diagnostic names the commit boundary: {diags:?}"
+    );
+}
+
+#[test]
+fn boundary_exempts_commit_boundary_and_txn_reads() {
+    let mutation = "fn f(mem: &mut MemorySystem) {\n    mem.txns.push(txn);\n    mem.shadows.insert(live, copy);\n}\n";
+    let ws = ws_with(&[
+        // Inside the commit boundary: both mem files may mutate freely.
+        ("crates/mem/src/system.rs", mutation),
+        ("crates/mem/src/txn.rs", mutation),
+        // Reads are fine anywhere.
+        (
+            "crates/core/src/reads.rs",
+            "fn g(mem: &MemorySystem) -> usize {\n    mem.txns.len() + mem.shadows.len()\n}\n",
+        ),
+        // A file declaring its *own* `txns`/`shadows` fields is exempt
+        // for them (lookalike private state, not the guarded tables).
+        (
+            "crates/policies/src/own_txn.rs",
+            "struct Ledger {\n    txns: Vec<u32>,\n    shadows: Vec<u32>,\n}\nfn h(l: &mut Ledger) {\n    l.txns.push(1);\n    l.shadows.clear();\n}\n",
+        ),
+    ]);
+    let diags = lints::boundary::check(&ws);
+    assert!(
+        diags.is_empty(),
+        "commit boundary, reads and own fields are fine: {diags:?}"
+    );
+}
+
+#[test]
 fn boundary_exempts_own_fields_and_reads() {
     let ws = ws_with(&[
         (
@@ -352,6 +406,31 @@ fn panic_reach_follows_calls_from_engine_roots() {
     assert!(
         !diags.iter().any(|d| d.line == 11),
         "an unreachable unwrap is out of scope for this pass: {diags:?}"
+    );
+}
+
+#[test]
+fn panic_reach_roots_cover_the_txn_commit_and_abort_paths() {
+    // The migration-transaction entry points are lint roots of their own:
+    // a panic source reachable from `MemorySystem::resolve_migrations`
+    // (the commit/abort path) must be reported even if no engine loop in
+    // the synthetic workspace calls it. (`crates/mem` is one of lint 4's
+    // lexical scopes, so this pass only covers the `unreachable!` family
+    // there — which is exactly what a half-settled batch would hide
+    // behind.)
+    let ws = ws_with(&[(
+        "crates/mem/src/system.rs",
+        "pub struct MemorySystem;\nimpl MemorySystem {\n    pub fn resolve_migrations(&mut self, keep: bool) -> u32 {\n        settle(keep)\n    }\n}\nfn settle(keep: bool) -> u32 {\n    if keep {\n        unreachable!(\"doomed txn cannot commit\")\n    }\n    0\n}\n",
+    )]);
+    let diags = lints::panic_reach::check(&ws);
+    let hit = diags
+        .iter()
+        .find(|d| d.file == "crates/mem/src/system.rs" && d.line == 9)
+        .expect("an unreachable! on the settle path must be reported");
+    assert!(
+        hit.message.contains("resolve_migrations"),
+        "the txn root is named: {}",
+        hit.message
     );
 }
 

@@ -113,6 +113,12 @@ pub struct LatencyModel {
     /// Cost to swap a page in/out from backing storage (lowest-tier
     /// eviction path; a fast NVMe device).
     pub swap_page: Nanos,
+    /// Application-visible cost of the atomic remap that commits a
+    /// transactional migration (one PTE swing + TLB shootdown, no copy and
+    /// no minor fault — the page stays mapped throughout the copy window).
+    /// Much cheaper than `migration_app_stall`, which is the whole point
+    /// of the Nomad-style path.
+    pub txn_remap: Nanos,
 }
 
 impl LatencyModel {
@@ -125,6 +131,7 @@ impl LatencyModel {
             hint_fault: Nanos::from_nanos(1_500),
             scan_per_page: Nanos::from_nanos(60),
             swap_page: Nanos::from_micros(10),
+            txn_remap: Nanos::from_nanos(300),
         }
     }
 
@@ -291,6 +298,16 @@ mod tests {
             .map(|i| m.access(TierId::new(i), AccessKind::Read).as_nanos())
             .collect();
         assert!(r[0] < r[1] && r[1] < r[2]);
+    }
+
+    #[test]
+    fn txn_remap_is_far_below_sync_migration_stall() {
+        // The transactional path's commit cost must undercut the sync
+        // path's per-batch stall by a wide margin, or the Nomad mode has
+        // no stall win to measure.
+        let m = LatencyModel::dram_pm();
+        assert!(m.txn_remap.as_nanos() * 4 <= m.migration_app_stall.as_nanos());
+        assert!(m.txn_remap.as_nanos() > 0);
     }
 
     #[test]

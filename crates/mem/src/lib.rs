@@ -50,6 +50,7 @@ pub mod system;
 pub mod tier;
 pub mod time;
 pub mod topology;
+pub mod txn;
 pub mod watermark;
 
 pub use access::{Memory, SimpleMemory};
@@ -65,4 +66,5 @@ pub use system::{AccessOutcome, MemConfig, MemorySystem};
 pub use tier::{Tier, TierKind};
 pub use time::{Nanos, VirtualClock};
 pub use topology::{NodeDesc, Topology, TopologyBuilder};
+pub use txn::{MigrationMode, MigrationTxn, ShadowPages};
 pub use watermark::Watermarks;

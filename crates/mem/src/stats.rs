@@ -34,6 +34,19 @@ pub struct MemStats {
     /// `migration_failures` plus injected allocation failures); always `0`
     /// when no injector is installed.
     pub injected_faults: u64,
+    /// Migration transactions opened (`Transactional` mode only).
+    pub txn_begins: u64,
+    /// Migration transactions aborted (dirty write during the copy window,
+    /// an injected fault at commit, or the source disappearing).
+    pub txn_aborts: u64,
+    /// Migration transactions committed via atomic remap.
+    pub txn_commits: u64,
+    /// Demotions satisfied by flipping the mapping to a retained shadow
+    /// copy instead of copying the page down.
+    pub shadow_hits: u64,
+    /// Shadow copies discarded before they could be used (dirty write,
+    /// migration/eviction of the live page, or allocation pressure).
+    pub shadow_invalidations: u64,
     /// Accesses served per tier (index = tier id).
     pub tier_accesses: Vec<u64>,
 }

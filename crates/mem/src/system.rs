@@ -11,6 +11,7 @@ use crate::stats::{CostLedger, MemEvent, MemStats};
 use crate::tier::TierKind;
 use crate::time::Nanos;
 use crate::topology::{Topology, TopologyBuilder};
+use crate::txn::{MigrationTxn, ShadowPages};
 use crate::watermark::Watermarks;
 use mc_fault::{FaultInjector, InjectedFault};
 use mc_obs::{saturating_bump, EventKind, Recorder};
@@ -110,6 +111,13 @@ pub struct MemorySystem {
     /// Optional fault injector. `None` (the default) leaves every path
     /// byte-identical to an engine without the fault layer.
     fault: Option<FaultInjector>,
+    /// In-flight transactional migrations, in begin order. Empty under
+    /// `MigrationMode::Sync`, which keeps every sync path bit-identical
+    /// to an engine without the transactional layer.
+    txns: Vec<MigrationTxn>,
+    /// Retained lower-tier copies left behind by clean transactional
+    /// promotions (Nomad-style non-exclusive placement).
+    shadows: ShadowPages,
 }
 
 impl MemorySystem {
@@ -150,6 +158,8 @@ impl MemorySystem {
             events: Vec::new(),
             recorder: Recorder::disabled(),
             fault: None,
+            txns: Vec::new(),
+            shadows: ShadowPages::new(),
         }
     }
 
@@ -333,29 +343,44 @@ impl MemorySystem {
                 return Err(MemError::TierFull(tier));
             }
         }
-        let node = self
-            .topology
-            .tier(tier)
-            .nodes()
-            .iter()
-            .copied()
-            .filter(|n| {
-                let st = &self.nodes[n.index()];
-                st.watermarks.can_allocate(st.free.len())
-            })
-            .max_by_key(|n| self.nodes[n.index()].free.len());
-        let node = node.ok_or(MemError::TierFull(tier))?;
-        let frame = self.nodes[node.index()]
-            .free
-            .pop()
-            .ok_or(MemError::TierFull(tier))?;
-        self.frames[frame.index()].mark_allocated(kind);
-        saturating_bump(&mut self.stats.allocs);
-        self.recorder.emit(|| EventKind::Alloc {
-            frame: frame.index() as u64,
-            tier: tier.index() as u8,
-        });
-        Ok(frame)
+        loop {
+            let node = self
+                .topology
+                .tier(tier)
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|n| {
+                    let st = &self.nodes[n.index()];
+                    st.watermarks.can_allocate(st.free.len())
+                })
+                .max_by_key(|n| self.nodes[n.index()].free.len());
+            if let Some(frame) = node.and_then(|n| self.nodes[n.index()].free.pop()) {
+                self.frames[frame.index()].mark_allocated(kind);
+                saturating_bump(&mut self.stats.allocs);
+                self.recorder.emit(|| EventKind::Alloc {
+                    frame: frame.index() as u64,
+                    tier: tier.index() as u8,
+                });
+                return Ok(frame);
+            }
+            // Out of headroom: shadow copies are opportunistic capacity, so
+            // release the oldest one held in this tier and retry rather than
+            // let non-exclusive placement cause an allocation failure. The
+            // table is empty under `MigrationMode::Sync`, so the sync path
+            // fails exactly as before.
+            let frames = &self.frames;
+            match self
+                .shadows
+                .pop_oldest_in_tier(tier, |f| frames[f.index()].tier())
+            {
+                Some((_, copy)) => {
+                    self.release_retained_frame(copy);
+                    saturating_bump(&mut self.stats.shadow_invalidations);
+                }
+                None => return Err(MemError::TierFull(tier)),
+            }
+        }
     }
 
     /// Frees a frame, unmapping it first if needed.
@@ -367,6 +392,9 @@ impl MemorySystem {
         if self.frames[frame.index()].state() != FrameState::Allocated {
             return Err(MemError::FrameNotAllocated(frame));
         }
+        self.abort_txn_of(frame, "unmapped");
+        self.invalidate_shadow_of(frame);
+        self.forget_shadow_copy(frame);
         if let Some(vpage) = self.frames[frame.index()].vpage() {
             self.page_table.unmap(vpage);
         }
@@ -406,6 +434,11 @@ impl MemorySystem {
             .unmap(vpage)
             .ok_or(MemError::NotMapped(vpage))?;
         self.frames[e.frame.index()].set_vpage(None);
+        // Losing the mapping cancels any in-flight copy of this frame and
+        // strands a retained shadow of it; both are cleaned up eagerly so
+        // `resolve_migrations` only ever sees live sources.
+        self.abort_txn_of(e.frame, "unmapped");
+        self.invalidate_shadow_of(e.frame);
         Ok(e.frame)
     }
 
@@ -438,6 +471,11 @@ impl MemorySystem {
                 .flags_mut()
                 .insert(PageFlags::DIRTY);
             saturating_bump(&mut self.stats.writes);
+            // A write during a copy window makes the in-flight copy stale
+            // (the txn aborts at resolve time), and a write after a clean
+            // promotion invalidates the retained shadow copy.
+            self.doom_txn_of(frame);
+            self.invalidate_shadow_of(frame);
         } else {
             saturating_bump(&mut self.stats.reads);
         }
@@ -695,6 +733,11 @@ impl MemorySystem {
             self.ledger.charge_background(cost.background);
         }
 
+        // A synchronous move supersedes any in-flight copy of this frame
+        // and stales any shadow keyed by it.
+        self.abort_txn_of(frame, "unmapped");
+        self.invalidate_shadow_of(frame);
+
         // Move metadata and mapping.
         *self.frames[new_frame.index()].flags_mut() = flags;
         if let Some(v) = vpage {
@@ -752,6 +795,9 @@ impl MemorySystem {
         let dirty = f.flags().contains(PageFlags::DIRTY);
         let anon = f.kind() == PageKind::Anon;
         let vpage = f.vpage();
+        self.abort_txn_of(frame, "unmapped");
+        self.invalidate_shadow_of(frame);
+        self.forget_shadow_copy(frame);
         if dirty || anon {
             let t = self.latency.swap_page;
             self.ledger.charge_background(t);
@@ -786,6 +832,346 @@ impl MemorySystem {
             self.recorder
                 .emit(|| EventKind::SwapIn { vpage: vpage.raw() });
         }
+    }
+
+    /// In-flight migration transactions, in begin order.
+    pub fn migration_txns(&self) -> &[MigrationTxn] {
+        &self.txns
+    }
+
+    /// The shadow-page table (retained lower-tier copies).
+    pub fn shadow_pages(&self) -> &ShadowPages {
+        &self.shadows
+    }
+
+    /// Opens a transactional migration of `frame` towards `dst_tier`: the
+    /// destination frame is reserved, the page copy is charged as pure
+    /// background work (the page stays mapped, so the application is never
+    /// stalled), and the transaction resolves — commit or abort — at the
+    /// next [`Self::resolve_migrations`] call. A write to the page before
+    /// then dooms the transaction (the copy is stale).
+    ///
+    /// Unlike [`Self::migrate_batch`], each page is its own transaction:
+    /// an injected fault and an organic failure are treated uniformly
+    /// (that page's transaction fails, nothing else is aborted), which is
+    /// what the sync batch path cannot offer.
+    ///
+    /// # Errors
+    ///
+    /// The same preconditions as [`Self::migrate`], plus
+    /// [`MemError::FrameLocked`] when the frame already has an in-flight
+    /// transaction (reason `"txn-pending"`).
+    pub fn begin_migration(&mut self, frame: FrameId, dst_tier: TierId) -> Result<(), MemError> {
+        let src = &self.frames[frame.index()];
+        if src.state() != FrameState::Allocated {
+            return Err(MemError::FrameNotAllocated(frame));
+        }
+        let src_tier = src.tier();
+        if src.flags().contains(PageFlags::LOCKED) {
+            saturating_bump(&mut self.stats.migration_failures);
+            self.recorder.emit(|| EventKind::MigrateFail {
+                frame: frame.index() as u64,
+                src: src_tier.index() as u8,
+                reason: "locked",
+            });
+            return Err(MemError::FrameLocked(frame));
+        }
+        if src.flags().contains(PageFlags::UNEVICTABLE) {
+            saturating_bump(&mut self.stats.migration_failures);
+            self.recorder.emit(|| EventKind::MigrateFail {
+                frame: frame.index() as u64,
+                src: src_tier.index() as u8,
+                reason: "unevictable",
+            });
+            return Err(MemError::FrameUnevictable(frame));
+        }
+        if src_tier == dst_tier {
+            return Err(MemError::SameTier(frame, dst_tier));
+        }
+        if self.txns.iter().any(|t| t.frame == frame) {
+            saturating_bump(&mut self.stats.migration_failures);
+            self.recorder.emit(|| EventKind::MigrateFail {
+                frame: frame.index() as u64,
+                src: src_tier.index() as u8,
+                reason: "txn-pending",
+            });
+            return Err(MemError::FrameLocked(frame));
+        }
+        if let Some(fault) = self.fault.as_mut() {
+            if let Some(injected) = fault.on_migrate(dst_tier.index() as u8) {
+                saturating_bump(&mut self.stats.migration_failures);
+                saturating_bump(&mut self.stats.injected_faults);
+                self.recorder.emit(|| EventKind::MigrateFail {
+                    frame: frame.index() as u64,
+                    src: src_tier.index() as u8,
+                    reason: injected.reason(),
+                });
+                let e = match injected {
+                    InjectedFault::FrameLocked => MemError::FrameLocked(frame),
+                    InjectedFault::TierFull | InjectedFault::TierOffline => {
+                        MemError::TierFull(dst_tier)
+                    }
+                };
+                return Err(e);
+            }
+        }
+        // The page is about to move again, so a shadow keyed by this frame
+        // is stale no matter how the transaction ends.
+        self.invalidate_shadow_of(frame);
+        let kind = self.frames[frame.index()].kind();
+        let dst_frame = match self.alloc_page_in_tier(kind, dst_tier) {
+            Ok(f) => f,
+            Err(e) => {
+                saturating_bump(&mut self.stats.migration_failures);
+                self.recorder.emit(|| EventKind::MigrateFail {
+                    frame: frame.index() as u64,
+                    src: src_tier.index() as u8,
+                    reason: "tier-full",
+                });
+                return Err(e);
+            }
+        };
+        // The copy streams in the background while the application keeps
+        // accessing the source: no app stall at begin time. The cheap
+        // atomic remap is charged at commit.
+        let cost = self.latency.migration(src_tier, dst_tier);
+        self.ledger.charge_background(cost.background);
+        self.txns.push(MigrationTxn {
+            frame,
+            dst_frame,
+            dst_tier,
+            doomed: false,
+        });
+        saturating_bump(&mut self.stats.txn_begins);
+        self.recorder.emit(|| EventKind::TxnBegin {
+            frame: frame.index() as u64,
+            src: src_tier.index() as u8,
+            dst: dst_tier.index() as u8,
+        });
+        Ok(())
+    }
+
+    /// Resolves every in-flight transaction, in begin order: doomed ones
+    /// (written during the copy window) abort with a retryable error,
+    /// commit-time injected faults abort with the injected error, and the
+    /// rest commit via an atomic remap. With `keep_shadows`, a committed
+    /// *promotion* leaves its source frame behind as a shadow copy for a
+    /// later zero-copy demotion — the window closed clean, so the copy is
+    /// current and the promoted page's dirty bit resets against it.
+    /// Otherwise (and for demotions) the source frame is freed.
+    ///
+    /// One [`LatencyModel::txn_remap`] app stall is charged if at least
+    /// one transaction committed (the remaps batch into one shootdown).
+    ///
+    /// Returns `(source_frame, result)` per transaction, in begin order;
+    /// the `Ok` value is the frame the page now occupies.
+    pub fn resolve_migrations(
+        &mut self,
+        keep_shadows: bool,
+    ) -> Vec<(FrameId, Result<FrameId, MemError>)> {
+        let txns = std::mem::take(&mut self.txns);
+        let mut out = Vec::with_capacity(txns.len());
+        let mut committed = 0u32;
+        for txn in txns {
+            if txn.doomed {
+                self.release_retained_frame(txn.dst_frame);
+                saturating_bump(&mut self.stats.txn_aborts);
+                saturating_bump(&mut self.stats.migration_failures);
+                self.recorder.emit(|| EventKind::TxnAbort {
+                    frame: txn.frame.index() as u64,
+                    reason: "dirty-write",
+                });
+                out.push((txn.frame, Err(MemError::FrameLocked(txn.frame))));
+                continue;
+            }
+            // The copy window is where real migrations fail: injected
+            // faults fire at resolve time too, aborting only this txn.
+            let injected = self
+                .fault
+                .as_mut()
+                .and_then(|f| f.on_migrate(txn.dst_tier.index() as u8));
+            if let Some(injected) = injected {
+                self.release_retained_frame(txn.dst_frame);
+                saturating_bump(&mut self.stats.txn_aborts);
+                saturating_bump(&mut self.stats.migration_failures);
+                saturating_bump(&mut self.stats.injected_faults);
+                self.recorder.emit(|| EventKind::TxnAbort {
+                    frame: txn.frame.index() as u64,
+                    reason: injected.reason(),
+                });
+                let e = match injected {
+                    InjectedFault::FrameLocked => MemError::FrameLocked(txn.frame),
+                    InjectedFault::TierFull | InjectedFault::TierOffline => {
+                        MemError::TierFull(txn.dst_tier)
+                    }
+                };
+                out.push((txn.frame, Err(e)));
+                continue;
+            }
+            // Commit: atomic remap. Eager aborts on unmap/free/evict
+            // guarantee the source is still a live mapped frame here.
+            let src_tier = self.frames[txn.frame.index()].tier();
+            let flags = self.frames[txn.frame.index()].flags();
+            let vpage = self.frames[txn.frame.index()].vpage();
+            *self.frames[txn.dst_frame.index()].flags_mut() = flags;
+            if let Some(v) = vpage {
+                self.page_table.remap(v, txn.dst_frame);
+                self.frames[txn.dst_frame.index()].set_vpage(Some(v));
+                self.frames[txn.frame.index()].set_vpage(None);
+            }
+            let promotion = txn.dst_tier < src_tier;
+            if promotion && keep_shadows {
+                // Non-exclusive placement: the copy window closed clean
+                // (a dirty write would have doomed the txn), so the
+                // lower-tier source is byte-identical to the promoted
+                // page whatever its historical dirty bit says — it
+                // becomes the page's backing copy, and the promoted
+                // frame starts clean *relative to it*. The next write
+                // re-dirties the page and invalidates the shadow.
+                self.frames[txn.dst_frame.index()]
+                    .flags_mut()
+                    .remove(PageFlags::DIRTY);
+                *self.frames[txn.frame.index()].flags_mut() = PageFlags::EMPTY;
+                if let Some(old) = self.shadows.insert(txn.dst_frame, txn.frame) {
+                    self.release_retained_frame(old);
+                    saturating_bump(&mut self.stats.shadow_invalidations);
+                }
+            } else {
+                self.release_retained_frame(txn.frame);
+            }
+            if promotion {
+                saturating_bump(&mut self.stats.promotions);
+            } else {
+                saturating_bump(&mut self.stats.demotions);
+            }
+            self.events.push(MemEvent::Migrated {
+                new_frame: txn.dst_frame,
+                old_frame: txn.frame,
+                vpage,
+                src: src_tier,
+                dst: txn.dst_tier,
+            });
+            saturating_bump(&mut self.stats.txn_commits);
+            self.recorder.emit(|| EventKind::TxnCommit {
+                frame: txn.frame.index() as u64,
+                new_frame: txn.dst_frame.index() as u64,
+            });
+            committed += 1;
+            out.push((txn.frame, Ok(txn.dst_frame)));
+        }
+        if committed > 0 {
+            self.ledger.charge_app_stall(self.latency.txn_remap);
+        }
+        out
+    }
+
+    /// Attempts a zero-copy demotion of `frame` into `dst_tier` by
+    /// flipping its mapping to a retained shadow copy. Succeeds only when
+    /// a shadow exists in exactly that tier and the page is still clean
+    /// and movable; costs one [`LatencyModel::txn_remap`] app stall and no
+    /// copy at all. Returns the frame the page now occupies.
+    pub fn try_shadow_demote(&mut self, frame: FrameId, dst_tier: TierId) -> Option<FrameId> {
+        let copy = self.shadows.get(frame)?;
+        if self.frames[copy.index()].tier() != dst_tier {
+            return None;
+        }
+        let f = &self.frames[frame.index()];
+        if f.state() != FrameState::Allocated || f.vpage().is_none() {
+            return None;
+        }
+        if f.flags()
+            .intersects(PageFlags::LOCKED | PageFlags::UNEVICTABLE)
+        {
+            return None;
+        }
+        if f.flags().contains(PageFlags::DIRTY) {
+            // Writes invalidate eagerly, but flags can also be set
+            // directly; treat a dirty page's shadow as stale either way.
+            self.invalidate_shadow_of(frame);
+            return None;
+        }
+        let src_tier = f.tier();
+        let flags = f.flags();
+        let vpage = f.vpage();
+        self.shadows.remove(frame);
+        *self.frames[copy.index()].flags_mut() = flags;
+        if let Some(v) = vpage {
+            self.page_table.remap(v, copy);
+            self.frames[copy.index()].set_vpage(Some(v));
+            self.frames[frame.index()].set_vpage(None);
+        }
+        self.release_retained_frame(frame);
+        saturating_bump(&mut self.stats.demotions);
+        saturating_bump(&mut self.stats.shadow_hits);
+        self.events.push(MemEvent::Migrated {
+            new_frame: copy,
+            old_frame: frame,
+            vpage,
+            src: src_tier,
+            dst: dst_tier,
+        });
+        self.recorder.emit(|| EventKind::ShadowDemote {
+            frame: frame.index() as u64,
+            new_frame: copy.index() as u64,
+        });
+        self.ledger.charge_app_stall(self.latency.txn_remap);
+        Some(copy)
+    }
+
+    /// Marks the in-flight transaction of `frame` (if any) as doomed: the
+    /// background copy no longer matches the source.
+    fn doom_txn_of(&mut self, frame: FrameId) {
+        if let Some(t) = self.txns.iter_mut().find(|t| t.frame == frame) {
+            t.doomed = true;
+        }
+    }
+
+    /// Aborts the in-flight transaction of `frame` (if any) immediately:
+    /// releases the reserved destination frame and emits the abort. Used
+    /// when the source stops being a live mapped page mid-window.
+    fn abort_txn_of(&mut self, frame: FrameId, reason: &'static str) {
+        if let Some(pos) = self.txns.iter().position(|t| t.frame == frame) {
+            let txn = self.txns.remove(pos);
+            self.release_retained_frame(txn.dst_frame);
+            saturating_bump(&mut self.stats.txn_aborts);
+            self.recorder.emit(|| EventKind::TxnAbort {
+                frame: txn.frame.index() as u64,
+                reason,
+            });
+        }
+    }
+
+    /// Drops the shadow entry keyed by `frame` (if any) and frees the
+    /// retained copy.
+    fn invalidate_shadow_of(&mut self, frame: FrameId) {
+        if let Some(copy) = self.shadows.remove(frame) {
+            self.release_retained_frame(copy);
+            saturating_bump(&mut self.stats.shadow_invalidations);
+        }
+    }
+
+    /// Drops any shadow entry whose retained *copy* is `frame`, without
+    /// freeing it — the caller is already disposing of the frame itself.
+    fn forget_shadow_copy(&mut self, frame: FrameId) {
+        let keys: Vec<FrameId> = self
+            .shadows
+            .iter()
+            .filter(|&(_, copy)| copy == frame)
+            .map(|(k, _)| k)
+            .collect();
+        for k in keys {
+            self.shadows.remove(k);
+            saturating_bump(&mut self.stats.shadow_invalidations);
+        }
+    }
+
+    /// Returns an allocated-but-unmapped bookkeeping frame (a reserved txn
+    /// destination or a shadow copy) to its node's free list.
+    fn release_retained_frame(&mut self, frame: FrameId) {
+        let node = self.frames[frame.index()].node();
+        self.frames[frame.index()].mark_free();
+        self.nodes[node.index()].free.push(frame);
+        saturating_bump(&mut self.stats.frees);
     }
 }
 
@@ -1290,5 +1676,205 @@ mod tests {
             *mem.fault_injector().unwrap().stats(),
             mc_fault::FaultStats::default()
         );
+    }
+
+    /// Allocates a clean PM page, maps it, and opens a promotion txn.
+    fn begin_promotion(mem: &mut MemorySystem, vp: u64) -> FrameId {
+        let f = mem
+            .alloc_page_in_tier(PageKind::Anon, TierId::new(1))
+            .unwrap();
+        mem.map(VPage::new(vp), f).unwrap();
+        mem.begin_migration(f, TierId::TOP).unwrap();
+        f
+    }
+
+    #[test]
+    fn txn_commit_promotes_leaves_shadow_and_never_stalls_the_copy() {
+        let mut mem = small();
+        mem.ledger_mut().take();
+        let f = begin_promotion(&mut mem, 1);
+        assert_eq!(mem.migration_txns().len(), 1);
+        // The copy window charges only background time: no app stall.
+        let l = mem.ledger_mut().take();
+        assert_eq!(l.app_stall, Nanos::ZERO);
+        assert_eq!(
+            l.background,
+            mem.latency()
+                .migration(TierId::new(1), TierId::TOP)
+                .background
+        );
+        // Reads during the window do not doom the txn.
+        mem.access(VPage::new(1), AccessKind::Read).unwrap();
+        let resolved = mem.resolve_migrations(true);
+        assert_eq!(resolved.len(), 1);
+        let (src, result) = (resolved[0].0, resolved[0].1.clone());
+        assert_eq!(src, f);
+        let nf = result.unwrap();
+        assert_eq!(mem.frame(nf).tier(), TierId::TOP);
+        assert_eq!(mem.translate(VPage::new(1)), Some(nf));
+        // The clean source survives as a shadow copy: allocated, unmapped.
+        assert_eq!(mem.shadow_pages().get(nf), Some(f));
+        assert_eq!(mem.frame(f).state(), FrameState::Allocated);
+        assert_eq!(mem.frame(f).vpage(), None);
+        assert_eq!(mem.stats().txn_begins, 1);
+        assert_eq!(mem.stats().txn_commits, 1);
+        assert_eq!(mem.stats().txn_aborts, 0);
+        assert_eq!(mem.stats().promotions, 1);
+        // The commit is one cheap remap, far below the sync stall.
+        let l = mem.ledger_mut().take();
+        assert_eq!(l.app_stall, mem.latency().txn_remap);
+        assert_eq!(l.background, Nanos::ZERO);
+        assert!(mem.drain_events()[0].is_promotion());
+    }
+
+    #[test]
+    fn dirty_write_during_copy_window_aborts_with_retryable_error() {
+        let mut mem = small();
+        let f = begin_promotion(&mut mem, 2);
+        let top_free = mem.tier_free(TierId::TOP);
+        mem.access(VPage::new(2), AccessKind::Write).unwrap();
+        assert!(mem.migration_txns()[0].doomed);
+        let resolved = mem.resolve_migrations(true);
+        assert_eq!(resolved[0], (f, Err(MemError::FrameLocked(f))));
+        // The page stayed put, still mapped; the reserved frame came back.
+        assert_eq!(mem.translate(VPage::new(2)), Some(f));
+        assert_eq!(mem.frame(f).tier(), TierId::new(1));
+        assert_eq!(mem.tier_free(TierId::TOP), top_free + 1);
+        assert_eq!(mem.stats().txn_aborts, 1);
+        assert_eq!(mem.stats().txn_commits, 0);
+        assert_eq!(mem.stats().promotions, 0);
+        assert!(mem.shadow_pages().is_empty());
+    }
+
+    #[test]
+    fn resolve_without_shadows_frees_the_source() {
+        let mut mem = small();
+        let f = begin_promotion(&mut mem, 3);
+        let resolved = mem.resolve_migrations(false);
+        assert!(resolved[0].1.is_ok());
+        assert_eq!(mem.frame(f).state(), FrameState::Free);
+        assert!(mem.shadow_pages().is_empty());
+    }
+
+    #[test]
+    fn shadow_demote_is_a_zero_copy_mapping_flip() {
+        let mut mem = small();
+        let f = begin_promotion(&mut mem, 4);
+        let nf = mem.resolve_migrations(true)[0].1.clone().unwrap();
+        mem.ledger_mut().take();
+        mem.drain_events();
+        let back = mem.try_shadow_demote(nf, TierId::new(1)).unwrap();
+        assert_eq!(back, f, "the flip reuses the retained source frame");
+        assert_eq!(mem.translate(VPage::new(4)), Some(f));
+        assert_eq!(mem.frame(nf).state(), FrameState::Free);
+        assert!(mem.shadow_pages().is_empty());
+        assert_eq!(mem.stats().shadow_hits, 1);
+        assert_eq!(mem.stats().demotions, 1);
+        // Zero-copy: one remap stall, no background copy at all.
+        let l = mem.ledger_mut().take();
+        assert_eq!(l.app_stall, mem.latency().txn_remap);
+        assert_eq!(l.background, Nanos::ZERO);
+        assert!(mem.drain_events()[0].is_demotion());
+    }
+
+    #[test]
+    fn first_dirty_write_invalidates_the_shadow() {
+        let mut mem = small();
+        begin_promotion(&mut mem, 5);
+        let nf = mem.resolve_migrations(true)[0].1.clone().unwrap();
+        let pm_free = mem.tier_free(TierId::new(1));
+        mem.access(VPage::new(5), AccessKind::Write).unwrap();
+        assert!(mem.shadow_pages().is_empty());
+        assert_eq!(mem.stats().shadow_invalidations, 1);
+        assert_eq!(mem.tier_free(TierId::new(1)), pm_free + 1);
+        assert_eq!(mem.try_shadow_demote(nf, TierId::new(1)), None);
+    }
+
+    #[test]
+    fn begin_on_pending_txn_is_rejected() {
+        let mut mem = small();
+        let f = begin_promotion(&mut mem, 6);
+        assert_eq!(
+            mem.begin_migration(f, TierId::TOP),
+            Err(MemError::FrameLocked(f))
+        );
+        assert_eq!(mem.migration_txns().len(), 1, "still exactly one txn");
+        assert_eq!(mem.stats().txn_begins, 1);
+    }
+
+    #[test]
+    fn unmap_mid_window_aborts_and_returns_the_reservation() {
+        let mut mem = small();
+        let f = begin_promotion(&mut mem, 7);
+        let top_free = mem.tier_free(TierId::TOP);
+        mem.unmap(VPage::new(7)).unwrap();
+        assert!(mem.migration_txns().is_empty());
+        assert_eq!(mem.stats().txn_aborts, 1);
+        assert_eq!(mem.tier_free(TierId::TOP), top_free + 1);
+        assert!(mem.resolve_migrations(true).is_empty());
+        mem.free_page(f).unwrap();
+    }
+
+    #[test]
+    fn alloc_pressure_releases_shadow_capacity() {
+        let mut mem = MemorySystem::new(MemConfig::two_tier(64, 64));
+        let pm = TierId::new(1);
+        // One clean promotion retains a PM shadow frame.
+        begin_promotion(&mut mem, 8);
+        mem.resolve_migrations(true)[0].1.clone().unwrap();
+        assert_eq!(mem.shadow_pages().len(), 1);
+        // Fill PM: the shadow frame must be surrendered before the tier
+        // reports full, so shadows never cost real capacity.
+        let mut got = 0;
+        while mem.alloc_page_in_tier(PageKind::Anon, pm).is_ok() {
+            got += 1;
+        }
+        let wm = mem.node_watermarks(NodeId::new(1));
+        assert_eq!(got, 64 - wm.min, "every non-reserve PM page allocatable");
+        assert!(mem.shadow_pages().is_empty());
+        assert_eq!(mem.stats().shadow_invalidations, 1);
+    }
+
+    /// The PR 4 batch-abort asymmetry does not exist transactionally: in
+    /// `migrate_batch` an injected fault aborts the whole remainder while
+    /// an organic failure fails only its page; with per-page transactions
+    /// both kinds of failure are scoped to exactly one page.
+    #[test]
+    fn transactional_faults_are_uniformly_per_page() {
+        use mc_fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            migrate_fail_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        // A seed whose commit-time draws go pass, fire, pass, pass — the
+        // fault lands mid-"batch" like the sync test above.
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                let mut inj = FaultInjector::new(plan.clone(), s);
+                inj.on_migrate(0).is_none()
+                    && inj.on_migrate(0).is_some()
+                    && inj.on_migrate(0).is_none()
+                    && inj.on_migrate(0).is_none()
+            })
+            .unwrap();
+        let mut mem = small();
+        let pm = TierId::new(1);
+        let frames: Vec<FrameId> = (0..4).map(|i| begin_promotion(&mut mem, i)).collect();
+        // Install the injector after the begins so every draw happens at
+        // resolve time, inside the copy window.
+        mem.set_fault_injector(FaultInjector::new(plan, seed));
+        let resolved = mem.resolve_migrations(true);
+        assert!(resolved[0].1.is_ok());
+        assert_eq!(resolved[1].1, Err(MemError::TierFull(TierId::TOP)));
+        assert!(
+            resolved[2].1.is_ok() && resolved[3].1.is_ok(),
+            "an injected fault must not abort sibling transactions"
+        );
+        assert_eq!(mem.frame(frames[1]).tier(), pm, "faulted page stayed");
+        assert_eq!(mem.translate(VPage::new(1)), Some(frames[1]));
+        assert_eq!(mem.stats().promotions, 3);
+        assert_eq!(mem.stats().txn_aborts, 1);
+        assert_eq!(mem.stats().injected_faults, 1);
+        assert_eq!(mem.stats().migration_failures, 1, "no batch-abort tail");
     }
 }

@@ -1,0 +1,180 @@
+//! Transactional (Nomad-style) migration state: in-flight migration
+//! transactions and the shadow-page table.
+//!
+//! Synchronous migration ([`crate::MemorySystem::migrate`]) stalls the
+//! application for the whole unmap–copy–remap sequence. Nomad (arXiv
+//! 2401.13154) instead copies the page *while the application keeps
+//! accessing the source*, then atomically remaps once the copy window
+//! closes — aborting and retrying if a write dirtied the page mid-copy.
+//! Its second idea is *non-exclusive* placement: after a clean promotion
+//! the lower-tier source frame still holds a byte-identical copy, so
+//! demoting that page later is a zero-copy mapping flip instead of a full
+//! page copy.
+//!
+//! This module holds the bookkeeping types; the lifecycle itself
+//! (`begin_migration` → `resolve_migrations` / `try_shadow_demote`) lives
+//! on [`crate::MemorySystem`] so every mutation of frames and the page
+//! table stays inside the substrate's commit boundary.
+
+use crate::ids::{FrameId, TierId};
+use serde::{Deserialize, Serialize};
+
+/// How the substrate executes migrations requested by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MigrationMode {
+    /// The historical synchronous path: unmap, copy, remap, all charged
+    /// against the application in one step. Bit-identical to the engine
+    /// before transactional migration existed.
+    #[default]
+    Sync,
+    /// Nomad-style transactional migration: the copy runs in the
+    /// background over one scan interval, a dirty write during the copy
+    /// window aborts the transaction, and a clean completion commits with
+    /// an atomic remap. Clean promotions leave a shadow copy behind for
+    /// zero-copy demotion.
+    Transactional,
+}
+
+/// One in-flight migration transaction: the copy of `frame` towards
+/// `dst_frame` started when [`crate::MemorySystem::begin_migration`] ran
+/// and resolves (commit or abort) at the next
+/// [`crate::MemorySystem::resolve_migrations`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationTxn {
+    /// The source frame. It keeps the mapping — the application reads and
+    /// writes the source for the whole copy window, so concurrent-access
+    /// cost is charged against the source tier.
+    pub frame: FrameId,
+    /// The destination frame, pre-allocated at begin time. Allocated but
+    /// unmapped until the commit remaps atomically.
+    pub dst_frame: FrameId,
+    /// The destination tier (denormalised for cheap validation).
+    pub dst_tier: TierId,
+    /// Set when a write hit the source during the copy window: the copy
+    /// is stale and the transaction must abort.
+    pub doomed: bool,
+}
+
+/// The shadow-page table: non-exclusive lower-tier copies left behind by
+/// clean transactional promotions.
+///
+/// Each entry maps the *live* (upper-tier) frame of a page to a retained
+/// lower-tier frame holding a byte-identical copy. The copy frame stays
+/// allocated but unmapped and untracked; it is reclaimed when the shadow
+/// is invalidated (first dirty write, any migration/eviction of the key
+/// frame, or allocation pressure in its tier) or consumed by a zero-copy
+/// demotion ([`crate::MemorySystem::try_shadow_demote`]).
+///
+/// Entries live in a `Vec` in insertion order: lookups are linear (the
+/// table is small and usually empty) and iteration order is deterministic,
+/// which the bit-identity differential tests rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShadowPages {
+    entries: Vec<(FrameId, FrameId)>,
+}
+
+impl ShadowPages {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live shadow entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retained copy frame for `key`, if one exists.
+    pub fn get(&self, key: FrameId) -> Option<FrameId> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, copy)| *copy)
+    }
+
+    /// Inserts a shadow entry, replacing any previous entry for `key` and
+    /// returning the displaced copy frame (which the caller must free).
+    pub fn insert(&mut self, key: FrameId, copy: FrameId) -> Option<FrameId> {
+        let old = self.remove(key);
+        self.entries.push((key, copy));
+        old
+    }
+
+    /// Removes the entry for `key`, returning its copy frame.
+    pub fn remove(&mut self, key: FrameId) -> Option<FrameId> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Removes the *oldest* entry whose copy frame lies in `tier`,
+    /// returning it. Used to release shadow capacity under allocation
+    /// pressure: shadows are opportunistic and must never cause an
+    /// out-of-memory condition.
+    pub fn pop_oldest_in_tier(
+        &mut self,
+        tier: TierId,
+        tier_of: impl Fn(FrameId) -> TierId,
+    ) -> Option<(FrameId, FrameId)> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|(_, copy)| tier_of(*copy) == tier)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Iterates `(key, copy)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (FrameId, FrameId)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_mode_defaults_to_sync() {
+        assert_eq!(MigrationMode::default(), MigrationMode::Sync);
+    }
+
+    #[test]
+    fn shadow_table_insert_get_remove() {
+        let mut s = ShadowPages::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(FrameId::new(1), FrameId::new(10)), None);
+        assert_eq!(s.get(FrameId::new(1)), Some(FrameId::new(10)));
+        // Replacing returns the displaced copy.
+        assert_eq!(
+            s.insert(FrameId::new(1), FrameId::new(11)),
+            Some(FrameId::new(10))
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove(FrameId::new(1)), Some(FrameId::new(11)));
+        assert_eq!(s.remove(FrameId::new(1)), None);
+    }
+
+    #[test]
+    fn pop_oldest_in_tier_respects_insertion_order() {
+        let mut s = ShadowPages::new();
+        s.insert(FrameId::new(1), FrameId::new(10));
+        s.insert(FrameId::new(2), FrameId::new(20));
+        s.insert(FrameId::new(3), FrameId::new(30));
+        // Pretend odd copies live in tier 1, even in tier 2.
+        let tier_of = |f: FrameId| TierId::new(if f.index() % 20 == 10 { 1 } else { 2 });
+        assert_eq!(
+            s.pop_oldest_in_tier(TierId::new(2), tier_of),
+            Some((FrameId::new(2), FrameId::new(20)))
+        );
+        assert_eq!(
+            s.pop_oldest_in_tier(TierId::new(1), tier_of),
+            Some((FrameId::new(1), FrameId::new(10)))
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop_oldest_in_tier(TierId::TOP, tier_of), None);
+    }
+}

@@ -135,6 +135,40 @@ pub enum EventKind {
         /// Failed attempts the episode accumulated.
         attempts: u32,
     },
+    /// A transactional migration opened: the destination frame is
+    /// reserved and the background copy started while the source stays
+    /// mapped and live.
+    TxnBegin {
+        /// Source frame being copied.
+        frame: u64,
+        /// Tier holding the source.
+        src: u8,
+        /// Destination tier of the copy.
+        dst: u8,
+    },
+    /// A transactional migration aborted before commit.
+    TxnAbort {
+        /// Source frame whose copy was discarded.
+        frame: u64,
+        /// Static abort reason (`"dirty-write"`, `"unmapped"`, or an
+        /// injected-fault reason).
+        reason: &'static str,
+    },
+    /// A transactional migration committed with an atomic remap.
+    TxnCommit {
+        /// Source frame the page left.
+        frame: u64,
+        /// Destination frame the page now occupies.
+        new_frame: u64,
+    },
+    /// A demotion was satisfied by flipping the mapping to a retained
+    /// shadow copy — no page copy happened.
+    ShadowDemote {
+        /// Upper-tier frame the page left.
+        frame: u64,
+        /// Lower-tier shadow frame the page now occupies.
+        new_frame: u64,
+    },
     /// A page was evicted from the lowest tier to backing storage.
     Evict {
         /// Virtual page evicted.
@@ -180,6 +214,10 @@ impl EventKind {
             EventKind::MigrateFail { .. } => "migrate_fail",
             EventKind::MigrateRetry { .. } => "migrate_retry",
             EventKind::MigrateGaveUp { .. } => "migrate_gave_up",
+            EventKind::TxnBegin { .. } => "txn_begin",
+            EventKind::TxnAbort { .. } => "txn_abort",
+            EventKind::TxnCommit { .. } => "txn_commit",
+            EventKind::ShadowDemote { .. } => "shadow_demote",
             EventKind::Evict { .. } => "evict",
             EventKind::SwapIn { .. } => "swap_in",
             EventKind::HintFault { .. } => "hint_fault",
@@ -274,6 +312,23 @@ impl Event {
                 w.num_field("frame", frame);
                 w.num_field("attempts", u64::from(attempts));
             }
+            EventKind::TxnBegin { frame, src, dst } => {
+                w.num_field("frame", frame);
+                w.num_field("src", u64::from(src));
+                w.num_field("dst", u64::from(dst));
+            }
+            EventKind::TxnAbort { frame, reason } => {
+                w.num_field("frame", frame);
+                w.str_field("reason", reason);
+            }
+            EventKind::TxnCommit { frame, new_frame } => {
+                w.num_field("frame", frame);
+                w.num_field("new_frame", new_frame);
+            }
+            EventKind::ShadowDemote { frame, new_frame } => {
+                w.num_field("frame", frame);
+                w.num_field("new_frame", new_frame);
+            }
             EventKind::Evict { vpage } => {
                 w.num_field("vpage", vpage);
             }
@@ -331,6 +386,23 @@ mod tests {
                 frame: 9,
                 attempts: 4,
             },
+            EventKind::TxnBegin {
+                frame: 5,
+                src: 1,
+                dst: 0,
+            },
+            EventKind::TxnAbort {
+                frame: 5,
+                reason: "dirty-write",
+            },
+            EventKind::TxnCommit {
+                frame: 5,
+                new_frame: 3,
+            },
+            EventKind::ShadowDemote {
+                frame: 3,
+                new_frame: 5,
+            },
             EventKind::Custom {
                 tag: "poison_batch",
                 a: 7,
@@ -370,6 +442,39 @@ mod tests {
             }
             .name(),
             "x"
+        );
+        assert_eq!(
+            EventKind::TxnBegin {
+                frame: 0,
+                src: 1,
+                dst: 0
+            }
+            .name(),
+            "txn_begin"
+        );
+        assert_eq!(
+            EventKind::TxnAbort {
+                frame: 0,
+                reason: "dirty-write"
+            }
+            .name(),
+            "txn_abort"
+        );
+        assert_eq!(
+            EventKind::TxnCommit {
+                frame: 0,
+                new_frame: 1
+            }
+            .name(),
+            "txn_commit"
+        );
+        assert_eq!(
+            EventKind::ShadowDemote {
+                frame: 0,
+                new_frame: 1
+            }
+            .name(),
+            "shadow_demote"
         );
     }
 }

@@ -1,7 +1,7 @@
 //! Simulation configuration and the system-under-test selector.
 
 use mc_fault::{FaultConfig, RetryPolicy};
-use mc_mem::{MemConfig, Nanos};
+use mc_mem::{MemConfig, MigrationMode, Nanos};
 use mc_obs::{ObsConfig, PerfHooks};
 
 /// Which memory system to simulate — the paper's comparison set plus the
@@ -12,6 +12,11 @@ pub enum SystemKind {
     Static,
     /// MULTI-CLOCK.
     MultiClock,
+    /// MULTI-CLOCK selection over Nomad-style transactional migration
+    /// (shadow copies on): the async-migration baseline. Forces
+    /// [`MigrationMode::Transactional`] regardless of
+    /// [`SimConfig::migration_mode`].
+    Nomad,
     /// Nimble's page selection (recency only).
     Nimble,
     /// AutoTiering conservative promotion.
@@ -32,10 +37,12 @@ pub enum SystemKind {
 }
 
 impl SystemKind {
-    /// The five systems of Figs. 5 and 6.
-    pub const TIERED_COMPARISON: [SystemKind; 5] = [
+    /// The systems of Figs. 5 and 6: the paper's five plus the Nomad
+    /// transactional-migration baseline.
+    pub const TIERED_COMPARISON: [SystemKind; 6] = [
         SystemKind::Static,
         SystemKind::MultiClock,
+        SystemKind::Nomad,
         SystemKind::Nimble,
         SystemKind::AtCpm,
         SystemKind::AtOpm,
@@ -46,6 +53,7 @@ impl SystemKind {
         match self {
             SystemKind::Static => "Static",
             SystemKind::MultiClock => "MULTI-CLOCK",
+            SystemKind::Nomad => "Nomad",
             SystemKind::Nimble => "Nimble",
             SystemKind::AtCpm => "AT-CPM",
             SystemKind::AtOpm => "AT-OPM",
@@ -116,6 +124,12 @@ pub struct SimConfig {
     /// default) makes every boundary a no-op; hooks only observe the
     /// host's monotonic clock, so enabling them never changes results.
     pub perf: Option<PerfHooks>,
+    /// How MULTI-CLOCK executes promotions: [`MigrationMode::Sync`]
+    /// (default, bit-identical to the historical engine) or
+    /// [`MigrationMode::Transactional`] (Nomad-style copy windows with
+    /// shadow-page retention). [`SystemKind::Nomad`] forces
+    /// `Transactional`; other systems ignore the knob.
+    pub migration_mode: MigrationMode,
 }
 
 impl SimConfig {
@@ -138,6 +152,7 @@ impl SimConfig {
             migrate_batch_size: 1,
             threads: 1,
             perf: None,
+            migration_mode: MigrationMode::Sync,
         }
     }
 
@@ -186,9 +201,10 @@ mod tests {
 
     #[test]
     fn comparison_set_matches_figures() {
-        assert_eq!(SystemKind::TIERED_COMPARISON.len(), 5);
+        assert_eq!(SystemKind::TIERED_COMPARISON.len(), 6);
         assert_eq!(SystemKind::TIERED_COMPARISON[0], SystemKind::Static);
         assert!(SystemKind::TIERED_COMPARISON.contains(&SystemKind::MultiClock));
+        assert!(SystemKind::TIERED_COMPARISON.contains(&SystemKind::Nomad));
     }
 
     #[test]
@@ -196,6 +212,7 @@ mod tests {
         let all = [
             SystemKind::Static,
             SystemKind::MultiClock,
+            SystemKind::Nomad,
             SystemKind::Nimble,
             SystemKind::AtCpm,
             SystemKind::AtOpm,

@@ -7,8 +7,8 @@ use crate::metrics::Metrics;
 use crate::obs::ObsState;
 use mc_fault::FaultInjector;
 use mc_mem::{
-    AccessKind, MemorySystem, Nanos, PageKind, TierId, TieringPolicy, VAddr, VPage, VirtualClock,
-    PAGE_SIZE,
+    AccessKind, MemorySystem, MigrationMode, Nanos, PageKind, TierId, TieringPolicy, VAddr, VPage,
+    VirtualClock, PAGE_SIZE,
 };
 use mc_policies::{
     Amp, AutoNuma, AutoTiering, AutoTieringConfig, AutoTieringMode, MemoryModeCache, Nimble,
@@ -63,7 +63,7 @@ impl Simulation {
                 policy: Box::new(StaticTiering::new(topo)),
                 oracle_visibility: false,
             },
-            SystemKind::MultiClock => Frontend::Tiered {
+            SystemKind::MultiClock | SystemKind::Nomad => Frontend::Tiered {
                 policy: Box::new(MultiClock::new(
                     MultiClockConfig {
                         scan_interval: cfg.scan_interval,
@@ -75,6 +75,11 @@ impl Simulation {
                         migrate_batch_size: cfg.migrate_batch_size,
                         scan_threads: cfg.threads,
                         perf: cfg.perf.clone(),
+                        migration_mode: if cfg.system == SystemKind::Nomad {
+                            MigrationMode::Transactional
+                        } else {
+                            cfg.migration_mode
+                        },
                         // Adaptive bounds scale with the configured
                         // interval (the defaults are paper-scale).
                         min_interval: Nanos::from_nanos(cfg.scan_interval.as_nanos() / 10),

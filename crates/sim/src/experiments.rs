@@ -11,7 +11,7 @@ use crate::config::{SimConfig, SystemKind};
 use crate::engine::Simulation;
 use crate::latency_hist::LatencyHistogram;
 use crate::metrics::WindowStats;
-use mc_mem::Nanos;
+use mc_mem::{MigrationMode, Nanos};
 use mc_workloads::graph::{bc, bfs, cc, pagerank, sssp, tc, Csr, GraphConfig, Kernel};
 use mc_workloads::ycsb::{YcsbClient, YcsbConfig, YcsbWorkload};
 use mc_workloads::Memory;
@@ -224,6 +224,14 @@ pub struct RunOutcome {
     pub promote_retries: u64,
     /// Promotion episodes that exhausted their retry budget.
     pub promote_gave_ups: u64,
+    /// Migration transactions committed (transactional mode only).
+    pub txn_commits: u64,
+    /// Migration transactions aborted by a dirty write or injected fault
+    /// during the copy window (transactional mode only).
+    pub txn_aborts: u64,
+    /// Demotions served by a retained shadow copy — a zero-copy mapping
+    /// flip instead of a full page copy (transactional mode only).
+    pub shadow_hits: u64,
     /// Where time went (access/stall/daemon/background split).
     pub costs: crate::metrics::CostBreakdown,
 }
@@ -282,6 +290,7 @@ pub struct Experiment {
     migrate_batch_size: usize,
     threads: usize,
     perf: Option<mc_obs::PerfHooks>,
+    migration_mode: MigrationMode,
 }
 
 impl Experiment {
@@ -298,6 +307,7 @@ impl Experiment {
             migrate_batch_size: 1,
             threads: 1,
             perf: None,
+            migration_mode: MigrationMode::Sync,
         }
     }
 
@@ -379,6 +389,17 @@ impl Experiment {
         self
     }
 
+    /// Selects how MULTI-CLOCK executes promotions:
+    /// [`MigrationMode::Sync`] (the default, bit-identical to the
+    /// historical engine) or [`MigrationMode::Transactional`]
+    /// (Nomad-style copy windows with shadow-page retention).
+    /// [`SystemKind::Nomad`] forces `Transactional` regardless of this
+    /// knob; systems other than MULTI-CLOCK ignore it.
+    pub fn migration(mut self, mode: MigrationMode) -> Self {
+        self.migration_mode = mode;
+        self
+    }
+
     /// Installs host-time profiling hooks ([`mc_obs::perf`]): wall-clock
     /// spans around the engine's tick/scan/merge/promote-drain/pressure/
     /// migrate-batch phases land in the hooks' shared profiler. Purely
@@ -416,6 +437,7 @@ impl Experiment {
         cfg.migrate_batch_size = self.migrate_batch_size;
         cfg.threads = self.threads;
         cfg.perf = self.perf.clone();
+        cfg.migration_mode = self.migration_mode;
         if self.obs_dir.is_some() {
             cfg.obs = mc_obs::ObsConfig::on();
         }
@@ -574,6 +596,9 @@ fn summarize(
         migration_failures: sim.mem().stats().migration_failures,
         promote_retries: sim.counter("mc_promote_retries"),
         promote_gave_ups: sim.counter("mc_promote_gave_ups"),
+        txn_commits: sim.mem().stats().txn_commits,
+        txn_aborts: sim.mem().stats().txn_aborts,
+        shadow_hits: sim.mem().stats().shadow_hits,
         costs: m.costs(),
     }
 }

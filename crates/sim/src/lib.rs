@@ -41,6 +41,7 @@ pub use engine::Simulation;
 pub use experiments::{Experiment, RunOutcome, Scale};
 pub use latency_hist::LatencyHistogram;
 pub use mc_fault::{FaultConfig, FaultPlan, RetryPolicy};
+pub use mc_mem::MigrationMode;
 pub use mc_obs::ObsConfig;
 pub use metrics::{CostBreakdown, Metrics, WindowStats};
 pub use obs::ObsState;

@@ -126,6 +126,9 @@ mod tests {
             migration_failures: 0,
             promote_retries: 0,
             promote_gave_ups: 0,
+            txn_commits: 0,
+            txn_aborts: 0,
+            shadow_hits: 0,
             costs: crate::metrics::CostBreakdown::default(),
         }
     }
