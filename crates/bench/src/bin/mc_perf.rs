@@ -7,7 +7,7 @@
 //!
 //! * `--smoke`   CI shape: 2 repetitions at a reduced run length.
 //! * `--reps N`  repetitions per suite (default 5; 2 with `--smoke`).
-//! * `--pr N`    PR number stamped into the artifact (default 8).
+//! * `--pr N`    PR number stamped into the artifact (default 9).
 //! * `--out P`   output path (default `BENCH_<pr>.json`).
 //!
 //! The artifact is validated with the same `check()` the report binary

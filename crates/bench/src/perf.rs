@@ -24,16 +24,25 @@
 //!   shadow copy (zero-copy mapping flip) on pinned YCSB-B in
 //!   transactional mode (deterministic);
 //! * sweep speedup — wall time of a 4-job grid under [`SweepRunner`]
-//!   with 1 worker vs several.
+//!   with 1 worker vs several;
+//! * idle-component overhead — wall-time ratio of the same YCSB-A drive
+//!   loop with 64 never-waking components on the scheduler vs none (an
+//!   idle component must cost nothing beyond its heap entry);
+//! * tera scan cost — the daemon's mean tick cost (ns) at a fixed
+//!   working set on a quarter-size vs full terabyte-class machine, plus
+//!   their ratio: 4x the frames must leave the per-tick cost roughly
+//!   flat, because region-granular scanning makes it follow the
+//!   populated extent rather than the frame count (`--smoke` shrinks
+//!   both machines so CI hosts survive the O(frames) construction).
 
 use crate::artifact::{BenchArtifact, SuiteResult, SCHEMA_VERSION};
 use crate::SweepRunner;
-use mc_mem::Nanos;
+use mc_mem::{Memory, Nanos};
 use mc_obs::{PerfHooks, Phase};
 use mc_sim::experiments::{Experiment, RunOutcome, Scale};
-use mc_sim::MigrationMode;
+use mc_sim::{Component, EngineCtx, MigrationMode, SimConfig, Simulation, SystemKind};
 use mc_workloads::graph::Kernel;
-use mc_workloads::ycsb::YcsbWorkload;
+use mc_workloads::ycsb::{YcsbClient, YcsbConfig, YcsbWorkload};
 use std::time::Instant;
 
 /// Everything `mc-perf` needs to run the pinned suites.
@@ -49,6 +58,11 @@ pub struct PerfConfig {
     pub scale: Scale,
     /// Worker count for the parallel side of the sweep-speedup suite.
     pub sweep_threads: usize,
+    /// Total frames of the tera scan-cost suite's larger machine (the
+    /// quarter machine divides this by 4). `2^28` frames (1 TiB of
+    /// 4 KiB frames) in the committed-artifact shape; reduced under
+    /// `--smoke` so CI hosts survive the O(frames) construction.
+    pub tera_frames: usize,
 }
 
 /// The standard configuration: `smoke` shrinks repetitions and run
@@ -66,10 +80,11 @@ pub fn default_config(smoke: bool) -> PerfConfig {
     }
     PerfConfig {
         reps: if smoke { 2 } else { 5 },
-        pr: 8,
+        pr: 9,
         scale_label: if smoke { "smoke" } else { "perf" }.to_string(),
         scale,
         sweep_threads: host_cores().clamp(2, 4),
+        tera_frames: if smoke { 1 << 20 } else { 1 << 28 },
     }
 }
 
@@ -151,6 +166,82 @@ fn shadow_hit_rate(scale: &Scale) -> f64 {
     }
 }
 
+/// A never-waking component: registered far in the future, it only
+/// occupies a scheduler-heap entry. The idle-overhead suite pins that
+/// such components cost nothing on the engine's access path.
+struct Dormant;
+
+impl Component for Dormant {
+    fn name(&self) -> &'static str {
+        "dormant"
+    }
+
+    fn tick(&mut self, _now: Nanos, _ctx: &mut EngineCtx<'_>) -> Option<Nanos> {
+        None
+    }
+}
+
+/// Wall seconds (and promotions, for the inertness check) of a pinned
+/// YCSB-A drive loop with `dormant` never-waking components registered
+/// on the scheduler. Machine construction and load are excluded — only
+/// the op loop, where every access consults the scheduler, is timed.
+fn drive_secs_with_dormant(scale: &Scale, dormant: usize) -> (f64, u64) {
+    let mut cfg = SimConfig::new(SystemKind::MultiClock, scale.dram_pages, scale.pm_pages);
+    cfg.scan_interval = scale.scan_interval();
+    cfg.scan_batch = scale.scan_batch;
+    cfg.window = scale.window();
+    let mut sim = Simulation::new(cfg);
+    for _ in 0..dormant {
+        sim.add_component(Box::new(Dormant), Nanos::from_secs(1 << 20));
+    }
+    let mut client = YcsbClient::load(
+        YcsbConfig {
+            records: scale.records,
+            value_size: scale.value_size,
+            op_compute: scale.op_compute,
+            insert_scale: scale.insert_scale,
+            seed: scale.seed,
+        },
+        &mut sim,
+    );
+    let end = sim.now() + scale.warmup + scale.measure;
+    let t0 = Instant::now();
+    while sim.now() < end {
+        client.run_op(YcsbWorkload::A, &mut sim);
+    }
+    sim.finish();
+    (t0.elapsed().as_secs_f64(), sim.metrics().total_promotions())
+}
+
+/// Wall-time ratio of the drive loop with `dormant` idle components vs
+/// none (~1.0: an idle component is one heap entry, never dispatched).
+/// Also asserts the dormant run is behaviourally inert.
+fn idle_component_overhead(scale: &Scale, dormant: usize) -> f64 {
+    let (with, promotions_with) = drive_secs_with_dormant(scale, dormant);
+    let (without, promotions_without) = drive_secs_with_dormant(scale, 0);
+    assert_eq!(
+        promotions_with, promotions_without,
+        "dormant components must not perturb results"
+    );
+    with / without.max(1e-9)
+}
+
+/// Mean daemon-tick wall cost (ns) of the fixed tiny working set on a
+/// machine of `total_frames` frames (512 DRAM pages + the rest PM, so
+/// the working set still overflows DRAM and tiering stays active).
+fn tera_tick_cost_ns(scale: &Scale, total_frames: usize) -> f64 {
+    let mut s = scale.clone();
+    s.dram_pages = 512;
+    s.pm_pages = total_frames - s.dram_pages;
+    let (_, hooks) = run_hooked(Experiment::ycsb(YcsbWorkload::A).scale(&s));
+    let t = hooks.profiler().summary(Phase::Tick);
+    if t.count == 0 {
+        0.0
+    } else {
+        t.total_nanos as f64 / t.count as f64
+    }
+}
+
 /// Runs every pinned suite and assembles the artifact (host metadata,
 /// suite medians/MADs, per-phase percentile extras). Progress and
 /// per-suite summaries go to stdout.
@@ -169,7 +260,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         suites.push(s);
     };
 
-    println!("[1/6] engine ticks/sec (YCSB-A, GAPBS-BFS)");
+    println!("[1/8] engine ticks/sec (YCSB-A, GAPBS-BFS)");
     push(
         "engine_ticks_per_sec.ycsb_a",
         "ticks/sec",
@@ -187,7 +278,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         }),
     );
 
-    println!("[2/6] scan throughput at 1/2/4/8 threads (8 shards)");
+    println!("[2/8] scan throughput at 1/2/4/8 threads (8 shards)");
     for threads in [1usize, 2, 4, 8] {
         push(
             &format!("scan_pages_per_sec.threads_{threads}"),
@@ -197,7 +288,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         );
     }
 
-    println!("[3/6] migration-overhead share at batch 1/8");
+    println!("[3/8] migration-overhead share at batch 1/8");
     for batch in [1usize, 8] {
         push(
             &format!("migration_overhead_share.batch_{batch}"),
@@ -215,7 +306,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         );
     }
 
-    println!("[4/6] promote-stall share, sync vs transactional (YCSB-A)");
+    println!("[4/8] promote-stall share, sync vs transactional (YCSB-A)");
     for (label, mode) in [
         ("sync", MigrationMode::Sync),
         ("transactional", MigrationMode::Transactional),
@@ -228,7 +319,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         );
     }
 
-    println!("[5/6] shadow-hit rate (YCSB-B, transactional)");
+    println!("[5/8] shadow-hit rate (YCSB-B, transactional)");
     push(
         "shadow_hit_rate.ycsb_b",
         "share",
@@ -237,7 +328,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
     );
 
     println!(
-        "[6/6] sweep parallel speedup (4-job grid, 1 vs {} workers)",
+        "[6/8] sweep parallel speedup (4-job grid, 1 vs {} workers)",
         cfg.sweep_threads
     );
     push(
@@ -246,6 +337,37 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         true,
         repeat(cfg.reps, || sweep_speedup(&cfg.scale, cfg.sweep_threads)),
     );
+
+    println!("[7/8] idle-component overhead (64 dormant components)");
+    push(
+        "idle_component_overhead.dormant_64",
+        "x",
+        false,
+        repeat(cfg.reps, || idle_component_overhead(&cfg.scale, 64)),
+    );
+
+    println!(
+        "[8/8] tera scan cost at a fixed working set ({} vs {} frames)",
+        cfg.tera_frames / 4,
+        cfg.tera_frames
+    );
+    // Each repetition pays an O(frames) machine construction (tens of
+    // seconds at the terabyte point), so cap these at 3 repetitions.
+    let tera_reps = cfg.reps.min(3);
+    let quarter = repeat(tera_reps, || {
+        tera_tick_cost_ns(&cfg.scale, cfg.tera_frames / 4)
+    });
+    let full = repeat(tera_reps, || tera_tick_cost_ns(&cfg.scale, cfg.tera_frames));
+    let ratio: Vec<f64> = full
+        .iter()
+        .zip(&quarter)
+        .map(|(f, q)| if *q == 0.0 { 0.0 } else { f / q })
+        .collect();
+    push("tera_tick_cost_ns.quarter", "ns/tick", false, quarter);
+    push("tera_tick_cost_ns.full", "ns/tick", false, full);
+    // 4x the frames: anything near 1.0 is sublinear; an O(frames) tick
+    // path would sit near 4.0.
+    push("tera_scan_sublinearity", "x", false, ratio);
 
     // Per-phase wall-time detail from one representative hooked run.
     let (_, hooks) = run_hooked(

@@ -41,7 +41,7 @@ use crate::config::MultiClockConfig;
 use crate::lists::TierLists;
 use crate::multi_clock::MultiClock;
 use crate::state::PageState;
-use mc_mem::{FrameId, MemorySystem, PageKind, TierId};
+use mc_mem::{FrameId, MemorySystem, PageKind, RefSnapshot, TierId};
 use mc_obs::{EventBuffer, EventKind};
 use std::collections::{HashMap, HashSet};
 
@@ -54,8 +54,10 @@ pub(crate) struct ScanCtx<'a> {
     pub(crate) mem: &'a MemorySystem,
     /// Start-of-tick page states; workers shadow their own writes.
     pub(crate) states: &'a [Option<PageState>],
-    /// Start-of-tick PTE reference bits, frame-indexed.
-    pub(crate) referenced: &'a [bool],
+    /// Start-of-tick PTE reference bits, sampled over the region map's
+    /// populated ranges only (frames outside read as unreferenced and
+    /// are never asked about — they are not on any CLOCK list).
+    pub(crate) referenced: &'a RefSnapshot,
     /// Whether the recorder is enabled (workers buffer events only then).
     pub(crate) record: bool,
 }
@@ -221,7 +223,7 @@ impl ShardScanner<'_, '_> {
         if !self.cleared.insert(frame.index()) {
             return false;
         }
-        if self.ctx.referenced[frame.index()] {
+        if self.ctx.referenced.get(frame) {
             self.out.harvested.push(frame);
             true
         } else {

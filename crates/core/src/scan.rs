@@ -48,12 +48,16 @@ impl MultiClock {
         // spans only observe the host clock, never engine state.
         let perf = self.cfg.perf.clone();
 
-        // Scan phase: snapshot the reference bits, run every shard's scan
-        // as an independent job (workers write nothing shared), then merge
-        // the per-shard outputs in (tier, shard) order — the exact
-        // sequential nested-loop order, so stats, events and state writes
-        // land identically regardless of `scan_threads`.
-        let referenced = mem.referenced_snapshot();
+        // Scan phase: snapshot the reference bits over the region map's
+        // populated extents only (every tracked page lives inside one, so
+        // the sparse snapshot reads exactly what a full walk would — at a
+        // cost proportional to the working set, not the machine), run
+        // every shard's scan as an independent job (workers write nothing
+        // shared), then merge the per-shard outputs in (tier, shard)
+        // order — the exact sequential nested-loop order, so stats,
+        // events and state writes land identically regardless of
+        // `scan_threads`.
+        let referenced = mem.referenced_snapshot_ranges(&self.region_map.scan_ranges());
         let record = mem.recorder().is_enabled();
         let shard_outs = {
             let MultiClock {
@@ -97,8 +101,11 @@ impl MultiClock {
             // observed, before the promote/pressure phases can look. The
             // returned bool (was it set?) is deliberately dropped — the scan
             // already recorded the observation; this call only clears.
+            // Each consumed bit also heats the frame's region: the
+            // unsupervised-access channel of the region profiler.
             for frame in so.harvested {
                 let _ = mem.harvest_referenced(frame);
+                self.region_map.record_heat(frame, 1);
             }
         }
         drop(merge_span);
@@ -133,7 +140,18 @@ impl MultiClock {
         drop(pressure_span);
 
         saturating_add(&mut self.stats.pages_scanned, out.pages_scanned);
-        self.adapt_interval(out.promoted + out.demoted);
+        // Region adaptation: split the regions that ran hot this window,
+        // merge the ones that stayed cold, and (when the churn-interval
+        // extension is on) fold tracked-set churn into the reschedule
+        // signal so a map in flux keeps the scanner awake even when no
+        // page crossed a tier.
+        self.region_map.rebalance();
+        let churn = self.region_map.take_churn();
+        let mut activity = out.promoted + out.demoted;
+        if self.cfg.regions.churn_interval {
+            activity += churn;
+        }
+        self.adapt_interval(activity);
         // Mirror the substrate's transaction/shadow counters into the
         // policy's vmstat rows (absolute values; all zero in Sync mode).
         let ms = mem.stats();
@@ -538,8 +556,11 @@ impl MultiClock {
     /// the workload is stable (no promotions), snap back to the
     /// configured interval the moment tiering work reappears. The goal is
     /// to save scan CPU in steady phases without giving up reaction time.
+    /// The churn-interval extension reuses the same machinery with
+    /// region churn folded into `activity`, so a daemon whose tracked
+    /// set is in flux reschedules itself eagerly.
     fn adapt_interval(&mut self, activity: u64) {
-        if !self.cfg.adaptive_interval {
+        if !self.cfg.adaptive_interval && !self.cfg.regions.churn_interval {
             return;
         }
         if activity == 0 {

@@ -1,0 +1,168 @@
+//! Property tests for the adaptive region map (`multi_clock::region`):
+//! random track/untrack/heat traces crossed with random granule sizes
+//! and split/merge thresholds, holding two invariants after **every**
+//! step —
+//!
+//! 1. the regions are always an exact partition of the frame space
+//!    (every frame in exactly one region, no gaps, no empty or
+//!    over-cap regions, aggregates equal to their granule sums), and
+//! 2. region hotness is exact bookkeeping, never an estimate: the
+//!    summed region heat equals the sum of per-page contributions the
+//!    trace made this window, across any interleaving of splits and
+//!    merges (heat conservation).
+//!
+//! A reference model (a frame→heat map plus a tracked set) is replayed
+//! alongside; `RegionMap::check` covers the structural half and the
+//! model the accounting half.
+
+use mc_mem::FrameId;
+use multi_clock::{RegionKnobs, RegionMap};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const FRAMES: u64 = 512;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start tracking the frame `index % FRAMES` (skipped if tracked —
+    /// the policy only calls `track` on a none→some state transition).
+    Track(u64),
+    /// Stop tracking the `index % live`-th tracked frame.
+    Untrack(usize),
+    /// Record `amount` heat against the `index % live`-th tracked frame.
+    Heat(usize, u64),
+    /// One adaptation step: split hot, merge cold, reset the window.
+    Rebalance,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..FRAMES).prop_map(Op::Track),
+        (0usize..4096).prop_map(Op::Untrack),
+        (0usize..4096, 1u64..32).prop_map(|(i, a)| Op::Heat(i, a)),
+        Just(Op::Rebalance),
+    ]
+}
+
+/// Random but always-valid knobs: `merge_heat` strictly below
+/// `split_heat`, non-zero granule and cap.
+fn knobs() -> impl Strategy<Value = RegionKnobs> {
+    (1usize..=16, 1usize..=32, 2u64..=64, 0u64..=100).prop_map(
+        |(granule, max_granules, split_heat, merge_pct)| RegionKnobs {
+            granule,
+            max_granules,
+            split_heat,
+            merge_heat: split_heat * merge_pct / 101,
+            churn_interval: false,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_and_heat_accounting_stay_exact(
+        knobs in knobs(),
+        ops in prop::collection::vec(op(), 1..160),
+    ) {
+        let mut map = RegionMap::new(FRAMES, knobs);
+        let mut tracked: Vec<u64> = Vec::new();
+        // Per-page heat contributed this window (the reference model).
+        let mut page_heat: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in ops {
+            match &op {
+                Op::Track(frame) => {
+                    if !tracked.contains(frame) {
+                        map.track(FrameId::new(*frame as u32));
+                        tracked.push(*frame);
+                    }
+                }
+                Op::Untrack(index) => {
+                    if !tracked.is_empty() {
+                        let frame = tracked.swap_remove(index % tracked.len());
+                        map.untrack(FrameId::new(frame as u32));
+                    }
+                }
+                Op::Heat(index, amount) => {
+                    if !tracked.is_empty() {
+                        let frame = tracked[index % tracked.len()];
+                        map.record_heat(FrameId::new(frame as u32), *amount);
+                        *page_heat.entry(frame).or_insert(0) += amount;
+                    }
+                }
+                Op::Rebalance => {
+                    map.rebalance();
+                    page_heat.clear(); // the window reset
+                }
+            }
+
+            // (1) Exact partition, exact aggregates, cap respected.
+            if let Err(msg) = map.check() {
+                prop_assert!(false, "after {:?}: {}", op, msg);
+            }
+
+            let stats = map.stats();
+            prop_assert_eq!(stats.tracked, tracked.len() as u64,
+                "tracked count diverged after {:?}", op);
+
+            // (2) Region hotness sums match the per-page counters.
+            let model_heat: u64 = page_heat.values().sum();
+            prop_assert_eq!(stats.window_heat, model_heat,
+                "window heat diverged after {:?}", op);
+
+            // Every tracked frame sits inside a populated region, and the
+            // populated extents are sorted, disjoint and sized like the
+            // stats claim.
+            let ranges = map.scan_ranges();
+            for pair in ranges.windows(2) {
+                prop_assert!(pair[0].start + pair[0].len <= pair[1].start,
+                    "scan ranges overlap or are unsorted");
+            }
+            let extent: u64 = ranges.iter().map(|r| r.len).sum();
+            prop_assert_eq!(stats.populated_frames, extent);
+            for &frame in &tracked {
+                prop_assert!(map.covers_tracked(FrameId::new(frame as u32)),
+                    "tracked frame {} not covered after {:?}", frame, op);
+                prop_assert!(ranges.iter().any(|r| r.contains(frame)),
+                    "tracked frame {} outside every scan range after {:?}", frame, op);
+            }
+        }
+    }
+
+    /// Whatever the thresholds do to the boundaries, a rebalance never
+    /// loses or invents heat mid-window: recorded heat is conserved
+    /// until the reset that ends the same rebalance, and tracked pages
+    /// survive any number of adaptation steps.
+    #[test]
+    fn adaptation_is_pure_bookkeeping(
+        knobs in knobs(),
+        frames in prop::collection::vec(0u64..FRAMES, 1..40),
+        rounds in 1usize..6,
+    ) {
+        let mut map = RegionMap::new(FRAMES, knobs);
+        let mut tracked: Vec<u64> = Vec::new();
+        for f in frames {
+            if !tracked.contains(&f) {
+                map.track(FrameId::new(f as u32));
+                tracked.push(f);
+            }
+        }
+        for _ in 0..rounds {
+            for &f in &tracked {
+                map.record_heat(FrameId::new(f as u32), 7);
+            }
+            let before = map.stats();
+            prop_assert_eq!(before.window_heat, 7 * tracked.len() as u64);
+            map.rebalance();
+            map.check().unwrap();
+            let after = map.stats();
+            prop_assert_eq!(after.window_heat, 0, "the window reset");
+            prop_assert_eq!(after.tracked, tracked.len() as u64);
+            for &f in &tracked {
+                prop_assert!(map.covers_tracked(FrameId::new(f as u32)));
+            }
+        }
+    }
+}

@@ -45,6 +45,7 @@ pub mod ids;
 pub mod latency;
 pub mod policy;
 pub mod pte;
+pub mod snapshot;
 pub mod stats;
 pub mod system;
 pub mod tier;
@@ -61,6 +62,7 @@ pub use ids::{FrameId, NodeId, TierId, VAddr, VPage, PAGE_SHIFT, PAGE_SIZE};
 pub use latency::{AccessKind, LatencyModel, MigrationCost, TierLatency};
 pub use policy::{NullPolicy, PolicyTraits, TickOutcome, TieringPolicy};
 pub use pte::{PageTable, PteEntry};
+pub use snapshot::{FrameRange, RefSnapshot};
 pub use stats::{CostLedger, MemEvent, MemStats};
 pub use system::{AccessOutcome, MemConfig, MemorySystem};
 pub use tier::{Tier, TierKind};

@@ -1,0 +1,168 @@
+//! Sparse, range-based snapshots of PTE reference bits.
+//!
+//! The scan daemon used to snapshot *every* frame's reference bit each
+//! tick (`Vec<bool>` over the whole machine) — an O(total frames) cost
+//! that caps the largest simulated topology far below the terabyte
+//! scale the ROADMAP targets. [`RefSnapshot`] instead samples only the
+//! frame ranges the caller names (the region map's populated regions),
+//! so per-tick snapshot work scales with the *working set*, not the
+//! machine size. Frames outside every sampled run read as
+//! unreferenced, which is exact for the scanner: a frame outside the
+//! populated regions is by construction not on any CLOCK list, so the
+//! scan never asks about it (debug builds assert this).
+
+use crate::ids::FrameId;
+
+/// A contiguous run of frames: `start` index and `len` count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRange {
+    /// First frame index of the run.
+    pub start: u64,
+    /// Number of frames in the run.
+    pub len: u64,
+}
+
+impl FrameRange {
+    /// A run covering `[start, start + len)`.
+    pub fn new(start: u64, len: u64) -> Self {
+        Self { start, len }
+    }
+
+    /// Whether `index` falls inside this run.
+    pub fn contains(&self, index: u64) -> bool {
+        index >= self.start && index - self.start < self.len
+    }
+}
+
+/// A frame-indexed snapshot of PTE reference bits covering only the
+/// sampled runs; everything outside reads as unreferenced.
+///
+/// Runs are sorted and disjoint (the constructors guarantee it), so a
+/// lookup is a binary search over run starts plus a direct index into
+/// that run's bits — O(log runs), independent of machine size.
+#[derive(Debug, Clone, Default)]
+pub struct RefSnapshot {
+    /// Sorted, disjoint `(range, bits)` runs; `bits.len() == range.len`.
+    runs: Vec<(FrameRange, Vec<bool>)>,
+}
+
+impl RefSnapshot {
+    /// An empty snapshot: every frame reads as unreferenced.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot covering `[0, bits.len())` — the historical full-frame
+    /// snapshot shape.
+    pub fn full(bits: Vec<bool>) -> Self {
+        let range = FrameRange::new(0, bits.len() as u64);
+        Self {
+            runs: vec![(range, bits)],
+        }
+    }
+
+    /// Assembles a snapshot from `(range, bits)` runs. Runs must arrive
+    /// sorted by start and disjoint; empty runs are dropped.
+    pub(crate) fn from_runs(runs: Vec<(FrameRange, Vec<bool>)>) -> Self {
+        debug_assert!(runs.iter().all(|(r, b)| r.len as usize == b.len()));
+        debug_assert!(runs
+            .windows(2)
+            // lint: allow(indexing) - windows(2) yields exactly two elements
+            .all(|w| w[0].0.start + w[0].0.len <= w[1].0.start));
+        Self {
+            runs: runs.into_iter().filter(|(r, _)| r.len > 0).collect(),
+        }
+    }
+
+    /// The reference bit of `frame`, unreferenced outside every run.
+    ///
+    /// Debug builds assert the frame is inside a sampled run: the scan
+    /// only asks about frames on CLOCK lists, and every tracked frame
+    /// must be covered by the region map that chose the runs — an
+    /// out-of-run lookup means the region map lost a frame.
+    pub fn get(&self, frame: FrameId) -> bool {
+        let index = frame.index() as u64;
+        let run = match self.runs.binary_search_by(|(r, _)| r.start.cmp(&index)) {
+            Ok(i) => Some(&self.runs[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.runs[i - 1]),
+        };
+        match run {
+            Some((r, bits)) if r.contains(index) => bits[(index - r.start) as usize],
+            _ => {
+                debug_assert!(
+                    false,
+                    "reference lookup for frame {index} outside every sampled run"
+                );
+                false
+            }
+        }
+    }
+
+    /// Total frames sampled across all runs (the per-tick snapshot cost).
+    pub fn sampled_frames(&self) -> u64 {
+        self.runs.iter().map(|(r, _)| r.len).sum()
+    }
+
+    /// Number of sampled runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_snapshot_reads_back_every_bit() {
+        let bits = vec![true, false, true, true];
+        let snap = RefSnapshot::full(bits.clone());
+        for (i, want) in bits.iter().enumerate() {
+            assert_eq!(snap.get(FrameId::new(i as u32)), *want);
+        }
+        assert_eq!(snap.sampled_frames(), 4);
+        assert_eq!(snap.run_count(), 1);
+    }
+
+    #[test]
+    fn sparse_runs_read_back_and_count_only_sampled_frames() {
+        let snap = RefSnapshot::from_runs(vec![
+            (FrameRange::new(2, 2), vec![true, false]),
+            (FrameRange::new(10, 3), vec![false, true, true]),
+        ]);
+        assert!(snap.get(FrameId::new(2)));
+        assert!(!snap.get(FrameId::new(3)));
+        assert!(!snap.get(FrameId::new(10)));
+        assert!(snap.get(FrameId::new(11)));
+        assert!(snap.get(FrameId::new(12)));
+        assert_eq!(snap.sampled_frames(), 5);
+        assert_eq!(snap.run_count(), 2);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "outside every sampled run"))]
+    fn out_of_run_lookup_is_unreferenced_and_asserts_in_debug() {
+        let snap = RefSnapshot::from_runs(vec![(FrameRange::new(2, 2), vec![true, true])]);
+        assert!(!snap.get(FrameId::new(7)));
+    }
+
+    #[test]
+    fn empty_runs_are_dropped() {
+        let snap = RefSnapshot::from_runs(vec![
+            (FrameRange::new(0, 0), vec![]),
+            (FrameRange::new(4, 1), vec![true]),
+        ]);
+        assert_eq!(snap.run_count(), 1);
+        assert!(snap.get(FrameId::new(4)));
+    }
+
+    #[test]
+    fn frame_range_contains() {
+        let r = FrameRange::new(8, 4);
+        assert!(!r.contains(7));
+        assert!(r.contains(8));
+        assert!(r.contains(11));
+        assert!(!r.contains(12));
+    }
+}

@@ -7,6 +7,7 @@ use crate::frame::{Frame, FrameState, PageKind};
 use crate::ids::{FrameId, NodeId, TierId, VPage};
 use crate::latency::{AccessKind, LatencyModel};
 use crate::pte::PageTable;
+use crate::snapshot::{FrameRange, RefSnapshot};
 use crate::stats::{CostLedger, MemEvent, MemStats};
 use crate::tier::TierKind;
 use crate::time::Nanos;
@@ -525,15 +526,47 @@ impl MemorySystem {
     /// exactly what a sequential in-place harvest would have read:
     /// reference bits are only ever *set* by workload accesses, never
     /// during a scan. Unmapped frames report unreferenced.
-    pub fn referenced_snapshot(&self) -> Vec<bool> {
-        self.frames
+    ///
+    /// This walks **every** frame — O(total frames) per call. Policies
+    /// that know where their tracked pages live should use
+    /// [`Self::referenced_snapshot_ranges`] so snapshot cost scales
+    /// with the working set instead of the machine size.
+    pub fn referenced_snapshot(&self) -> RefSnapshot {
+        RefSnapshot::full(
+            self.frames
+                .iter()
+                .map(|fr| {
+                    fr.vpage()
+                        .and_then(|vp| self.page_table.get(vp))
+                        .is_some_and(|e| e.referenced)
+                })
+                .collect(),
+        )
+    }
+
+    /// A sparse reference-bit snapshot covering only the given frame
+    /// ranges (sorted, disjoint; the region map's populated regions).
+    /// Frames outside every range read as unreferenced — exact as long
+    /// as no tracked page lives outside the ranges, which the region
+    /// map guarantees and `RefSnapshot::get` asserts in debug builds.
+    pub fn referenced_snapshot_ranges(&self, ranges: &[FrameRange]) -> RefSnapshot {
+        let runs = ranges
             .iter()
-            .map(|fr| {
-                fr.vpage()
-                    .and_then(|vp| self.page_table.get(vp))
-                    .is_some_and(|e| e.referenced)
+            .map(|&range| {
+                let start = range.start as usize;
+                let end = (range.start + range.len).min(self.frames.len() as u64) as usize;
+                let bits = self.frames[start..end]
+                    .iter()
+                    .map(|fr| {
+                        fr.vpage()
+                            .and_then(|vp| self.page_table.get(vp))
+                            .is_some_and(|e| e.referenced)
+                    })
+                    .collect();
+                (FrameRange::new(range.start, (end - start) as u64), bits)
             })
-            .collect()
+            .collect();
+        RefSnapshot::from_runs(runs)
     }
 
     /// Poisons the PTE of a mapped page for hint-fault tracking. Returns

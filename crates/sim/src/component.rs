@@ -1,0 +1,262 @@
+//! The discrete-event scheduler core: engine work is expressed as
+//! [`Component`]s that wake at self-chosen instants.
+//!
+//! The engine used to drive daemon work from a single fixed-period check
+//! (`maybe_tick`) hard-wired to the tiering policy. That shape cannot
+//! express per-node daemons at heterogeneous intervals, periodic perf
+//! snapshots, or workload/fault windows without each growing its own
+//! `next_*` field and its own due-check on every access. Instead the
+//! engine keeps one priority queue of `(wake_time, ComponentId)` events:
+//! whenever virtual time crosses the earliest wake-up, that component's
+//! [`Component::tick`] runs with a mutable view of the engine
+//! ([`EngineCtx`]) and returns when it next wants to run — or `None` to
+//! go dormant. An idle component therefore costs nothing: it occupies no
+//! per-access check, only a heap entry (or not even that, once dormant).
+//!
+//! Determinism: the queue orders by `(wake_time, ComponentId)`, so
+//! simultaneous wake-ups dispatch in registration order. The built-in
+//! tiering daemon is always component 0, which makes a
+//! single-component schedule bit-identical to the historical
+//! fixed-period loop (the tick-equivalence contract pinned by
+//! `tests/scheduler_differential.rs`).
+
+use crate::engine::Frontend;
+use crate::metrics::Metrics;
+use crate::obs::ObsState;
+use crate::SimConfig;
+use mc_mem::{MemorySystem, Nanos, VirtualClock};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies a registered [`Component`]. Doubles as the deterministic
+/// tie-break when several components wake at the same instant:
+/// registration order wins, and the built-in tiering daemon registers
+/// first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    pub(crate) fn new(index: usize) -> Self {
+        ComponentId(index as u32)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A schedulable unit of engine work: the tiering daemon, a per-node
+/// scanner, a perf snapshotter, a fault window — anything that runs at
+/// discrete virtual-time instants rather than on the access path.
+///
+/// This is the engine's one scheduling surface: register with
+/// [`Simulation::add_component`](crate::Simulation::add_component) and
+/// return the next wake-up from each tick. Components never poll; a
+/// component that returns `None` goes dormant and costs the engine
+/// nothing until (if ever) it is re-armed via
+/// [`Simulation::wake_component`](crate::Simulation::wake_component).
+pub trait Component {
+    /// Short diagnostic name (shows up in `Debug` output).
+    fn name(&self) -> &'static str;
+
+    /// Runs the component at its scheduled instant `now` (virtual time
+    /// has reached or passed the wake-up it asked for). Returns the next
+    /// wake-up, which must lie strictly after `now`, or `None` to go
+    /// dormant.
+    fn tick(&mut self, now: Nanos, ctx: &mut EngineCtx<'_>) -> Option<Nanos>;
+}
+
+// A boxed component renders as its name, keeping `Simulation: Debug`.
+impl std::fmt::Debug for dyn Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Component({})", self.name())
+    }
+}
+
+/// The mutable view of the engine a [`Component`] ticks against: the
+/// split borrow of every engine field except the component table and the
+/// event queue themselves.
+#[derive(Debug)]
+pub struct EngineCtx<'a> {
+    pub(crate) cfg: &'a SimConfig,
+    pub(crate) mem: &'a mut MemorySystem,
+    pub(crate) clock: &'a mut VirtualClock,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) obs: &'a mut Option<ObsState>,
+    pub(crate) frontend: &'a mut Frontend,
+}
+
+impl EngineCtx<'_> {
+    /// The run configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// The memory substrate (read side).
+    pub fn mem(&self) -> &MemorySystem {
+        self.mem
+    }
+
+    /// The memory substrate (mutable, for policies and migration work).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        self.mem
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        self.metrics
+    }
+
+    /// The frontend policy's counters; empty for Memory-mode.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        match &*self.frontend {
+            Frontend::Tiered { policy, .. } => policy.counters(),
+            Frontend::MemoryMode(_) => Vec::new(),
+        }
+    }
+
+    /// Charges `cost` of daemon CPU to the substrate's cost ledger (it
+    /// reaches the clock and cost breakdown at the next absorb).
+    pub fn charge_daemon(&mut self, cost: Nanos) {
+        self.mem.ledger_mut().charge_daemon(cost);
+    }
+
+    /// Absorbs substrate side effects accumulated by this tick — the
+    /// cost ledger into the clock and cost breakdown, migration events
+    /// into the windowed metrics — then settles pending re-access
+    /// bookkeeping. Components that touch the substrate should call this
+    /// before returning.
+    pub fn absorb_and_settle(&mut self) {
+        crate::engine::absorb_substrate(
+            self.mem,
+            self.clock,
+            self.metrics,
+            self.cfg.daemon_contention,
+        );
+        self.metrics.settle(self.clock.now());
+    }
+}
+
+/// The discrete-event queue: a min-heap of `(wake_time, ComponentId)`.
+#[derive(Debug, Default)]
+pub(crate) struct Scheduler {
+    queue: BinaryHeap<Reverse<(Nanos, ComponentId)>>,
+}
+
+impl Scheduler {
+    /// Enqueues a wake-up for `id` at `at`.
+    pub(crate) fn schedule(&mut self, at: Nanos, id: ComponentId) {
+        self.queue.push(Reverse((at, id)));
+    }
+
+    /// Pops the earliest wake-up if it is due at `now`.
+    pub(crate) fn next_due(&mut self, now: Nanos) -> Option<(Nanos, ComponentId)> {
+        match self.queue.peek() {
+            Some(&Reverse((at, _))) if at <= now => self.queue.pop().map(|Reverse(entry)| entry),
+            _ => None,
+        }
+    }
+
+    /// The earliest pending wake-up, due or not.
+    pub(crate) fn next_wake(&self) -> Option<Nanos> {
+        self.queue.peek().map(|&Reverse((at, _))| at)
+    }
+
+    /// Number of pending wake-ups.
+    pub(crate) fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// The tiering daemon as a component: one tick of the frontend policy,
+/// with scan-CPU charging, substrate absorption and the obs snapshot.
+/// Reproduces the historical fixed-period `maybe_tick` body exactly, so
+/// a schedule containing only this component is bit-identical to the
+/// pre-scheduler engine.
+#[derive(Debug)]
+pub(crate) struct DaemonComponent;
+
+impl Component for DaemonComponent {
+    fn name(&self) -> &'static str {
+        "tiering-daemon"
+    }
+
+    fn tick(&mut self, due: Nanos, ctx: &mut EngineCtx<'_>) -> Option<Nanos> {
+        let Frontend::Tiered { policy, .. } = &mut *ctx.frontend else {
+            return None;
+        };
+        ctx.mem.set_now(due.as_nanos());
+        // Host-time span around the whole daemon tick. The guard only
+        // observes the monotonic clock; nothing it reads flows back
+        // into engine state, so hooks-on stays bit-identical.
+        let mut span = ctx.cfg.perf().map(|p| p.span(mc_obs::Phase::Tick));
+        let out = policy.tick(ctx.mem, due);
+        if let Some(s) = span.as_mut() {
+            s.add_items(1);
+        }
+        drop(span);
+        // Scan CPU cost.
+        let scan_cost =
+            Nanos::from_nanos(out.pages_scanned * ctx.mem.latency().scan_per_page.as_nanos());
+        ctx.mem.ledger_mut().charge_daemon(scan_cost);
+        crate::engine::absorb_substrate(ctx.mem, ctx.clock, ctx.metrics, ctx.cfg.daemon_contention);
+        ctx.metrics.settle(ctx.clock.now());
+        if let Some(obs) = ctx.obs.as_mut() {
+            let counters = policy.counters();
+            obs.snapshot(due, ctx.mem.stats(), &counters);
+        }
+        let interval = policy.tick_interval().unwrap_or(ctx.cfg.scan_interval);
+        Some(due + interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: usize) -> ComponentId {
+        ComponentId::new(n)
+    }
+
+    #[test]
+    fn scheduler_pops_in_time_order() {
+        let mut s = Scheduler::default();
+        s.schedule(Nanos::from_nanos(30), id(0));
+        s.schedule(Nanos::from_nanos(10), id(1));
+        s.schedule(Nanos::from_nanos(20), id(2));
+        let now = Nanos::from_nanos(100);
+        assert_eq!(s.next_due(now), Some((Nanos::from_nanos(10), id(1))));
+        assert_eq!(s.next_due(now), Some((Nanos::from_nanos(20), id(2))));
+        assert_eq!(s.next_due(now), Some((Nanos::from_nanos(30), id(0))));
+        assert_eq!(s.next_due(now), None);
+    }
+
+    #[test]
+    fn simultaneous_wakeups_dispatch_in_registration_order() {
+        let mut s = Scheduler::default();
+        let t = Nanos::from_nanos(5);
+        s.schedule(t, id(2));
+        s.schedule(t, id(0));
+        s.schedule(t, id(1));
+        assert_eq!(s.next_due(t), Some((t, id(0))));
+        assert_eq!(s.next_due(t), Some((t, id(1))));
+        assert_eq!(s.next_due(t), Some((t, id(2))));
+    }
+
+    #[test]
+    fn future_wakeups_are_not_due() {
+        let mut s = Scheduler::default();
+        s.schedule(Nanos::from_nanos(50), id(0));
+        assert_eq!(s.next_due(Nanos::from_nanos(49)), None);
+        assert_eq!(s.next_wake(), Some(Nanos::from_nanos(50)));
+        assert_eq!(s.pending(), 1);
+        assert!(s.next_due(Nanos::from_nanos(50)).is_some());
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.next_wake(), None);
+    }
+}

@@ -72,6 +72,73 @@ impl SystemKind {
     }
 }
 
+/// Engine-mechanics knobs: how the daemon's work is organised and
+/// executed. None of these change *what* the simulation computes — every
+/// combination is bit-identical on results (the differential tests under
+/// `crates/sim/tests/` enforce it) — only how the work is sliced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineKnobs {
+    /// MULTI-CLOCK scanner shards per NUMA node (per-node `kpromoted`
+    /// sharding). `1` reproduces the single-scanner layout bit-for-bit
+    /// on single-node tiers; other systems ignore the knob.
+    pub scan_shards: usize,
+    /// Pages per batched promotion migration call handed to MULTI-CLOCK
+    /// (`1` = historical page-at-a-time migration, bit-identical).
+    pub migrate_batch_size: usize,
+    /// Worker threads for MULTI-CLOCK's scan phase. Purely a wall-clock
+    /// knob: any value `>= 1` produces bit-identical results (the
+    /// executor merges per-shard output in fixed shard order); other
+    /// systems ignore it.
+    pub threads: usize,
+    /// How MULTI-CLOCK executes promotions: [`MigrationMode::Sync`]
+    /// (default, bit-identical to the historical engine) or
+    /// [`MigrationMode::Transactional`] (Nomad-style copy windows with
+    /// shadow-page retention). [`SystemKind::Nomad`] forces
+    /// `Transactional`; other systems ignore the knob.
+    pub migration_mode: MigrationMode,
+}
+
+impl Default for EngineKnobs {
+    fn default() -> Self {
+        EngineKnobs {
+            scan_shards: 1,
+            migrate_batch_size: 1,
+            threads: 1,
+            migration_mode: MigrationMode::Sync,
+        }
+    }
+}
+
+/// Instrumentation knobs: observability, fault injection and host-time
+/// profiling. All purely observational or test-harness concerns — the
+/// default (everything off) is byte-identical to an engine without the
+/// instrumentation layers, and enabling obs or perf never changes
+/// virtual-time results.
+#[derive(Debug, Clone)]
+pub struct InstrumentKnobs {
+    /// Observability: tracepoints, per-tick time series and run reports.
+    /// Off by default; enabling never changes virtual-time results.
+    pub obs: ObsConfig,
+    /// Deterministic fault injection (chaos testing). The default,
+    /// [`FaultConfig::none`], installs no injector.
+    pub fault: FaultConfig,
+    /// Optional host-time profiling hooks, forwarded to MULTI-CLOCK's
+    /// phase boundaries and the simulation tick loop. `None` (the
+    /// default) makes every boundary a no-op; hooks only observe the
+    /// host's monotonic clock, so enabling them never changes results.
+    pub perf: Option<PerfHooks>,
+}
+
+impl Default for InstrumentKnobs {
+    fn default() -> Self {
+        InstrumentKnobs {
+            obs: ObsConfig::off(),
+            fault: FaultConfig::none(),
+            perf: None,
+        }
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -97,39 +164,15 @@ pub struct SimConfig {
     pub write_weight: f64,
     /// Adaptive scan interval extension flag.
     pub adaptive_interval: bool,
-    /// Observability: tracepoints, per-tick time series and run reports.
-    /// Off by default; enabling never changes virtual-time results.
-    pub obs: ObsConfig,
-    /// Deterministic fault injection (chaos testing). The default,
-    /// [`FaultConfig::none`], installs no injector and is byte-identical
-    /// to an engine without the fault layer.
-    pub fault: FaultConfig,
     /// Promotion retry/backoff policy handed to MULTI-CLOCK (other
     /// systems keep their original single-attempt behaviour).
     pub retry: RetryPolicy,
-    /// MULTI-CLOCK scanner shards per NUMA node (per-node `kpromoted`
-    /// sharding). `1` reproduces the single-scanner layout bit-for-bit
-    /// on single-node tiers; other systems ignore the knob.
-    pub scan_shards: usize,
-    /// Pages per batched promotion migration call handed to MULTI-CLOCK
-    /// (`1` = historical page-at-a-time migration, bit-identical).
-    pub migrate_batch_size: usize,
-    /// Worker threads for MULTI-CLOCK's scan phase. Purely a wall-clock
-    /// knob: any value `>= 1` produces bit-identical results (the
-    /// executor merges per-shard output in fixed shard order); other
-    /// systems ignore it.
-    pub threads: usize,
-    /// Optional host-time profiling hooks, forwarded to MULTI-CLOCK's
-    /// phase boundaries and the simulation tick loop. `None` (the
-    /// default) makes every boundary a no-op; hooks only observe the
-    /// host's monotonic clock, so enabling them never changes results.
-    pub perf: Option<PerfHooks>,
-    /// How MULTI-CLOCK executes promotions: [`MigrationMode::Sync`]
-    /// (default, bit-identical to the historical engine) or
-    /// [`MigrationMode::Transactional`] (Nomad-style copy windows with
-    /// shadow-page retention). [`SystemKind::Nomad`] forces
-    /// `Transactional`; other systems ignore the knob.
-    pub migration_mode: MigrationMode,
+    /// Engine-mechanics knobs (sharding, batching, threading, migration
+    /// mode) — result-neutral by contract.
+    pub engine: EngineKnobs,
+    /// Instrumentation knobs (observability, fault injection, host-time
+    /// profiling).
+    pub instrument: InstrumentKnobs,
 }
 
 impl SimConfig {
@@ -145,15 +188,15 @@ impl SimConfig {
             window: Nanos::from_secs(20),
             write_weight: 1.0,
             adaptive_interval: false,
-            obs: ObsConfig::off(),
-            fault: FaultConfig::none(),
             retry: RetryPolicy::immediate(),
-            scan_shards: 1,
-            migrate_batch_size: 1,
-            threads: 1,
-            perf: None,
-            migration_mode: MigrationMode::Sync,
+            engine: EngineKnobs::default(),
+            instrument: InstrumentKnobs::default(),
         }
+    }
+
+    /// The host-time profiling hooks, if installed.
+    pub fn perf(&self) -> Option<&PerfHooks> {
+        self.instrument.perf.as_ref()
     }
 
     /// A three-tier (HBM + DRAM + PM) configuration for the N-tier
@@ -169,10 +212,7 @@ impl SimConfig {
     pub fn with_system(&self, system: SystemKind) -> Self {
         SimConfig {
             system,
-            mem: self.mem.clone(),
-            fault: self.fault.clone(),
-            perf: self.perf.clone(),
-            ..*self
+            ..self.clone()
         }
     }
 
@@ -180,10 +220,7 @@ impl SimConfig {
     pub fn with_interval(&self, interval: Nanos) -> Self {
         SimConfig {
             scan_interval: interval,
-            mem: self.mem.clone(),
-            fault: self.fault.clone(),
-            perf: self.perf.clone(),
-            ..*self
+            ..self.clone()
         }
     }
 }

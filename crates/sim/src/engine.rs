@@ -1,7 +1,8 @@
 //! The simulation engine: implements [`Memory`] over the tiering
-//! substrate, interleaving application accesses with daemon ticks in
-//! virtual time.
+//! substrate, interleaving application accesses with scheduled component
+//! work ([`crate::component`]) in virtual time.
 
+use crate::component::{Component, ComponentId, DaemonComponent, EngineCtx, Scheduler};
 use crate::config::{SimConfig, SystemKind};
 use crate::metrics::Metrics;
 use crate::obs::ObsState;
@@ -19,7 +20,7 @@ use multi_clock::{MultiClock, MultiClockConfig};
 use std::collections::HashMap;
 
 /// The system frontend: an OS tiering policy, or the Memory-mode cache.
-enum Frontend {
+pub(crate) enum Frontend {
     Tiered {
         policy: Box<dyn TieringPolicy>,
         oracle_visibility: bool,
@@ -44,7 +45,10 @@ pub struct Simulation {
     mem: MemorySystem,
     frontend: Frontend,
     clock: VirtualClock,
-    next_tick: Option<Nanos>,
+    /// Registered components; a slot is `None` only while its component
+    /// is mid-tick (taken out to split the borrow).
+    components: Vec<Option<Box<dyn Component>>>,
+    scheduler: Scheduler,
     next_free_page: u64,
     /// Mapped regions: start page -> (pages, kind).
     regions: Vec<(u64, u64, PageKind)>,
@@ -71,14 +75,14 @@ impl Simulation {
                         write_weight: cfg.write_weight,
                         adaptive_interval: cfg.adaptive_interval,
                         retry: cfg.retry,
-                        scan_shards: cfg.scan_shards,
-                        migrate_batch_size: cfg.migrate_batch_size,
-                        scan_threads: cfg.threads,
-                        perf: cfg.perf.clone(),
+                        scan_shards: cfg.engine.scan_shards,
+                        migrate_batch_size: cfg.engine.migrate_batch_size,
+                        scan_threads: cfg.engine.threads,
+                        perf: cfg.instrument.perf.clone(),
                         migration_mode: if cfg.system == SystemKind::Nomad {
                             MigrationMode::Transactional
                         } else {
-                            cfg.migration_mode
+                            cfg.engine.migration_mode
                         },
                         // Adaptive bounds scale with the configured
                         // interval (the defaults are paper-scale).
@@ -144,18 +148,27 @@ impl Simulation {
                 Frontend::MemoryMode(MemoryModeCache::new(dram_pages))
             }
         };
-        let next_tick = match &frontend {
-            Frontend::Tiered { policy, .. } => policy.tick_interval(),
-            Frontend::MemoryMode(_) => None,
-        };
+        // The tiering daemon is always component 0 (when the frontend
+        // ticks at all), so a single-component schedule dispatches
+        // exactly like the historical fixed-period loop.
+        let mut components: Vec<Option<Box<dyn Component>>> = Vec::new();
+        let mut scheduler = Scheduler::default();
+        if let Frontend::Tiered { policy, .. } = &frontend {
+            if let Some(first) = policy.tick_interval() {
+                let id = ComponentId::new(components.len());
+                components.push(Some(Box::new(DaemonComponent)));
+                scheduler.schedule(first, id);
+            }
+        }
         let obs = cfg
+            .instrument
             .obs
             .enabled
-            .then(|| ObsState::new(cfg.obs, cfg.mem.topology.tier_count()));
-        if cfg.obs.enabled {
-            mem.recorder_mut().enable(cfg.obs.ring_capacity);
+            .then(|| ObsState::new(cfg.instrument.obs, cfg.mem.topology.tier_count()));
+        if cfg.instrument.obs.enabled {
+            mem.recorder_mut().enable(cfg.instrument.obs.ring_capacity);
         }
-        if let Some(injector) = FaultInjector::from_config(&cfg.fault) {
+        if let Some(injector) = FaultInjector::from_config(&cfg.instrument.fault) {
             mem.set_fault_injector(injector);
         }
         let window = cfg.window;
@@ -165,13 +178,50 @@ impl Simulation {
             mem,
             frontend,
             clock: VirtualClock::new(),
-            next_tick,
+            components,
+            scheduler,
             next_free_page: 0,
             regions: Vec::new(),
             data: HashMap::new(),
             metrics: Metrics::with_horizon(window, horizon),
             obs,
         }
+    }
+
+    /// Registers `component` with its first wake-up at `first_wake` and
+    /// returns its id. [`Component`] is the engine's one scheduling
+    /// surface: the component runs whenever virtual time crosses the
+    /// wake-up it last asked for, in `(wake_time, registration order)`
+    /// order relative to other components. A `first_wake` at or before
+    /// the current instant fires on the next access or compute step.
+    pub fn add_component(
+        &mut self,
+        component: Box<dyn Component>,
+        first_wake: Nanos,
+    ) -> ComponentId {
+        let id = ComponentId::new(self.components.len());
+        self.components.push(Some(component));
+        self.scheduler.schedule(first_wake, id);
+        id
+    }
+
+    /// Re-arms a dormant component (one whose `tick` returned `None`) to
+    /// wake at `at`. Waking a component that already has a pending
+    /// wake-up enqueues a second, earlier or later tick — callers re-arm
+    /// only components they know to be dormant.
+    pub fn wake_component(&mut self, id: ComponentId, at: Nanos) {
+        self.scheduler.schedule(at, id);
+    }
+
+    /// Number of pending component wake-ups (dormant components have
+    /// none — idle work costs the engine nothing).
+    pub fn pending_wakeups(&self) -> usize {
+        self.scheduler.pending()
+    }
+
+    /// The earliest pending component wake-up, if any.
+    pub fn next_wake(&self) -> Option<Nanos> {
+        self.scheduler.next_wake()
     }
 
     /// The configuration.
@@ -212,27 +262,33 @@ impl Simulation {
             .map(|o| o.render_report(&self.cfg, &self.mem, &self.metrics, self.clock.now()))
     }
 
+    /// Whether observability was enabled for this run (whether
+    /// [`Self::write_obs`] will produce artifacts).
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
     /// Writes `events.jsonl`, `ticks.csv` and `report.txt` into `dir`
-    /// (creating it), the layout `mc-obs-report` consumes. Returns
-    /// `Ok(false)` without touching the filesystem when obs is off.
-    pub fn write_obs(&self, dir: &std::path::Path) -> std::io::Result<bool> {
+    /// (creating it), the layout `mc-obs-report` consumes. A no-op when
+    /// obs is off — check [`Self::obs_enabled`] to distinguish.
+    pub fn write_obs(&self, dir: &std::path::Path) -> std::io::Result<()> {
         let (Some(events), Some(csv), Some(report)) = (
             self.obs_events_jsonl(),
             self.obs_ticks_csv(),
             self.obs_report(),
         ) else {
-            return Ok(false);
+            return Ok(());
         };
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join("events.jsonl"), events)?;
         std::fs::write(dir.join("ticks.csv"), csv)?;
         std::fs::write(dir.join("report.txt"), report)?;
-        Ok(true)
+        Ok(())
     }
 
     /// The frontend policy's counters (empty for Memory-mode, which has
     /// no tiering daemon).
-    pub fn policy_counters(&self) -> Vec<(&'static str, u64)> {
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
         match &self.frontend {
             Frontend::Tiered { policy, .. } => policy.counters(),
             Frontend::MemoryMode(_) => Vec::new(),
@@ -243,7 +299,7 @@ impl Simulation {
     /// Returns 0 for unknown names and for frontends without a tiering
     /// daemon (Memory-mode), so callers need no unwrapping.
     pub fn counter(&self, name: &str) -> u64 {
-        self.policy_counters()
+        self.counters()
             .into_iter()
             .find(|(n, _)| *n == name)
             .map_or(0, |(_, v)| v)
@@ -279,81 +335,34 @@ impl Simulation {
             .unwrap_or(PageKind::Anon)
     }
 
-    /// Absorbs substrate side effects: the cost ledger into the clock and
-    /// cost breakdown, migration events into the windowed metrics.
-    fn absorb_substrate(
-        mem: &mut MemorySystem,
-        clock: &mut VirtualClock,
-        metrics: &mut Metrics,
-        daemon_contention: f64,
-    ) {
-        let ledger = mem.ledger_mut().take();
-        // Application stalls (TLB shootdowns, swap-ins) hit the app fully.
-        clock.advance(ledger.app_stall);
-        metrics.costs_mut().stall_time += ledger.app_stall;
-        // Daemon CPU leaks a contention fraction into the app.
-        let leak =
-            Nanos::from_nanos((ledger.daemon_cpu.as_nanos() as f64 * daemon_contention) as u64);
-        clock.advance(leak);
-        metrics.costs_mut().daemon_time += ledger.daemon_cpu;
-        metrics.costs_mut().background_time += ledger.background;
-        let now = clock.now();
-        for ev in mem.drain_events() {
-            match ev {
-                mc_mem::MemEvent::Migrated {
-                    vpage, src, dst, ..
-                } => {
-                    if dst < src {
-                        if let Some(v) = vpage {
-                            metrics.on_promotion(v, now);
-                        }
-                    } else {
-                        metrics.on_demotion(now);
-                    }
-                }
-                mc_mem::MemEvent::Evicted { .. } | mc_mem::MemEvent::SwappedIn { .. } => {}
-            }
-        }
-    }
-
-    /// Runs any due daemon ticks.
-    fn maybe_tick(&mut self) {
-        loop {
-            let Some(due) = self.next_tick else { return };
-            if self.clock.now() < due {
-                return;
-            }
-            let Frontend::Tiered { policy, .. } = &mut self.frontend else {
-                self.next_tick = None;
-                return;
+    /// Dispatches every due component wake-up, earliest `(time, id)`
+    /// first. Component ticks can advance the clock (absorbed substrate
+    /// costs), so the due check re-reads it each iteration — a tick that
+    /// pushes time past another component's wake-up dispatches that
+    /// component in the same drain.
+    fn dispatch_due(&mut self) {
+        while let Some((due, id)) = self.scheduler.next_due(self.clock.now()) {
+            let Some(mut component) = self.components[id.index()].take() else {
+                continue;
             };
-            self.mem.set_now(due.as_nanos());
-            // Host-time span around the whole daemon tick. The guard only
-            // observes the monotonic clock; nothing it reads flows back
-            // into engine state, so hooks-on stays bit-identical.
-            let mut span = self.cfg.perf.as_ref().map(|p| p.span(mc_obs::Phase::Tick));
-            let out = policy.tick(&mut self.mem, due);
-            if let Some(s) = span.as_mut() {
-                s.add_items(1);
+            let next = {
+                let mut ctx = EngineCtx {
+                    cfg: &self.cfg,
+                    mem: &mut self.mem,
+                    clock: &mut self.clock,
+                    metrics: &mut self.metrics,
+                    obs: &mut self.obs,
+                    frontend: &mut self.frontend,
+                };
+                component.tick(due, &mut ctx)
+            };
+            self.components[id.index()] = Some(component);
+            if let Some(next) = next {
+                // A wake-up at or before `due` would spin this drain
+                // forever; clamp to the next representable instant.
+                self.scheduler
+                    .schedule(next.max(due + Nanos::from_nanos(1)), id);
             }
-            drop(span);
-            // Scan CPU cost.
-            let scan_cost =
-                Nanos::from_nanos(out.pages_scanned * self.mem.latency().scan_per_page.as_nanos());
-            self.mem.ledger_mut().charge_daemon(scan_cost);
-            Self::absorb_substrate(
-                &mut self.mem,
-                &mut self.clock,
-                &mut self.metrics,
-                self.cfg.daemon_contention,
-            );
-            self.metrics.settle(self.clock.now());
-            if let Some(obs) = &mut self.obs {
-                let counters = policy.counters();
-                obs.snapshot(due, self.mem.stats(), &counters);
-            }
-            let interval = policy.tick_interval().unwrap_or(self.cfg.scan_interval);
-            self.next_tick = Some(due + interval);
         }
     }
 
@@ -429,13 +438,13 @@ impl Simulation {
                     let Some(frame) = frame else {
                         self.clock.advance(self.cfg.minor_fault);
                         self.metrics.costs_mut().stall_time += self.cfg.minor_fault;
-                        Self::absorb_substrate(
+                        absorb_substrate(
                             &mut self.mem,
                             &mut self.clock,
                             &mut self.metrics,
                             self.cfg.daemon_contention,
                         );
-                        self.maybe_tick();
+                        self.dispatch_due();
                         return;
                     };
                     // lint: allow(panic) - frame was allocated above for a vpage lookup() reported unmapped
@@ -472,13 +481,13 @@ impl Simulation {
                 self.metrics.on_access(vpage, self.clock.now());
             }
         }
-        Self::absorb_substrate(
+        absorb_substrate(
             &mut self.mem,
             &mut self.clock,
             &mut self.metrics,
             self.cfg.daemon_contention,
         );
-        self.maybe_tick();
+        self.dispatch_due();
     }
 
     fn touch(&mut self, addr: VAddr, len: usize, kind: AccessKind) {
@@ -557,7 +566,45 @@ impl Memory for Simulation {
 
     fn compute(&mut self, t: Nanos) {
         self.clock.advance(t);
-        self.maybe_tick();
+        self.dispatch_due();
+    }
+}
+
+/// Absorbs substrate side effects: the cost ledger into the clock and
+/// cost breakdown, migration events into the windowed metrics. Shared by
+/// the access path and component ticks
+/// ([`EngineCtx::absorb_and_settle`]).
+pub(crate) fn absorb_substrate(
+    mem: &mut MemorySystem,
+    clock: &mut VirtualClock,
+    metrics: &mut Metrics,
+    daemon_contention: f64,
+) {
+    let ledger = mem.ledger_mut().take();
+    // Application stalls (TLB shootdowns, swap-ins) hit the app fully.
+    clock.advance(ledger.app_stall);
+    metrics.costs_mut().stall_time += ledger.app_stall;
+    // Daemon CPU leaks a contention fraction into the app.
+    let leak = Nanos::from_nanos((ledger.daemon_cpu.as_nanos() as f64 * daemon_contention) as u64);
+    clock.advance(leak);
+    metrics.costs_mut().daemon_time += ledger.daemon_cpu;
+    metrics.costs_mut().background_time += ledger.background;
+    let now = clock.now();
+    for ev in mem.drain_events() {
+        match ev {
+            mc_mem::MemEvent::Migrated {
+                vpage, src, dst, ..
+            } => {
+                if dst < src {
+                    if let Some(v) = vpage {
+                        metrics.on_promotion(v, now);
+                    }
+                } else {
+                    metrics.on_demotion(now);
+                }
+            }
+            mc_mem::MemEvent::Evicted { .. } | mc_mem::MemEvent::SwappedIn { .. } => {}
+        }
     }
 }
 
@@ -825,7 +872,7 @@ mod tests {
     #[test]
     fn obs_run_emits_parseable_events_series_and_report() {
         let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
-        cfg.obs = crate::ObsConfig::on();
+        cfg.instrument.obs = crate::ObsConfig::on();
         let mut s = Simulation::new(cfg);
         // Fill DRAM with one-touch pages, then hammer the first PM-resident
         // page across scan ticks so it climbs the full promote ladder.
@@ -886,7 +933,7 @@ mod tests {
         let run = |obs_on: bool| {
             let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
             if obs_on {
-                cfg.obs = crate::ObsConfig::on();
+                cfg.instrument.obs = crate::ObsConfig::on();
             }
             let mut s = Simulation::new(cfg);
             let a = s.mmap(PAGE_SIZE * 128, PageKind::Anon);

@@ -264,8 +264,8 @@ enum Workload {
 /// Builder for one experiment run — YCSB or GAPBS.
 ///
 /// The single entry point for all runs (the old
-/// `run_ycsb`/`run_ycsb_observed`/`run_ycsb_chaos` trio is gone, and
-/// `run_gapbs` survives one more release as a thin wrapper):
+/// `run_ycsb`/`run_ycsb_observed`/`run_ycsb_chaos` trio and the
+/// deprecated `run_gapbs` wrapper are gone):
 ///
 /// ```no_run
 /// use mc_sim::experiments::{Experiment, Scale};
@@ -431,15 +431,15 @@ impl Experiment {
                 cfg
             }
         };
-        cfg.fault = self.fault;
+        cfg.instrument.fault = self.fault;
         cfg.retry = self.retry;
-        cfg.scan_shards = self.scan_shards;
-        cfg.migrate_batch_size = self.migrate_batch_size;
-        cfg.threads = self.threads;
-        cfg.perf = self.perf.clone();
-        cfg.migration_mode = self.migration_mode;
+        cfg.engine.scan_shards = self.scan_shards;
+        cfg.engine.migrate_batch_size = self.migrate_batch_size;
+        cfg.engine.threads = self.threads;
+        cfg.instrument.perf = self.perf.clone();
+        cfg.engine.migration_mode = self.migration_mode;
         if self.obs_dir.is_some() {
-            cfg.obs = mc_obs::ObsConfig::on();
+            cfg.instrument.obs = mc_obs::ObsConfig::on();
         }
         let (outcome, sim) = match self.workload {
             Workload::Ycsb(w) => run_ycsb_cfg(cfg, w, &self.scale),
@@ -495,20 +495,6 @@ fn run_ycsb_cfg(cfg: SimConfig, workload: YcsbWorkload, scale: &Scale) -> (RunOu
     outcome.p50 = hist.percentile(50.0);
     outcome.p99 = hist.percentile(99.0);
     (outcome, sim)
-}
-
-/// Runs one GAPBS kernel on one system; reports mean trial time.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::gapbs(kernel).system(...).scale(...).interval(...).run()` instead"
-)]
-pub fn run_gapbs(system: SystemKind, kernel: Kernel, scale: &Scale, interval: Nanos) -> RunOutcome {
-    Experiment::gapbs(kernel)
-        .system(system)
-        .scale(scale)
-        .interval(interval)
-        .run()
-        .expect("no obs artifacts requested, so no I/O can fail")
 }
 
 /// The GAPBS driver proper; returns the finished simulation so observed
@@ -704,26 +690,6 @@ mod tests {
             .run()
             .unwrap();
         assert!(r.trial_time > Nanos::ZERO);
-    }
-
-    #[test]
-    fn deprecated_run_gapbs_matches_the_builder() {
-        let mut scale = Scale::tiny();
-        scale.graph_scale = 8;
-        #[allow(deprecated)]
-        let old = run_gapbs(
-            SystemKind::Static,
-            Kernel::Bfs,
-            &scale,
-            scale.scan_interval(),
-        );
-        let new = Experiment::gapbs(Kernel::Bfs)
-            .system(SystemKind::Static)
-            .scale(&scale)
-            .run()
-            .unwrap();
-        assert_eq!(old.trial_time, new.trial_time);
-        assert_eq!(old.promotions, new.promotions);
     }
 
     #[test]

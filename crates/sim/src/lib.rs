@@ -12,7 +12,12 @@
 //! * daemon work (scans) is charged at a configurable contention factor —
 //!   the daemon runs on its own core, but migrations' unmap/TLB costs and
 //!   hint faults stall the application in full;
-//! * daemon ticks fire when virtual time crosses the policy's interval.
+//! * daemon work is discrete-event scheduled: [`Component`]s register
+//!   wake-ups on a priority queue, and whenever virtual time crosses the
+//!   earliest one the engine dispatches that component ([`component`]).
+//!   The tiering daemon is itself a component; others (per-node daemons,
+//!   perf snapshotters) can run at heterogeneous intervals, and an idle
+//!   component costs nothing.
 //!
 //! [`experiments`] contains the canned experiment drivers the `mc-bench`
 //! figure binaries and the integration tests share.
@@ -28,6 +33,7 @@
 //! assert!(sim.now().as_nanos() > 0);
 //! ```
 
+pub mod component;
 pub mod config;
 pub mod engine;
 pub mod experiments;
@@ -36,7 +42,8 @@ pub mod metrics;
 pub mod obs;
 pub mod report;
 
-pub use config::{SimConfig, SystemKind};
+pub use component::{Component, ComponentId, EngineCtx};
+pub use config::{EngineKnobs, InstrumentKnobs, SimConfig, SystemKind};
 pub use engine::Simulation;
 pub use experiments::{Experiment, RunOutcome, Scale};
 pub use latency_hist::LatencyHistogram;

@@ -80,7 +80,7 @@ fn run(cfg: SimConfig) -> Fingerprint {
 
 fn base_cfg() -> SimConfig {
     let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
-    cfg.obs = mc_sim::ObsConfig::on();
+    cfg.instrument.obs = mc_sim::ObsConfig::on();
     cfg
 }
 
@@ -90,8 +90,8 @@ fn batch_one_shard_one_is_bit_identical_to_default() {
     // change nothing at all, down to the tracepoint stream.
     let implicit = run(base_cfg());
     let mut cfg = base_cfg();
-    cfg.migrate_batch_size = 1;
-    cfg.scan_shards = 1;
+    cfg.engine.migrate_batch_size = 1;
+    cfg.engine.scan_shards = 1;
     let explicit = run(cfg);
     assert_eq!(implicit, explicit);
 }
@@ -100,8 +100,8 @@ fn batch_one_shard_one_is_bit_identical_to_default() {
 fn batched_sharded_run_is_deterministic() {
     let mk = || {
         let mut cfg = base_cfg();
-        cfg.migrate_batch_size = 4;
-        cfg.scan_shards = 2;
+        cfg.engine.migrate_batch_size = 4;
+        cfg.engine.scan_shards = 2;
         cfg
     };
     let a = run(mk());
@@ -113,8 +113,8 @@ fn batched_sharded_run_is_deterministic() {
 #[test]
 fn batched_run_conserves_pages() {
     let mut cfg = base_cfg();
-    cfg.migrate_batch_size = 8;
-    cfg.scan_shards = 2;
+    cfg.engine.migrate_batch_size = 8;
+    cfg.engine.scan_shards = 2;
     let fp = run(cfg);
     // Every page the workload touched is still mapped somewhere.
     for (p, slot) in fp.placement.iter().enumerate() {
@@ -134,7 +134,7 @@ fn batching_amortizes_migration_setup_cost() {
     // call, so total background time must not grow with batch size.
     let single = run(base_cfg());
     let mut cfg = base_cfg();
-    cfg.migrate_batch_size = 8;
+    cfg.engine.migrate_batch_size = 8;
     let batched = run(cfg);
     assert!(batched.promotions > 0, "batched run still promotes");
     let overhead =

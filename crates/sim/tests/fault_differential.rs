@@ -69,7 +69,7 @@ fn run(cfg: SimConfig) -> Fingerprint {
 
 fn base_cfg() -> SimConfig {
     let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
-    cfg.obs = mc_sim::ObsConfig::on();
+    cfg.instrument.obs = mc_sim::ObsConfig::on();
     cfg
 }
 
@@ -78,8 +78,11 @@ fn zero_rate_injector_is_bit_identical_to_no_injector() {
     let without = run(base_cfg());
 
     let mut cfg = base_cfg();
-    cfg.fault = FaultConfig::rate(42, 0.0);
-    assert!(cfg.fault.enabled(), "an injector is genuinely installed");
+    cfg.instrument.fault = FaultConfig::rate(42, 0.0);
+    assert!(
+        cfg.instrument.fault.enabled(),
+        "an injector is genuinely installed"
+    );
     let with = run(cfg);
 
     assert_eq!(without, with);
@@ -92,7 +95,7 @@ fn zero_rate_with_backoff_policy_is_still_identical() {
     // failures the generous policy must be invisible too.
     let without = run(base_cfg());
     let mut cfg = base_cfg();
-    cfg.fault = FaultConfig::rate(7, 0.0);
+    cfg.instrument.fault = FaultConfig::rate(7, 0.0);
     cfg.retry = RetryPolicy::backoff();
     let with = run(cfg);
     assert_eq!(without, with);
@@ -102,7 +105,7 @@ fn zero_rate_with_backoff_policy_is_still_identical() {
 fn chaos_run_is_seed_deterministic() {
     let mk = || {
         let mut cfg = base_cfg();
-        cfg.fault = FaultConfig::rate(42, 0.2);
+        cfg.instrument.fault = FaultConfig::rate(42, 0.2);
         cfg.retry = RetryPolicy::backoff();
         cfg
     };
@@ -115,7 +118,7 @@ fn chaos_run_is_seed_deterministic() {
 #[test]
 fn chaos_run_loses_no_page_and_still_promotes() {
     let mut cfg = base_cfg();
-    cfg.fault = FaultConfig::rate(42, 0.2);
+    cfg.instrument.fault = FaultConfig::rate(42, 0.2);
     cfg.retry = RetryPolicy::backoff();
     let fp = run(cfg);
     // Every page the workload touched is still mapped somewhere.
@@ -136,7 +139,7 @@ fn chaos_run_loses_no_page_and_still_promotes() {
 fn different_seeds_diverge_at_nonzero_rate() {
     let mk = |seed| {
         let mut cfg = base_cfg();
-        cfg.fault = FaultConfig::rate(seed, 0.3);
+        cfg.instrument.fault = FaultConfig::rate(seed, 0.3);
         cfg.retry = RetryPolicy::backoff();
         cfg
     };
@@ -150,12 +153,16 @@ fn different_seeds_diverge_at_nonzero_rate() {
 #[test]
 fn offline_window_pushes_allocations_down_tier() {
     let mut cfg = base_cfg();
-    cfg.fault.enabled = true;
-    cfg.fault.plan.offline.push(mc_fault::OfflineWindow {
-        tier: 0,
-        from_ns: 0,
-        until_ns: Nanos::from_secs(5).as_nanos(),
-    });
+    cfg.instrument.fault.enabled = true;
+    cfg.instrument
+        .fault
+        .plan
+        .offline
+        .push(mc_fault::OfflineWindow {
+            tier: 0,
+            from_ns: 0,
+            until_ns: Nanos::from_secs(5).as_nanos(),
+        });
     let mut s = Simulation::new(cfg);
     let a = s.mmap(PAGE_SIZE * 4, PageKind::Anon);
     s.read(a, 8);

@@ -87,13 +87,13 @@ fn run(cfg: SimConfig) -> Fingerprint {
 
 fn base_cfg() -> SimConfig {
     let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
-    cfg.obs = mc_sim::ObsConfig::on();
+    cfg.instrument.obs = mc_sim::ObsConfig::on();
     cfg
 }
 
 fn transactional_cfg() -> SimConfig {
     let mut cfg = base_cfg();
-    cfg.migration_mode = MigrationMode::Transactional;
+    cfg.engine.migration_mode = MigrationMode::Transactional;
     cfg
 }
 
@@ -102,7 +102,7 @@ fn sync_mode_is_bit_identical_to_the_default_engine() {
     let default_run = run(base_cfg());
 
     let mut cfg = base_cfg();
-    cfg.migration_mode = MigrationMode::Sync;
+    cfg.engine.migration_mode = MigrationMode::Sync;
     let sync_run = run(cfg);
 
     assert_eq!(default_run, sync_run);
@@ -135,9 +135,9 @@ fn transactional_run_is_deterministic() {
 #[test]
 fn transactional_run_is_thread_invariant() {
     let mut one = transactional_cfg();
-    one.threads = 1;
+    one.engine.threads = 1;
     let mut two = transactional_cfg();
-    two.threads = 2;
+    two.engine.threads = 2;
     assert_eq!(run(one), run(two));
 }
 
@@ -152,7 +152,7 @@ fn nomad_system_is_multiclock_in_transactional_mode() {
 fn transactional_chaos_is_seed_deterministic() {
     let mk = || {
         let mut cfg = transactional_cfg();
-        cfg.fault = FaultConfig::rate(42, 0.2);
+        cfg.instrument.fault = FaultConfig::rate(42, 0.2);
         cfg.retry = RetryPolicy::backoff();
         cfg
     };
@@ -173,7 +173,7 @@ fn transactional_chaos_is_seed_deterministic() {
 #[test]
 fn transactional_chaos_loses_no_page_and_still_promotes() {
     let mut cfg = transactional_cfg();
-    cfg.fault = FaultConfig::rate(42, 0.2);
+    cfg.instrument.fault = FaultConfig::rate(42, 0.2);
     cfg.retry = RetryPolicy::backoff();
     let fp = run(cfg);
     // Every page the workload touched is still mapped somewhere.
@@ -193,7 +193,7 @@ fn transactional_chaos_loses_no_page_and_still_promotes() {
 fn different_seeds_diverge_under_transactional_chaos() {
     let mk = |seed| {
         let mut cfg = transactional_cfg();
-        cfg.fault = FaultConfig::rate(seed, 0.3);
+        cfg.instrument.fault = FaultConfig::rate(seed, 0.3);
         cfg.retry = RetryPolicy::backoff();
         cfg
     };

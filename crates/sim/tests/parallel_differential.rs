@@ -80,9 +80,9 @@ fn run(cfg: SimConfig) -> Fingerprint {
 
 fn base_cfg() -> SimConfig {
     let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
-    cfg.obs = mc_sim::ObsConfig::on();
+    cfg.instrument.obs = mc_sim::ObsConfig::on();
     // Several shards so threads > 1 actually distributes work.
-    cfg.scan_shards = 4;
+    cfg.engine.scan_shards = 4;
     cfg
 }
 
@@ -90,7 +90,7 @@ fn base_cfg() -> SimConfig {
 fn four_threads_are_bit_identical_to_one() {
     let sequential = run(base_cfg());
     let mut cfg = base_cfg();
-    cfg.threads = 4;
+    cfg.engine.threads = 4;
     let parallel = run(cfg);
     assert!(
         sequential.promotions > 0,
@@ -108,7 +108,7 @@ fn thread_count_never_changes_results() {
     let baseline = run(base_cfg());
     for threads in [2usize, 3, 8] {
         let mut cfg = base_cfg();
-        cfg.threads = threads;
+        cfg.engine.threads = threads;
         assert_eq!(baseline, run(cfg), "threads={threads}");
     }
 }
@@ -120,13 +120,13 @@ fn four_threads_are_bit_identical_under_fault_injection() {
     // migrations to keep retry queues busy for the whole run.
     let chaos_cfg = || {
         let mut cfg = base_cfg();
-        cfg.fault = FaultConfig::rate(7, 0.2);
+        cfg.instrument.fault = FaultConfig::rate(7, 0.2);
         cfg.retry = RetryPolicy::backoff();
         cfg
     };
     let sequential = run(chaos_cfg());
     let mut cfg = chaos_cfg();
-    cfg.threads = 4;
+    cfg.engine.threads = 4;
     let parallel = run(cfg);
     assert!(
         sequential.stats.migration_failures > 0,

@@ -79,8 +79,8 @@ fn run(cfg: SimConfig) -> Fingerprint {
 
 fn base_cfg() -> SimConfig {
     let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
-    cfg.obs = mc_sim::ObsConfig::on();
-    cfg.scan_shards = 4;
+    cfg.instrument.obs = mc_sim::ObsConfig::on();
+    cfg.engine.scan_shards = 4;
     cfg
 }
 
@@ -89,7 +89,7 @@ fn perf_hooks_are_bit_identical_to_hooks_off() {
     let off = run(base_cfg());
     let hooks = PerfHooks::new();
     let mut cfg = base_cfg();
-    cfg.perf = Some(hooks.clone());
+    cfg.instrument.perf = Some(hooks.clone());
     let on = run(cfg);
     assert!(off.promotions > 0, "workload must exercise the scanner");
     assert!(
@@ -126,14 +126,14 @@ fn perf_hooks_are_bit_identical_to_hooks_off() {
 fn perf_hooks_are_bit_identical_under_fault_injection() {
     let chaos_cfg = || {
         let mut cfg = base_cfg();
-        cfg.fault = FaultConfig::rate(7, 0.2);
+        cfg.instrument.fault = FaultConfig::rate(7, 0.2);
         cfg.retry = RetryPolicy::backoff();
         cfg
     };
     let off = run(chaos_cfg());
     let hooks = PerfHooks::new();
     let mut cfg = chaos_cfg();
-    cfg.perf = Some(hooks.clone());
+    cfg.instrument.perf = Some(hooks.clone());
     let on = run(cfg);
     assert!(
         off.stats.migration_failures > 0,
@@ -146,12 +146,12 @@ fn perf_hooks_are_bit_identical_under_fault_injection() {
 #[test]
 fn perf_hooks_are_bit_identical_with_parallel_scan() {
     let mut cfg = base_cfg();
-    cfg.threads = 4;
+    cfg.engine.threads = 4;
     let off = run(cfg);
     let hooks = PerfHooks::new();
     let mut cfg = base_cfg();
-    cfg.threads = 4;
-    cfg.perf = Some(hooks.clone());
+    cfg.engine.threads = 4;
+    cfg.instrument.perf = Some(hooks.clone());
     let on = run(cfg);
     assert_eq!(off, on);
     // The scan span wraps the whole fan-out, so thread count changes

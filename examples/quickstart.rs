@@ -26,7 +26,7 @@ use std::path::Path;
 /// writes the artifact directory `mc-obs-report` consumes.
 fn run_observed(dir: &Path) -> std::io::Result<()> {
     let mut cfg = SimConfig::new(SystemKind::MultiClock, 64, 512);
-    cfg.obs = ObsConfig::on();
+    cfg.instrument.obs = ObsConfig::on();
     let mut sim = Simulation::new(cfg);
 
     // Fill DRAM with one-touch pages, then hammer the first PM-resident
