@@ -17,12 +17,15 @@
 //! mc-chaos --seed 7 --obs /tmp/chaos   # export obs artifacts per rate
 //! mc-chaos --threads 4                 # fan the rate sweep across workers
 //! mc-chaos --system nomad              # sweep the transactional baseline
+//! mc-chaos --machine dram-cxl-pm       # sweep on the three-tier CXL machine
 //! ```
 //!
 //! `--obs DIR` writes `events.jsonl`, `ticks.csv` and `report.txt` under
 //! `DIR/rate-<rate>/`, the layout `mc-obs-report` consumes.
 
-use mc_bench::{banner, parse_system, scale_from_args, threads_from_args, SweepRunner};
+use mc_bench::{
+    banner, machine_from_args, parse_system, scale_from_args, threads_from_args, SweepRunner,
+};
 use mc_sim::experiments::{Experiment, RunOutcome};
 use mc_sim::report::format_table;
 use mc_sim::{FaultConfig, RetryPolicy, SystemKind};
@@ -57,6 +60,7 @@ fn main() {
             })
         })
         .unwrap_or(SystemKind::MultiClock);
+    let machine = machine_from_args();
     let rates: Vec<f64> = match arg_value(&args, "--fault-rate") {
         Some(r) => vec![r.parse().expect("--fault-rate takes a probability")],
         None => vec![0.0, 0.05, 0.1, 0.2, 0.4],
@@ -68,7 +72,7 @@ fn main() {
         &scale,
     );
     println!(
-        "system {}; fault seed {seed}; retry policy: bounded exponential backoff",
+        "system {}; machine preset {machine}; fault seed {seed}; retry policy: bounded exponential backoff",
         system.label()
     );
 
@@ -76,6 +80,7 @@ fn main() {
     let base = Experiment::ycsb(YcsbWorkload::A)
         .system(system)
         .scale(&scale)
+        .machine(machine)
         .run()
         .expect("no obs artifacts requested");
     let base_ops = base.ops_per_sec;
@@ -86,6 +91,7 @@ fn main() {
         let mut exp = Experiment::ycsb(YcsbWorkload::A)
             .system(system)
             .scale(&scale)
+            .machine(machine)
             .fault(FaultConfig::rate(seed, rate), RetryPolicy::backoff());
         if let Some(dir) = &obs_dir {
             exp = exp.obs(dir.clone());

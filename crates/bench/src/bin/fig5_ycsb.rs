@@ -15,8 +15,15 @@
 //! obs artifacts under `DIR/<workload>/` — the layout `mc-obs-report`
 //! consumes. `--obs` requires `--policy` (a full-grid run would need
 //! one artifact set per system per workload).
+//!
+//! `--machine NAME` selects the machine preset (`dram-pm` default,
+//! `dram-cxl-pm`, `cxl-multihead`) — e.g.
+//! `fig5_ycsb --machine dram-cxl-pm --policy hybridtier` runs the
+//! HybridTier sketch policy on the three-tier CXL machine.
 
-use mc_bench::{banner, parse_system, scale_from_args, threads_from_args, SweepRunner};
+use mc_bench::{
+    banner, machine_from_args, parse_system, scale_from_args, threads_from_args, SweepRunner,
+};
 use mc_sim::experiments::{ycsb_comparison, Experiment};
 use mc_sim::report::{format_table, normalize_throughput};
 use mc_sim::SystemKind;
@@ -39,6 +46,7 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = scale_from_args();
+    let machine = machine_from_args();
     let policy = arg_value(&args, "--policy").map(|s| {
         parse_system(&s).unwrap_or_else(|| {
             // lint: allow(panic) - CLI argument validation in a binary
@@ -60,15 +68,19 @@ fn main() {
         "YCSB throughput normalised to static tiering (higher is better)",
         &scale,
     );
+    println!("machine preset: {machine}");
     let workloads = YcsbWorkload::prescribed_order();
     let all = SweepRunner::new(threads_from_args()).run(workloads.to_vec(), |w| {
         eprintln!("running workload {w} ...");
         match policy {
-            None => ycsb_comparison(w, &scale),
+            None => ycsb_comparison(w, &scale, machine),
             Some(p) => systems
                 .iter()
                 .map(|s| {
-                    let mut exp = Experiment::ycsb(w).system(*s).scale(&scale);
+                    let mut exp = Experiment::ycsb(w)
+                        .system(*s)
+                        .scale(&scale)
+                        .machine(machine);
                     if let (Some(root), true) = (&obs_root, *s == p) {
                         exp = exp.obs(root.join(w.to_string()));
                     }

@@ -9,9 +9,11 @@
 //! already good.
 //!
 //! Regenerate with `cargo run -p mc-bench --release --bin fig6_gapbs`
-//! (`--threads N` fans the per-kernel comparisons across workers).
+//! (`--threads N` fans the per-kernel comparisons across workers,
+//! `--machine NAME` selects the machine preset: `dram-pm` default,
+//! `dram-cxl-pm`, `cxl-multihead`).
 
-use mc_bench::{banner, scale_from_args, threads_from_args, SweepRunner};
+use mc_bench::{banner, machine_from_args, scale_from_args, threads_from_args, SweepRunner};
 use mc_sim::experiments::gapbs_comparison;
 use mc_sim::report::{format_table, normalize_time};
 use mc_sim::SystemKind;
@@ -19,14 +21,16 @@ use mc_workloads::graph::Kernel;
 
 fn main() {
     let scale = scale_from_args();
+    let machine = machine_from_args();
     banner(
         "Figure 6",
         "GAPBS execution time normalised to static tiering (lower is better)",
         &scale,
     );
+    println!("machine preset: {machine}");
     let all = SweepRunner::new(threads_from_args()).run(Kernel::ALL.to_vec(), |k| {
         eprintln!("running kernel {} ...", k.label());
-        gapbs_comparison(k, &scale)
+        gapbs_comparison(k, &scale, machine)
     });
     let mut rows = Vec::new();
     let mut raw_rows = Vec::new();

@@ -14,6 +14,7 @@
 //! ```text
 //! cargo run --release -p mc-bench --bin mc-tera            # 256 GB vs 1 TB
 //! mc-tera --tiny --obs /tmp/mc-tera     # CI shape: 1 GB vs 4 GB + obs
+//! mc-tera --machine dram-cxl-pm         # sweep the three-tier CXL machine
 //! ```
 //!
 //! The full sweep's largest machine is 1 TiB of 4 KiB frames (256 Mi
@@ -23,8 +24,9 @@
 //! `ticks.csv` and `report.txt` for the largest topology's run under
 //! `DIR`, the layout `mc-obs-report` consumes.
 
+use mc_bench::machine_from_args;
 use mc_obs::{PerfHooks, Phase};
-use mc_sim::experiments::{Experiment, Scale};
+use mc_sim::experiments::{Experiment, MachinePreset, Scale};
 use mc_sim::report::format_table;
 use mc_workloads::ycsb::YcsbWorkload;
 use std::time::Instant;
@@ -56,13 +58,19 @@ struct Point {
 /// Runs the fixed working set on a machine of `total_frames` frames
 /// (512 DRAM pages + the rest PM, so the working set still overflows
 /// DRAM and tiering stays active) and measures the daemon's tick spans.
-fn run_point(scale: &Scale, total_frames: usize, obs: Option<&std::path::Path>) -> Point {
+fn run_point(
+    scale: &Scale,
+    machine: MachinePreset,
+    total_frames: usize,
+    obs: Option<&std::path::Path>,
+) -> Point {
     let mut s = scale.clone();
     s.dram_pages = 512;
     s.pm_pages = total_frames - s.dram_pages;
     let hooks = PerfHooks::new();
     let mut exp = Experiment::ycsb(YcsbWorkload::A)
         .scale(&s)
+        .machine(machine)
         .perf(hooks.clone());
     if let Some(dir) = obs {
         exp = exp.obs(dir);
@@ -90,6 +98,7 @@ fn run_point(scale: &Scale, total_frames: usize, obs: Option<&std::path::Path>) 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
+    let machine = machine_from_args();
     let obs_root = arg_value(&args, "--obs").map(std::path::PathBuf::from);
     // Fixed working set (Scale::tiny's records/intervals); only the
     // machine grows across the sweep.
@@ -102,7 +111,7 @@ fn main() {
     println!("==============================================================");
     println!("mc-tera: terabyte-scale topology sweep (MULTI-CLOCK, YCSB-A)");
     println!(
-        "fixed working set: {} records x {} B; machines: {} GiB vs {} GiB",
+        "fixed working set: {} records x {} B; machines: {} GiB vs {} GiB; preset {machine}",
         scale.records,
         scale.value_size,
         sweep[0] * 4 / (1 << 20),
@@ -123,7 +132,7 @@ fn main() {
             let obs = (frames == full_frames)
                 .then_some(obs_root.as_deref())
                 .flatten();
-            run_point(&scale, frames, obs)
+            run_point(&scale, machine, frames, obs)
         })
         .collect();
 

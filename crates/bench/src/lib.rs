@@ -5,7 +5,7 @@
 pub mod artifact;
 pub mod perf;
 
-use mc_sim::experiments::Scale;
+use mc_sim::experiments::{MachinePreset, Scale};
 use mc_sim::SystemKind;
 use mc_workloads::graph::Kernel;
 use mc_workloads::ycsb::YcsbWorkload;
@@ -17,6 +17,7 @@ pub fn parse_system(s: &str) -> Option<SystemKind> {
         "multi-clock" | "multiclock" | "mc" => SystemKind::MultiClock,
         "nomad" => SystemKind::Nomad,
         "nimble" => SystemKind::Nimble,
+        "hybridtier" | "hybrid-tier" | "ht" => SystemKind::HybridTier,
         "at-cpm" | "atcpm" => SystemKind::AtCpm,
         "at-opm" | "atopm" => SystemKind::AtOpm,
         "autonuma" | "autonuma-tiering" => SystemKind::AutoNuma,
@@ -26,6 +27,33 @@ pub fn parse_system(s: &str) -> Option<SystemKind> {
         "oracle-lfu" => SystemKind::OracleLfu,
         _ => return None,
     })
+}
+
+/// Parses a machine-preset name as accepted by the `--machine` flag
+/// (`dram-pm`, `dram-cxl-pm`, `cxl-multihead`).
+pub fn parse_machine(s: &str) -> Option<MachinePreset> {
+    MachinePreset::from_name(&s.to_ascii_lowercase())
+}
+
+/// Picks the machine preset from argv (`--machine NAME`); defaults to
+/// the classic two-tier [`MachinePreset::DramPm`].
+///
+/// # Panics
+///
+/// Exits with a diagnostic when the name is unknown (CLI validation).
+pub fn machine_from_args() -> MachinePreset {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--machine")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| parse_machine(v))
+                .unwrap_or_else(|| {
+                    // lint: allow(panic) - CLI argument validation in dev tooling
+                    panic!("--machine requires one of: dram-pm, dram-cxl-pm, cxl-multihead")
+                })
+        })
+        .unwrap_or(MachinePreset::DramPm)
 }
 
 /// Parses a YCSB workload letter.
@@ -184,6 +212,29 @@ mod tests {
         assert_eq!(parse_system("mm"), Some(SystemKind::MemoryMode));
         assert_eq!(parse_system("autonuma"), Some(SystemKind::AutoNuma));
         assert_eq!(parse_system("bogus"), None);
+    }
+
+    #[test]
+    fn machine_names_parse() {
+        assert_eq!(parse_machine("dram-pm"), Some(MachinePreset::DramPm));
+        assert_eq!(parse_machine("DRAM-CXL-PM"), Some(MachinePreset::DramCxlPm));
+        assert_eq!(
+            parse_machine("cxl-multihead"),
+            Some(MachinePreset::CxlMultihead)
+        );
+        assert_eq!(parse_machine("numa"), None);
+    }
+
+    #[test]
+    fn default_machine_is_dram_pm() {
+        // No --machine in the test harness argv.
+        assert_eq!(machine_from_args(), MachinePreset::DramPm);
+    }
+
+    #[test]
+    fn hybridtier_system_parses() {
+        assert_eq!(parse_system("hybridtier"), Some(SystemKind::HybridTier));
+        assert_eq!(parse_system("ht"), Some(SystemKind::HybridTier));
     }
 
     #[test]

@@ -33,13 +33,22 @@
 //!   their ratio: 4x the frames must leave the per-tick cost roughly
 //!   flat, because region-granular scanning makes it follow the
 //!   populated extent rather than the frame count (`--smoke` shrinks
-//!   both machines so CI hosts survive the O(frames) construction).
+//!   both machines so CI hosts survive the O(frames) construction);
+//! * sketch tracking cost vs full scan — virtual cost of the pages each
+//!   *tracker* harvests (HybridTier's bounded CM-sketch sampling vs
+//!   MULTI-CLOCK's full reference-bit scan), priced at `scan_per_page`,
+//!   on the same pinned YCSB-A / `dram-cxl-pm` machine (deterministic,
+//!   MAD 0 by construction; the sketch number must be *strictly* lower
+//!   — sampling touches a bounded batch per tier where the scanner
+//!   walks every populated list);
+//! * CXL grid engine throughput — wall-clock ticks/sec of HybridTier
+//!   driving the three-tier `dram-cxl-pm` machine.
 
 use crate::artifact::{BenchArtifact, SuiteResult, SCHEMA_VERSION};
 use crate::SweepRunner;
 use mc_mem::{Memory, Nanos};
 use mc_obs::{PerfHooks, Phase};
-use mc_sim::experiments::{Experiment, RunOutcome, Scale};
+use mc_sim::experiments::{Experiment, MachinePreset, RunOutcome, Scale};
 use mc_sim::{Component, EngineCtx, MigrationMode, SimConfig, Simulation, SystemKind};
 use mc_workloads::graph::Kernel;
 use mc_workloads::ycsb::{YcsbClient, YcsbConfig, YcsbWorkload};
@@ -80,7 +89,7 @@ pub fn default_config(smoke: bool) -> PerfConfig {
     }
     PerfConfig {
         reps: if smoke { 2 } else { 5 },
-        pr: 9,
+        pr: 10,
         scale_label: if smoke { "smoke" } else { "perf" }.to_string(),
         scale,
         sweep_threads: host_cores().clamp(2, 4),
@@ -149,6 +158,42 @@ fn promote_stall_share(scale: &Scale, mode: MigrationMode) -> f64 {
     } else {
         c.stall_time.as_nanos() as f64 / total.as_nanos() as f64
     }
+}
+
+/// Virtual tracking cost (ns) of one pinned YCSB-A run on the
+/// three-tier `dram-cxl-pm` machine under the given system: the pages
+/// whose reference bits the *tracker* harvested (HybridTier's bounded
+/// samples vs MULTI-CLOCK's full list scan — each system's own
+/// counter), priced at the model's `scan_per_page`. Deterministic
+/// (virtual counts), so its MAD is 0 by construction.
+fn tracking_cost_ns(scale: &Scale, system: SystemKind) -> f64 {
+    let mut cfg = SimConfig::new(system, scale.dram_pages, scale.pm_pages);
+    cfg.mem = MachinePreset::DramCxlPm.mem_config(scale.dram_pages, scale.pm_pages);
+    cfg.scan_interval = scale.scan_interval();
+    cfg.scan_batch = scale.scan_batch;
+    cfg.window = scale.window();
+    let mut sim = Simulation::new(cfg);
+    let mut client = YcsbClient::load(
+        YcsbConfig {
+            records: scale.records,
+            value_size: scale.value_size,
+            op_compute: scale.op_compute,
+            insert_scale: scale.insert_scale,
+            seed: scale.seed,
+        },
+        &mut sim,
+    );
+    let end = sim.now() + scale.warmup + scale.measure;
+    while sim.now() < end {
+        client.run_op(YcsbWorkload::A, &mut sim);
+    }
+    sim.finish();
+    let pages = match system {
+        SystemKind::HybridTier => sim.counter("ht_samples"),
+        _ => sim.counter("mc_pages_scanned"),
+    };
+    assert!(pages > 0, "{system:?} tracker must have run");
+    pages as f64 * sim.mem().latency().scan_per_page.as_nanos() as f64
 }
 
 /// The fraction of demotions served by a retained shadow copy on pinned
@@ -260,7 +305,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         suites.push(s);
     };
 
-    println!("[1/8] engine ticks/sec (YCSB-A, GAPBS-BFS)");
+    println!("[1/10] engine ticks/sec (YCSB-A, GAPBS-BFS)");
     push(
         "engine_ticks_per_sec.ycsb_a",
         "ticks/sec",
@@ -278,7 +323,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         }),
     );
 
-    println!("[2/8] scan throughput at 1/2/4/8 threads (8 shards)");
+    println!("[2/10] scan throughput at 1/2/4/8 threads (8 shards)");
     for threads in [1usize, 2, 4, 8] {
         push(
             &format!("scan_pages_per_sec.threads_{threads}"),
@@ -288,7 +333,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         );
     }
 
-    println!("[3/8] migration-overhead share at batch 1/8");
+    println!("[3/10] migration-overhead share at batch 1/8");
     for batch in [1usize, 8] {
         push(
             &format!("migration_overhead_share.batch_{batch}"),
@@ -306,7 +351,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         );
     }
 
-    println!("[4/8] promote-stall share, sync vs transactional (YCSB-A)");
+    println!("[4/10] promote-stall share, sync vs transactional (YCSB-A)");
     for (label, mode) in [
         ("sync", MigrationMode::Sync),
         ("transactional", MigrationMode::Transactional),
@@ -319,7 +364,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         );
     }
 
-    println!("[5/8] shadow-hit rate (YCSB-B, transactional)");
+    println!("[5/10] shadow-hit rate (YCSB-B, transactional)");
     push(
         "shadow_hit_rate.ycsb_b",
         "share",
@@ -328,7 +373,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
     );
 
     println!(
-        "[6/8] sweep parallel speedup (4-job grid, 1 vs {} workers)",
+        "[6/10] sweep parallel speedup (4-job grid, 1 vs {} workers)",
         cfg.sweep_threads
     );
     push(
@@ -338,7 +383,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
         repeat(cfg.reps, || sweep_speedup(&cfg.scale, cfg.sweep_threads)),
     );
 
-    println!("[7/8] idle-component overhead (64 dormant components)");
+    println!("[7/10] idle-component overhead (64 dormant components)");
     push(
         "idle_component_overhead.dormant_64",
         "x",
@@ -347,7 +392,7 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
     );
 
     println!(
-        "[8/8] tera scan cost at a fixed working set ({} vs {} frames)",
+        "[8/10] tera scan cost at a fixed working set ({} vs {} frames)",
         cfg.tera_frames / 4,
         cfg.tera_frames
     );
@@ -368,6 +413,48 @@ pub fn run_suites(cfg: &PerfConfig) -> BenchArtifact {
     // 4x the frames: anything near 1.0 is sublinear; an O(frames) tick
     // path would sit near 4.0.
     push("tera_scan_sublinearity", "x", false, ratio);
+
+    println!("[9/10] sketch tracking cost vs full scan (YCSB-A, dram-cxl-pm)");
+    let sketch = repeat(cfg.reps, || {
+        tracking_cost_ns(&cfg.scale, SystemKind::HybridTier)
+    });
+    let scan = repeat(cfg.reps, || {
+        tracking_cost_ns(&cfg.scale, SystemKind::MultiClock)
+    });
+    for (s, f) in sketch.iter().zip(&scan) {
+        assert!(
+            s < f,
+            "sketch tracking ({s} ns) must stay strictly below the full scan ({f} ns)"
+        );
+    }
+    let track_ratio: Vec<f64> = sketch
+        .iter()
+        .zip(&scan)
+        .map(|(s, f)| if *f == 0.0 { 0.0 } else { s / f })
+        .collect();
+    push(
+        "sketch_track_cost_vs_scan.hybridtier_ns",
+        "ns",
+        false,
+        sketch,
+    );
+    push("sketch_track_cost_vs_scan.multiclock_ns", "ns", false, scan);
+    push("sketch_track_cost_vs_scan.ratio", "x", false, track_ratio);
+
+    println!("[10/10] CXL grid engine throughput (HybridTier, dram-cxl-pm)");
+    push(
+        "cxl_grid_ticks_per_sec",
+        "ticks/sec",
+        true,
+        repeat(cfg.reps, || {
+            ticks_per_sec(
+                Experiment::ycsb(YcsbWorkload::A)
+                    .scale(&cfg.scale)
+                    .system(SystemKind::HybridTier)
+                    .machine(MachinePreset::DramCxlPm),
+            )
+        }),
+    );
 
     // Per-phase wall-time detail from one representative hooked run.
     let (_, hooks) = run_hooked(

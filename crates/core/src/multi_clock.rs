@@ -131,6 +131,20 @@ impl MultiClock {
         self.region_map.stats()
     }
 
+    /// Carves a frame range in or out of the CLOCK scan: `tracked == true`
+    /// hands the range to an external sampled/sketch tracker (HybridTier
+    /// style) and the scanner skips it; `false` returns it. The caller
+    /// guarantees no CLOCK-tracked page lives in an externally tracked
+    /// range — under that contract the setting changes scan *cost* only,
+    /// never observed reference bits.
+    pub fn set_externally_tracked(&mut self, range: mc_mem::FrameRange, tracked: bool) {
+        if tracked {
+            self.region_map.mark_external(range);
+        } else {
+            self.region_map.clear_external(range);
+        }
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &MultiClockConfig {
         &self.cfg

@@ -35,11 +35,12 @@ use std::collections::BTreeSet;
 const LINT: &str = "determinism";
 
 /// Crates whose library code the pass covers.
-const SCOPES: [&str; 4] = [
+const SCOPES: [&str; 5] = [
     "crates/mem/src/",
     "crates/clock/src/",
     "crates/core/src/",
     "crates/sim/src/",
+    "crates/policies/src/",
 ];
 
 /// Method calls on a hash container that observe iteration order.

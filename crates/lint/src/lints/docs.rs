@@ -16,12 +16,13 @@ use crate::{Diagnostic, Workspace};
 const LINT: &str = "docs";
 
 /// Crates whose public API must be documented.
-const SCOPES: [&str; 5] = [
+const SCOPES: [&str; 6] = [
     "crates/obs/src/",
     "crates/fault/src/",
     "crates/mem/src/",
     "crates/clock/src/",
     "crates/core/src/",
+    "crates/policies/src/",
 ];
 
 const ITEM_KEYWORDS: [&str; 11] = [

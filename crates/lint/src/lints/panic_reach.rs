@@ -44,9 +44,14 @@ const LINT: &str = "panic-reach";
 /// reservations), and the begin/shadow entries open and flip mappings.
 /// `DaemonComponent::tick` is rooted explicitly because the engine
 /// reaches it through `dyn Component` dispatch, which the static call
-/// graph cannot trace from the access-path roots.
-const ROOTS: [(&str, Option<&str>, &str); 15] = [
+/// graph cannot trace from the access-path roots. `CmSketch::update`
+/// and `HybridTier::tick` root the sketch-sampling policy: the sketch
+/// update sits on the access hot path and the tick is reached through
+/// `dyn TieringPolicy` dispatch.
+const ROOTS: [(&str, Option<&str>, &str); 17] = [
     ("sim", Some("DaemonComponent"), "tick"),
+    ("policies", Some("CmSketch"), "update"),
+    ("policies", Some("HybridTier"), "tick"),
     ("sim", Some("Simulation"), "mmap"),
     ("sim", Some("Simulation"), "read"),
     ("sim", Some("Simulation"), "write"),

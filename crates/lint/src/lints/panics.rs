@@ -23,11 +23,12 @@ use std::collections::BTreeSet;
 const LINT: &str = "panic";
 
 /// Crates whose library code must be panic-free, reachable or not.
-pub const SCOPES: [&str; 4] = [
+pub const SCOPES: [&str; 5] = [
     "crates/fault/src/",
     "crates/mem/src/",
     "crates/clock/src/",
     "crates/core/src/",
+    "crates/policies/src/",
 ];
 
 const MARKER: &str = "lint: allow(panic)";

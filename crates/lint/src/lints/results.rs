@@ -28,7 +28,12 @@ use crate::{Diagnostic, Workspace};
 const LINT: &str = "result";
 
 /// Crates whose library code the pass covers.
-const SCOPES: [&str; 3] = ["crates/mem/src/", "crates/core/src/", "crates/sim/src/"];
+const SCOPES: [&str; 4] = [
+    "crates/mem/src/",
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/policies/src/",
+];
 
 /// Runs the result-discipline lint standalone (used by tests).
 pub fn check(ws: &Workspace) -> Vec<Diagnostic> {

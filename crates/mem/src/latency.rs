@@ -7,7 +7,7 @@
 //! experiment reads its numbers from here, so sensitivity to the model is a
 //! one-line change.
 
-use crate::ids::{TierId, PAGE_SIZE};
+use crate::ids::{NodeId, TierId, PAGE_SIZE};
 use crate::time::Nanos;
 use serde::{Deserialize, Serialize};
 
@@ -65,12 +65,106 @@ impl TierLatency {
         }
     }
 
+    /// HBM-class numbers used by the N-tier extension machines.
+    pub const fn hbm() -> Self {
+        TierLatency {
+            read_ns: 60,
+            write_ns: 70,
+            read_bw_gbps: 100.0,
+            write_bw_gbps: 80.0,
+        }
+    }
+
+    /// DRAM media as seen behind a CXL.mem expander, before the link cost
+    /// is added. Same DDR device as [`TierLatency::dram`]; combining it
+    /// with [`LinkDesc::cxl`] yields ~210 ns loads, inside the published
+    /// 170-250 ns CXL-attached DRAM envelope.
+    pub const fn cxl_dram() -> Self {
+        TierLatency::dram()
+    }
+
     /// Access latency for one cache-line-granular access of the given kind.
     pub const fn access_ns(&self, kind: AccessKind) -> u64 {
         match kind {
             AccessKind::Read => self.read_ns,
             AccessKind::Write => self.write_ns,
         }
+    }
+}
+
+/// The interconnect between a CPU socket and one memory node: added
+/// round-trip latency plus a bandwidth cap, asymmetric between reads and
+/// writes (CXL.mem request/response flits are not symmetric, and published
+/// characterisations show write bandwidth well below read).
+///
+/// A node's effective timing is its device timing composed with its link:
+/// latencies add, and the link's bandwidth caps the device's.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDesc {
+    /// Added load round-trip latency in nanoseconds.
+    pub read_ns: u64,
+    /// Added store latency in nanoseconds.
+    pub write_ns: u64,
+    /// Link read bandwidth cap in bytes per nanosecond (== GB/s).
+    pub read_bw_gbps: f64,
+    /// Link write bandwidth cap in bytes per nanosecond (== GB/s).
+    pub write_bw_gbps: f64,
+}
+
+impl LinkDesc {
+    /// Bandwidth cap used by [`LinkDesc::direct`]: high enough never to be
+    /// the minimum against any real device, finite so the arithmetic stays
+    /// serde-safe (no infinities in JSON).
+    const UNCAPPED_BW: f64 = 1e12;
+
+    /// A socket-local attachment: no added latency, no bandwidth cap.
+    pub const fn direct() -> Self {
+        LinkDesc {
+            read_ns: 0,
+            write_ns: 0,
+            read_bw_gbps: Self::UNCAPPED_BW,
+            write_bw_gbps: Self::UNCAPPED_BW,
+        }
+    }
+
+    /// A CXL 2.0 x8 link: ~130 ns added load latency, ~90 ns added store
+    /// latency (stores post into the device buffer), with asymmetric
+    /// bandwidth caps.
+    pub const fn cxl() -> Self {
+        LinkDesc {
+            read_ns: 130,
+            write_ns: 90,
+            read_bw_gbps: 22.0,
+            write_bw_gbps: 12.0,
+        }
+    }
+
+    /// Whether this link adds no latency and no meaningful bandwidth cap.
+    pub fn is_direct(&self) -> bool {
+        self.read_ns == 0
+            && self.write_ns == 0
+            && self.read_bw_gbps >= Self::UNCAPPED_BW
+            && self.write_bw_gbps >= Self::UNCAPPED_BW
+    }
+
+    /// The effective timing of `device` reached through this link, with the
+    /// link fanned out over `heads` ports (a multi-headed device spreads
+    /// its traffic over one link per head, multiplying the usable link
+    /// bandwidth; latency is unchanged).
+    pub fn effective(&self, device: TierLatency, heads: u8) -> TierLatency {
+        let heads = heads.max(1) as f64;
+        TierLatency {
+            read_ns: device.read_ns + self.read_ns,
+            write_ns: device.write_ns + self.write_ns,
+            read_bw_gbps: device.read_bw_gbps.min(self.read_bw_gbps * heads),
+            write_bw_gbps: device.write_bw_gbps.min(self.write_bw_gbps * heads),
+        }
+    }
+}
+
+impl Default for LinkDesc {
+    fn default() -> Self {
+        Self::direct()
     }
 }
 
@@ -95,8 +189,18 @@ impl MigrationCost {
 /// The full machine cost model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyModel {
-    /// Device timing per tier, indexed by [`TierId`].
+    /// Device timing per tier, indexed by [`TierId`]. For machines built
+    /// from a [`crate::MachineDesc`], each entry is the *effective* timing
+    /// (device composed with link) of the tier's first node; stream and
+    /// migration costs are charged at tier granularity from this table.
     pub tiers: Vec<TierLatency>,
+    /// Effective per-node timing, indexed by [`NodeId`]. Empty on machines
+    /// where every node is directly attached with a single head — then the
+    /// per-tier table is exact and [`LatencyModel::access_at`] falls back
+    /// to it, keeping legacy two-tier machines on the identical code path.
+    /// Populated only when some node sits behind a non-direct link or has
+    /// multiple heads, so per-node asymmetric link costs can be charged.
+    pub node_access: Vec<TierLatency>,
     /// Fixed kernel overhead per migrated page (locking, rmap walk,
     /// allocation) added to the copy time. ~2.5 µs per 4 KiB page is in line
     /// with measured `migrate_pages()` costs.
@@ -126,6 +230,7 @@ impl LatencyModel {
     pub fn dram_pm() -> Self {
         LatencyModel {
             tiers: vec![TierLatency::dram(), TierLatency::optane_pm()],
+            node_access: Vec::new(),
             migration_fixed: Nanos::from_nanos(2_500),
             migration_app_stall: Nanos::from_nanos(1_500),
             hint_fault: Nanos::from_nanos(1_500),
@@ -137,14 +242,12 @@ impl LatencyModel {
 
     /// A three-tier model (e.g. HBM + DRAM + PM) used by the N-tier tests.
     pub fn three_tier() -> Self {
-        let hbm = TierLatency {
-            read_ns: 60,
-            write_ns: 70,
-            read_bw_gbps: 100.0,
-            write_bw_gbps: 80.0,
-        };
         LatencyModel {
-            tiers: vec![hbm, TierLatency::dram(), TierLatency::optane_pm()],
+            tiers: vec![
+                TierLatency::hbm(),
+                TierLatency::dram(),
+                TierLatency::optane_pm(),
+            ],
             ..Self::dram_pm()
         }
     }
@@ -163,10 +266,36 @@ impl LatencyModel {
         Nanos::from_nanos(self.tiers[tier.index()].access_ns(kind))
     }
 
+    /// Latency of one page-granular access on a specific node.
+    ///
+    /// Charges the node's effective (device + link) timing when the model
+    /// carries per-node entries; otherwise falls back to the per-tier
+    /// timing, which is exact for machines without links or multi-headed
+    /// devices.
+    pub fn access_at(&self, node: NodeId, tier: TierId, kind: AccessKind) -> Nanos {
+        match self.node_access.get(node.index()) {
+            Some(t) => Nanos::from_nanos(t.access_ns(kind)),
+            None => self.access(tier, kind),
+        }
+    }
+
     /// Time to stream `bytes` from a tier (bandwidth-bound cost), used for
     /// accesses that touch large spans within a page.
     pub fn stream(&self, tier: TierId, kind: AccessKind, bytes: usize) -> Nanos {
         let t = &self.tiers[tier.index()];
+        Self::stream_cost(t, kind, bytes)
+    }
+
+    /// Time to stream `bytes` through a specific node's link, falling back
+    /// to the per-tier bandwidth when the model has no per-node entries.
+    pub fn stream_at(&self, node: NodeId, tier: TierId, kind: AccessKind, bytes: usize) -> Nanos {
+        match self.node_access.get(node.index()) {
+            Some(t) => Self::stream_cost(t, kind, bytes),
+            None => self.stream(tier, kind, bytes),
+        }
+    }
+
+    fn stream_cost(t: &TierLatency, kind: AccessKind, bytes: usize) -> Nanos {
         let bw = match kind {
             AccessKind::Read => t.read_bw_gbps,
             AccessKind::Write => t.write_bw_gbps,
@@ -308,6 +437,74 @@ mod tests {
         let m = LatencyModel::dram_pm();
         assert!(m.txn_remap.as_nanos() * 4 <= m.migration_app_stall.as_nanos());
         assert!(m.txn_remap.as_nanos() > 0);
+    }
+
+    #[test]
+    fn cxl_effective_latency_is_in_published_envelope() {
+        let eff = LinkDesc::cxl().effective(TierLatency::cxl_dram(), 1);
+        assert!(
+            (170..=250).contains(&eff.read_ns),
+            "CXL load {}ns outside 170-250ns",
+            eff.read_ns
+        );
+        // Sits strictly between local DRAM and PM.
+        assert!(eff.read_ns > TierLatency::dram().read_ns);
+        assert!(eff.read_ns < TierLatency::optane_pm().read_ns);
+        // Link caps bind: device DRAM bandwidth exceeds the link's.
+        assert_eq!(eff.read_bw_gbps, LinkDesc::cxl().read_bw_gbps);
+        assert_eq!(eff.write_bw_gbps, LinkDesc::cxl().write_bw_gbps);
+        assert!(eff.read_bw_gbps > eff.write_bw_gbps, "CXL bw is asymmetric");
+    }
+
+    #[test]
+    fn direct_link_is_identity_on_device_timing() {
+        for dev in [TierLatency::dram(), TierLatency::optane_pm()] {
+            assert_eq!(LinkDesc::direct().effective(dev, 1), dev);
+        }
+        assert!(LinkDesc::direct().is_direct());
+        assert!(!LinkDesc::cxl().is_direct());
+    }
+
+    #[test]
+    fn multi_head_scales_link_bandwidth_not_latency() {
+        let one = LinkDesc::cxl().effective(TierLatency::cxl_dram(), 1);
+        let two = LinkDesc::cxl().effective(TierLatency::cxl_dram(), 2);
+        assert_eq!(one.read_ns, two.read_ns);
+        assert_eq!(one.write_ns, two.write_ns);
+        assert!(two.write_bw_gbps > one.write_bw_gbps);
+        // With two heads the device itself can become the bottleneck.
+        assert!(two.read_bw_gbps <= TierLatency::cxl_dram().read_bw_gbps);
+    }
+
+    #[test]
+    fn access_at_falls_back_to_tier_when_no_node_entries() {
+        let m = LatencyModel::dram_pm();
+        assert!(m.node_access.is_empty());
+        assert_eq!(
+            m.access_at(NodeId::new(0), TierId::TOP, AccessKind::Read),
+            m.access(TierId::TOP, AccessKind::Read)
+        );
+        assert_eq!(
+            m.stream_at(NodeId::new(1), TierId::new(1), AccessKind::Write, 4096),
+            m.stream(TierId::new(1), AccessKind::Write, 4096)
+        );
+    }
+
+    #[test]
+    fn access_at_charges_node_entry_when_present() {
+        let mut m = LatencyModel::dram_pm();
+        m.node_access = vec![
+            TierLatency::dram(),
+            LinkDesc::cxl().effective(TierLatency::cxl_dram(), 1),
+        ];
+        let local = m.access_at(NodeId::new(0), TierId::TOP, AccessKind::Read);
+        let linked = m.access_at(NodeId::new(1), TierId::TOP, AccessKind::Read);
+        assert_eq!(local.as_nanos(), 80);
+        assert_eq!(linked.as_nanos(), 210);
+        // Streaming through the link is capped by link write bandwidth.
+        let s_local = m.stream_at(NodeId::new(0), TierId::TOP, AccessKind::Write, 4096);
+        let s_linked = m.stream_at(NodeId::new(1), TierId::TOP, AccessKind::Write, 4096);
+        assert!(s_linked > s_local);
     }
 
     #[test]

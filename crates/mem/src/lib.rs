@@ -43,6 +43,7 @@ pub mod flags;
 pub mod frame;
 pub mod ids;
 pub mod latency;
+pub mod machine;
 pub mod policy;
 pub mod pte;
 pub mod snapshot;
@@ -59,7 +60,8 @@ pub use error::MemError;
 pub use flags::PageFlags;
 pub use frame::{Frame, FrameState, PageKind};
 pub use ids::{FrameId, NodeId, TierId, VAddr, VPage, PAGE_SHIFT, PAGE_SIZE};
-pub use latency::{AccessKind, LatencyModel, MigrationCost, TierLatency};
+pub use latency::{AccessKind, LatencyModel, LinkDesc, MigrationCost, TierLatency};
+pub use machine::{MachineBuilder, MachineDesc, MachineNode};
 pub use policy::{NullPolicy, PolicyTraits, TickOutcome, TieringPolicy};
 pub use pte::{PageTable, PteEntry};
 pub use snapshot::{FrameRange, RefSnapshot};

@@ -1,0 +1,362 @@
+//! Unified machine description: the one way to build a machine.
+//!
+//! Historically a machine was assembled from two disconnected halves — a
+//! [`TopologyBuilder`] for the node/tier layout and a hand-matched
+//! [`LatencyModel`] for timing — and callers had to keep them consistent.
+//! [`MachineDesc`] replaces that split: each node carries its memory kind,
+//! page count, device timing, link descriptor, and head count, and both the
+//! [`Topology`] and the [`LatencyModel`] are derived from the same list.
+//!
+//! ```
+//! use mc_mem::{MachineBuilder, TierKind};
+//!
+//! let machine = MachineBuilder::new()
+//!     .node(TierKind::Dram, 1024)
+//!     .node(TierKind::Cxl, 4096) // CXL defaults: DRAM media behind a CXL link
+//!     .node(TierKind::Pm, 8192)
+//!     .build();
+//! assert_eq!(machine.topology().tier_count(), 3);
+//! ```
+//!
+//! Legacy two-tier machines derive a [`LatencyModel`] with an empty
+//! `node_access` table, so the access cost path is bit-identical to the
+//! pre-`MachineDesc` engine (pinned by the `machine_differential` test in
+//! mc-sim).
+
+use crate::latency::{LatencyModel, LinkDesc, TierLatency};
+use crate::system::MemConfig;
+use crate::tier::TierKind;
+use crate::topology::{Topology, TopologyBuilder};
+use serde::{Deserialize, Serialize};
+
+/// One memory node in a machine description: layout plus timing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineNode {
+    /// The memory technology backing the node.
+    pub kind: TierKind,
+    /// Page capacity of the node.
+    pub pages: usize,
+    /// Raw device timing, before the link cost is applied.
+    pub device: TierLatency,
+    /// The interconnect between CPU and device.
+    pub link: LinkDesc,
+    /// Number of link heads (a multi-headed device is shared across
+    /// sockets and fans its traffic over one link per head).
+    pub heads: u8,
+}
+
+impl MachineNode {
+    /// The node's effective timing: device composed with link and heads.
+    pub fn effective(&self) -> TierLatency {
+        self.link.effective(self.device, self.heads)
+    }
+
+    fn with_kind_defaults(kind: TierKind, pages: usize) -> Self {
+        let (device, link) = match kind {
+            TierKind::Hbm => (TierLatency::hbm(), LinkDesc::direct()),
+            TierKind::Dram => (TierLatency::dram(), LinkDesc::direct()),
+            TierKind::Cxl => (TierLatency::cxl_dram(), LinkDesc::cxl()),
+            TierKind::Pm => (TierLatency::optane_pm(), LinkDesc::direct()),
+        };
+        MachineNode {
+            kind,
+            pages,
+            device,
+            link,
+            heads: 1,
+        }
+    }
+}
+
+/// A complete machine description from which both the [`Topology`] and the
+/// [`LatencyModel`] are derived. Built with [`MachineBuilder`] or one of
+/// the named presets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineDesc {
+    nodes: Vec<MachineNode>,
+}
+
+impl MachineDesc {
+    /// The nodes, in insertion order (== [`crate::NodeId`] order).
+    pub fn nodes(&self) -> &[MachineNode] {
+        &self.nodes
+    }
+
+    /// The paper's default machine: one DRAM node + one PM node.
+    pub fn dram_pm(dram_pages: usize, pm_pages: usize) -> Self {
+        MachineBuilder::new()
+            .node(TierKind::Dram, dram_pages)
+            .node(TierKind::Pm, pm_pages)
+            .build()
+    }
+
+    /// The paper's testbed shape: two sockets, each with DRAM and PM.
+    pub fn dual_socket(dram_per_socket: usize, pm_per_socket: usize) -> Self {
+        MachineBuilder::new()
+            .node(TierKind::Dram, dram_per_socket)
+            .node(TierKind::Dram, dram_per_socket)
+            .node(TierKind::Pm, pm_per_socket)
+            .node(TierKind::Pm, pm_per_socket)
+            .build()
+    }
+
+    /// The N-tier extension machine: HBM + DRAM + PM, all direct-attached.
+    pub fn three_tier(hbm_pages: usize, dram_pages: usize, pm_pages: usize) -> Self {
+        MachineBuilder::new()
+            .node(TierKind::Hbm, hbm_pages)
+            .node(TierKind::Dram, dram_pages)
+            .node(TierKind::Pm, pm_pages)
+            .build()
+    }
+
+    /// A realistic CXL expansion machine: local DRAM, a CXL-attached DRAM
+    /// expander (~210 ns loads through the link), and PM.
+    pub fn dram_cxl_pm(dram_pages: usize, cxl_pages: usize, pm_pages: usize) -> Self {
+        MachineBuilder::new()
+            .node(TierKind::Dram, dram_pages)
+            .node(TierKind::Cxl, cxl_pages)
+            .node(TierKind::Pm, pm_pages)
+            .build()
+    }
+
+    /// A dual-socket machine sharing one multi-headed CXL device: each
+    /// socket has local DRAM; the CXL expander exposes two heads (one per
+    /// socket), doubling its usable link bandwidth; PM backs the bottom.
+    pub fn cxl_multihead(dram_per_socket: usize, cxl_pages: usize, pm_pages: usize) -> Self {
+        MachineBuilder::new()
+            .node(TierKind::Dram, dram_per_socket)
+            .node(TierKind::Dram, dram_per_socket)
+            .node(TierKind::Cxl, cxl_pages)
+            .heads(2)
+            .node(TierKind::Pm, pm_pages)
+            .build()
+    }
+
+    /// Derives the node/tier layout.
+    pub fn topology(&self) -> Topology {
+        let mut b = TopologyBuilder::new();
+        for n in &self.nodes {
+            b = b.node(n.kind, n.pages);
+        }
+        b.build()
+    }
+
+    /// Derives the cost model.
+    ///
+    /// The per-tier table holds the effective timing of each tier's first
+    /// node (in node order); software costs come from the house defaults.
+    /// The per-node table is populated only when some node sits behind a
+    /// non-direct link or has multiple heads — machines of direct-attached
+    /// single-head nodes keep `node_access` empty and take the identical
+    /// legacy per-tier cost path.
+    pub fn latency(&self) -> LatencyModel {
+        let topo = self.topology();
+        let tiers: Vec<TierLatency> = topo
+            .tiers()
+            .iter()
+            .filter_map(|t| t.nodes().first())
+            .filter_map(|id| self.nodes.get(id.index()))
+            .map(|n| n.effective())
+            .collect();
+        let needs_node_table = self
+            .nodes
+            .iter()
+            .any(|n| !n.link.is_direct() || n.heads > 1);
+        let node_access = if needs_node_table {
+            self.nodes.iter().map(|n| n.effective()).collect()
+        } else {
+            Vec::new()
+        };
+        LatencyModel {
+            tiers,
+            node_access,
+            ..LatencyModel::dram_pm()
+        }
+    }
+
+    /// Derives a full [`MemConfig`] (topology + cost model).
+    pub fn mem_config(&self) -> MemConfig {
+        MemConfig {
+            topology: self.topology(),
+            latency: self.latency(),
+        }
+    }
+}
+
+/// Fluent builder for [`MachineDesc`].
+///
+/// `.node(kind, pages)` appends a node with kind-appropriate defaults
+/// (CXL nodes get DRAM media behind a [`LinkDesc::cxl`] link; everything
+/// else is direct-attached). `.device(..)`, `.link(..)` and `.heads(..)`
+/// modify the most recently added node.
+#[derive(Debug, Default, Clone)]
+pub struct MachineBuilder {
+    nodes: Vec<MachineNode>,
+}
+
+impl MachineBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node of the given memory kind and page count with the kind's
+    /// default device timing and link.
+    pub fn node(mut self, kind: TierKind, pages: usize) -> Self {
+        assert!(pages > 0, "a node must have at least one page");
+        self.nodes
+            .push(MachineNode::with_kind_defaults(kind, pages));
+        self
+    }
+
+    /// Overrides the device timing of the last added node.
+    pub fn device(mut self, device: TierLatency) -> Self {
+        if let Some(n) = self.nodes.last_mut() {
+            n.device = device;
+        } else {
+            // lint: allow(panic) - builder misuse (device() before any node()) is a programming error, not a runtime state
+            panic!("device() requires a preceding node()");
+        }
+        self
+    }
+
+    /// Overrides the link of the last added node.
+    pub fn link(mut self, link: LinkDesc) -> Self {
+        if let Some(n) = self.nodes.last_mut() {
+            n.link = link;
+        } else {
+            // lint: allow(panic) - builder misuse (link() before any node()) is a programming error, not a runtime state
+            panic!("link() requires a preceding node()");
+        }
+        self
+    }
+
+    /// Sets the head count of the last added node.
+    pub fn heads(mut self, heads: u8) -> Self {
+        assert!(heads >= 1, "a node needs at least one head");
+        if let Some(n) = self.nodes.last_mut() {
+            n.heads = heads;
+        } else {
+            // lint: allow(panic) - builder misuse (heads() before any node()) is a programming error, not a runtime state
+            panic!("heads() requires a preceding node()");
+        }
+        self
+    }
+
+    /// Finalises the description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node was added.
+    pub fn build(self) -> MachineDesc {
+        assert!(!self.nodes.is_empty(), "machine needs at least one node");
+        MachineDesc { nodes: self.nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, TierId};
+    use crate::latency::AccessKind;
+
+    #[test]
+    fn dram_pm_preset_matches_legacy_model_exactly() {
+        // The bit-identity contract: the preset derives the very same
+        // topology and cost model the pre-MachineDesc constructors built.
+        let m = MachineDesc::dram_pm(1024, 4096);
+        let legacy_topo = TopologyBuilder::new()
+            .node(TierKind::Dram, 1024)
+            .node(TierKind::Pm, 4096)
+            .build();
+        assert_eq!(m.topology(), legacy_topo);
+        assert_eq!(m.latency(), LatencyModel::dram_pm());
+        assert!(m.latency().node_access.is_empty());
+    }
+
+    #[test]
+    fn three_tier_preset_matches_legacy_model_exactly() {
+        let m = MachineDesc::three_tier(64, 256, 1024);
+        assert_eq!(m.latency(), LatencyModel::three_tier());
+    }
+
+    #[test]
+    fn dual_socket_preset_keeps_node_table_empty() {
+        let m = MachineDesc::dual_socket(512, 2048);
+        assert_eq!(m.topology().tier_count(), 2);
+        assert!(m.latency().node_access.is_empty());
+        assert_eq!(m.latency(), LatencyModel::dram_pm());
+    }
+
+    #[test]
+    fn dram_cxl_pm_orders_cxl_between_dram_and_pm() {
+        let m = MachineDesc::dram_cxl_pm(512, 2048, 8192);
+        let topo = m.topology();
+        assert_eq!(topo.tier_count(), 3);
+        assert_eq!(topo.tier(TierId::new(0)).kind(), TierKind::Dram);
+        assert_eq!(topo.tier(TierId::new(1)).kind(), TierKind::Cxl);
+        assert_eq!(topo.tier(TierId::new(2)).kind(), TierKind::Pm);
+        let lat = m.latency();
+        // Non-direct link present -> per-node table is populated.
+        assert_eq!(lat.node_access.len(), 3);
+        let r: Vec<u64> = (0..3)
+            .map(|i| lat.access(TierId::new(i), AccessKind::Read).as_nanos())
+            .collect();
+        assert!(r[0] < r[1] && r[1] < r[2], "tier reads ordered: {r:?}");
+        // The CXL node is charged device + link latency.
+        assert_eq!(
+            lat.access_at(NodeId::new(1), TierId::new(1), AccessKind::Read)
+                .as_nanos(),
+            210
+        );
+    }
+
+    #[test]
+    fn multihead_doubles_cxl_link_bandwidth() {
+        let one = MachineDesc::dram_cxl_pm(512, 2048, 8192);
+        let two = MachineDesc::cxl_multihead(256, 2048, 8192);
+        let cxl_one = one.nodes()[1].effective();
+        let cxl_two = two.nodes()[2].effective();
+        assert_eq!(cxl_one.read_ns, cxl_two.read_ns);
+        assert!(cxl_two.write_bw_gbps > cxl_one.write_bw_gbps);
+    }
+
+    #[test]
+    fn builder_overrides_apply_to_last_node() {
+        let m = MachineBuilder::new()
+            .node(TierKind::Dram, 100)
+            .node(TierKind::Pm, 400)
+            .link(LinkDesc::cxl())
+            .heads(2)
+            .build();
+        assert!(m.nodes()[0].link.is_direct());
+        assert!(!m.nodes()[1].link.is_direct());
+        assert_eq!(m.nodes()[1].heads, 2);
+        // PM behind a link -> node table populated; DRAM node unchanged.
+        let lat = m.latency();
+        assert_eq!(lat.node_access.len(), 2);
+        assert_eq!(
+            lat.access_at(NodeId::new(0), TierId::TOP, AccessKind::Read)
+                .as_nanos(),
+            80
+        );
+        assert_eq!(
+            lat.access_at(NodeId::new(1), TierId::new(1), AccessKind::Read)
+                .as_nanos(),
+            300 + 130
+        );
+    }
+
+    #[test]
+    fn mem_config_derives_both_halves() {
+        let cfg = MachineDesc::dram_pm(128, 512).mem_config();
+        assert_eq!(cfg.topology.total_pages(), 640);
+        assert_eq!(cfg.latency.tier_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "preceding node")]
+    fn override_without_node_rejected() {
+        let _ = MachineBuilder::new().heads(2);
+    }
+}

@@ -1,6 +1,7 @@
 //! Counters, cost accounting and event reporting.
 
 use crate::ids::{FrameId, TierId, VPage};
+#[cfg(test)]
 use crate::tier::TierKind;
 use crate::time::Nanos;
 use crate::topology::Topology;
@@ -71,9 +72,9 @@ impl MemStats {
     }
 
     /// Fraction of accesses served by fast tiers — every tier whose kind
-    /// is not [`TierKind::Pm`] (HBM and all DRAM tiers). `None` before
-    /// any access. Equals [`MemStats::tier0_share`] on two-tier DRAM+PM
-    /// machines.
+    /// is fast per [`crate::TierKind::is_fast`] (HBM and socket-local DRAM; CXL
+    /// expanders and PM count as capacity). `None` before any access.
+    /// Equals [`MemStats::tier0_share`] on two-tier DRAM+PM machines.
     pub fn fast_tier_share(&self, topology: &Topology) -> Option<f64> {
         let total: u64 = self.tier_accesses.iter().sum();
         if total == 0 {
@@ -87,7 +88,7 @@ impl MemStats {
                 topology
                     .tiers()
                     .get(*idx)
-                    .is_some_and(|t| t.kind() != TierKind::Pm)
+                    .is_some_and(|t| t.kind().is_fast())
             })
             .map(|(_, count)| *count)
             .sum();
@@ -189,7 +190,7 @@ mod tests {
     use crate::topology::TopologyBuilder;
 
     #[test]
-    fn fast_tier_share_counts_all_non_pm_tiers() {
+    fn fast_tier_share_counts_all_fast_tiers() {
         let topo = TopologyBuilder::new()
             .node(TierKind::Hbm, 8)
             .node(TierKind::Dram, 8)
@@ -203,6 +204,21 @@ mod tests {
         assert!((s.tier0_share().unwrap() - 0.10).abs() < 1e-9);
         // ...fast_tier_share sees HBM + DRAM.
         assert!((s.fast_tier_share(&topo).unwrap() - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_tier_share_excludes_cxl_on_three_tier_machine() {
+        // A page served from a CXL expander paid a link round-trip; it must
+        // not count as "served from fast memory". The old non-Pm filter
+        // would report 0.70 here.
+        let topo = TopologyBuilder::new()
+            .node(TierKind::Dram, 8)
+            .node(TierKind::Cxl, 8)
+            .node(TierKind::Pm, 8)
+            .build();
+        let mut s = MemStats::default();
+        s.tier_accesses = vec![50, 20, 30];
+        assert!((s.fast_tier_share(&topo).unwrap() - 0.50).abs() < 1e-9);
     }
 
     #[test]

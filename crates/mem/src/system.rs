@@ -6,12 +6,12 @@ use crate::flags::PageFlags;
 use crate::frame::{Frame, FrameState, PageKind};
 use crate::ids::{FrameId, NodeId, TierId, VPage};
 use crate::latency::{AccessKind, LatencyModel};
+use crate::machine::MachineDesc;
 use crate::pte::PageTable;
 use crate::snapshot::{FrameRange, RefSnapshot};
 use crate::stats::{CostLedger, MemEvent, MemStats};
-use crate::tier::TierKind;
 use crate::time::Nanos;
-use crate::topology::{Topology, TopologyBuilder};
+use crate::topology::Topology;
 use crate::txn::{MigrationTxn, ShadowPages};
 use crate::watermark::Watermarks;
 use mc_fault::{FaultInjector, InjectedFault};
@@ -29,44 +29,31 @@ pub struct MemConfig {
 
 impl MemConfig {
     /// A single-socket, two-tier machine: one DRAM node and one PM node.
+    /// Thin wrapper over the [`MachineDesc::dram_pm`] preset.
     ///
     /// This is the configuration most experiments use, scaled down from the
     /// paper's 192 GB + 512 GB testbed to keep simulations fast; all ratios
     /// (footprint vs DRAM size) are preserved by the experiment configs.
     pub fn two_tier(dram_pages: usize, pm_pages: usize) -> Self {
-        MemConfig {
-            topology: TopologyBuilder::new()
-                .node(TierKind::Dram, dram_pages)
-                .node(TierKind::Pm, pm_pages)
-                .build(),
-            latency: LatencyModel::dram_pm(),
-        }
+        MachineDesc::dram_pm(dram_pages, pm_pages).mem_config()
     }
 
     /// A dual-socket machine: two DRAM nodes and two PM nodes, mirroring
-    /// the paper's testbed shape.
+    /// the paper's testbed shape. Wrapper over [`MachineDesc::dual_socket`].
     pub fn dual_socket(dram_pages_per_node: usize, pm_pages_per_node: usize) -> Self {
-        MemConfig {
-            topology: TopologyBuilder::new()
-                .node(TierKind::Dram, dram_pages_per_node)
-                .node(TierKind::Dram, dram_pages_per_node)
-                .node(TierKind::Pm, pm_pages_per_node)
-                .node(TierKind::Pm, pm_pages_per_node)
-                .build(),
-            latency: LatencyModel::dram_pm(),
-        }
+        MachineDesc::dual_socket(dram_pages_per_node, pm_pages_per_node).mem_config()
     }
 
-    /// A three-tier machine for the N-tier extension tests.
+    /// A three-tier machine for the N-tier extension tests. Wrapper over
+    /// [`MachineDesc::three_tier`].
     pub fn three_tier(hbm_pages: usize, dram_pages: usize, pm_pages: usize) -> Self {
-        MemConfig {
-            topology: TopologyBuilder::new()
-                .node(TierKind::Hbm, hbm_pages)
-                .node(TierKind::Dram, dram_pages)
-                .node(TierKind::Pm, pm_pages)
-                .build(),
-            latency: LatencyModel::three_tier(),
-        }
+        MachineDesc::three_tier(hbm_pages, dram_pages, pm_pages).mem_config()
+    }
+
+    /// A realistic CXL expansion machine: DRAM + CXL-attached DRAM + PM.
+    /// Wrapper over [`MachineDesc::dram_cxl_pm`].
+    pub fn dram_cxl_pm(dram_pages: usize, cxl_pages: usize, pm_pages: usize) -> Self {
+        MachineDesc::dram_cxl_pm(dram_pages, cxl_pages, pm_pages).mem_config()
     }
 }
 
@@ -84,6 +71,10 @@ pub struct AccessOutcome {
     pub frame: FrameId,
     /// The tier the frame lives in.
     pub tier: TierId,
+    /// The NUMA node the frame lives in — callers charging bandwidth-bound
+    /// costs should use it with [`LatencyModel::stream_at`] so link-attached
+    /// nodes pay their own bandwidth cap.
+    pub node: NodeId,
     /// Device latency of the access (excludes any hint-fault cost).
     pub latency: Nanos,
     /// Whether the PTE was poisoned: the access took a software hint fault.
@@ -481,6 +472,7 @@ impl MemorySystem {
             saturating_bump(&mut self.stats.reads);
         }
         let tier = self.frames[frame.index()].tier();
+        let node = self.frames[frame.index()].node();
         if hint_fault {
             saturating_bump(&mut self.stats.hint_faults);
             self.recorder.emit(|| EventKind::HintFault {
@@ -492,7 +484,7 @@ impl MemorySystem {
             self.stats.tier_accesses.resize(tier.index() + 1, 0);
         }
         saturating_bump(&mut self.stats.tier_accesses[tier.index()]);
-        let mut latency = self.latency.access(tier, kind);
+        let mut latency = self.latency.access_at(node, tier, kind);
         if let Some(fault) = self.fault.as_mut() {
             let factor = fault.on_access(tier.index() as u8);
             if factor > 1 {
@@ -502,6 +494,7 @@ impl MemorySystem {
         Ok(AccessOutcome {
             frame,
             tier,
+            node,
             latency,
             hint_fault,
         })

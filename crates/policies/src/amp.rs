@@ -198,6 +198,7 @@ impl TieringPolicy for Amp {
                                 self.rings[upper.index()].remove(victim);
                                 self.rings[tier.index()].push_back(nv);
                                 self.transfer(victim, nv);
+                                // lint: allow(result) - a failed back-promotion leaves a one-sided exchange; the value is consumed via `exchanged`
                                 exchanged = mem.migrate(frame, upper).ok();
                             }
                             break;

@@ -24,19 +24,27 @@
 //! * [`OraclePolicy`] — strict-LRU and LFU ablation policies that observe
 //!   every access (impossible in a kernel, §II-D, but a useful selection-
 //!   quality upper bound in simulation).
+//! * [`HybridTier`] — sketch-based frequency tracking (arXiv 2312.04789):
+//!   sampled reference-bit harvesting into a count-min sketch instead of
+//!   full PTE scans, plus direct data placement of known-hot pages at
+//!   allocation time. The CXL-era comparison point.
 
 pub mod amp;
 pub mod autonuma;
 pub mod autotiering;
+pub mod hybridtier;
 pub mod memory_mode;
 pub mod nimble;
 pub mod oracle;
+pub mod sketch;
 pub mod static_tiering;
 
 pub use amp::Amp;
 pub use autonuma::AutoNuma;
 pub use autotiering::{AutoTiering, AutoTieringConfig, AutoTieringMode};
+pub use hybridtier::{HybridTier, HybridTierConfig};
 pub use memory_mode::{MemoryModeCache, MemoryModeStats};
 pub use nimble::{Nimble, NimbleConfig};
 pub use oracle::{OracleKind, OraclePolicy};
+pub use sketch::CmSketch;
 pub use static_tiering::StaticTiering;

@@ -220,6 +220,7 @@ impl TieringPolicy for OraclePolicy {
         }
         // LFU decay.
         if self.kind == OracleKind::Lfu {
+            // lint: allow(determinism) - halving every counter commutes; iteration order cannot change the result
             for c in self.counts.values_mut() {
                 *c /= 2;
             }

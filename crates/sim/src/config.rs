@@ -19,6 +19,10 @@ pub enum SystemKind {
     Nomad,
     /// Nimble's page selection (recency only).
     Nimble,
+    /// HybridTier: CM-sketch frequency tracking over sampled reference
+    /// bits with direct data placement (arXiv 2312.04789) — the CXL-era
+    /// comparison point.
+    HybridTier,
     /// AutoTiering conservative promotion.
     AtCpm,
     /// AutoTiering opportunistic promotion.
@@ -38,12 +42,13 @@ pub enum SystemKind {
 
 impl SystemKind {
     /// The systems of Figs. 5 and 6: the paper's five plus the Nomad
-    /// transactional-migration baseline.
-    pub const TIERED_COMPARISON: [SystemKind; 6] = [
+    /// transactional-migration baseline and the HybridTier sketch policy.
+    pub const TIERED_COMPARISON: [SystemKind; 7] = [
         SystemKind::Static,
         SystemKind::MultiClock,
         SystemKind::Nomad,
         SystemKind::Nimble,
+        SystemKind::HybridTier,
         SystemKind::AtCpm,
         SystemKind::AtOpm,
     ];
@@ -55,6 +60,7 @@ impl SystemKind {
             SystemKind::MultiClock => "MULTI-CLOCK",
             SystemKind::Nomad => "Nomad",
             SystemKind::Nimble => "Nimble",
+            SystemKind::HybridTier => "HybridTier",
             SystemKind::AtCpm => "AT-CPM",
             SystemKind::AtOpm => "AT-OPM",
             SystemKind::AutoNuma => "AutoNUMA-Tiering",
@@ -238,10 +244,11 @@ mod tests {
 
     #[test]
     fn comparison_set_matches_figures() {
-        assert_eq!(SystemKind::TIERED_COMPARISON.len(), 6);
+        assert_eq!(SystemKind::TIERED_COMPARISON.len(), 7);
         assert_eq!(SystemKind::TIERED_COMPARISON[0], SystemKind::Static);
         assert!(SystemKind::TIERED_COMPARISON.contains(&SystemKind::MultiClock));
         assert!(SystemKind::TIERED_COMPARISON.contains(&SystemKind::Nomad));
+        assert!(SystemKind::TIERED_COMPARISON.contains(&SystemKind::HybridTier));
     }
 
     #[test]
@@ -251,6 +258,7 @@ mod tests {
             SystemKind::MultiClock,
             SystemKind::Nomad,
             SystemKind::Nimble,
+            SystemKind::HybridTier,
             SystemKind::AtCpm,
             SystemKind::AtOpm,
             SystemKind::AutoNuma,

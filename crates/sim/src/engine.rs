@@ -12,8 +12,8 @@ use mc_mem::{
     VirtualClock, PAGE_SIZE,
 };
 use mc_policies::{
-    Amp, AutoNuma, AutoTiering, AutoTieringConfig, AutoTieringMode, MemoryModeCache, Nimble,
-    NimbleConfig, OracleKind, OraclePolicy, StaticTiering,
+    Amp, AutoNuma, AutoTiering, AutoTieringConfig, AutoTieringMode, HybridTier, HybridTierConfig,
+    MemoryModeCache, Nimble, NimbleConfig, OracleKind, OraclePolicy, StaticTiering,
 };
 use mc_workloads::Memory;
 use multi_clock::{MultiClock, MultiClockConfig};
@@ -88,6 +88,21 @@ impl Simulation {
                         // interval (the defaults are paper-scale).
                         min_interval: Nanos::from_nanos(cfg.scan_interval.as_nanos() / 10),
                         max_interval: cfg.scan_interval.saturating_mul(60),
+                        ..Default::default()
+                    },
+                    topo,
+                )),
+                oracle_visibility: false,
+            },
+            SystemKind::HybridTier => Frontend::Tiered {
+                policy: Box::new(HybridTier::new(
+                    HybridTierConfig {
+                        sample_interval: cfg.scan_interval,
+                        // Sampling is the point: HybridTier reads a
+                        // bounded fraction of what the full scanner
+                        // would walk per wake-up (per tier), trading
+                        // recall for tracking cost.
+                        sample_batch: (cfg.scan_batch / 8).max(64),
                         ..Default::default()
                     },
                     topo,
@@ -460,7 +475,10 @@ impl Simulation {
                 self.metrics.costs_mut().access_time += out.latency;
                 let mut dev_latency = out.latency;
                 if bytes > 64 {
-                    let extra = self.mem.latency().stream(out.tier, kind, bytes - 64);
+                    let extra = self
+                        .mem
+                        .latency()
+                        .stream_at(out.node, out.tier, kind, bytes - 64);
                     self.clock.advance(extra);
                     self.metrics.costs_mut().access_time += extra;
                     dev_latency += extra;

@@ -11,7 +11,7 @@ use crate::config::{SimConfig, SystemKind};
 use crate::engine::Simulation;
 use crate::latency_hist::LatencyHistogram;
 use crate::metrics::WindowStats;
-use mc_mem::{MigrationMode, Nanos};
+use mc_mem::{MachineDesc, MemConfig, MigrationMode, Nanos};
 use mc_workloads::graph::{bc, bfs, cc, pagerank, sssp, tc, Csr, GraphConfig, Kernel};
 use mc_workloads::ycsb::{YcsbClient, YcsbConfig, YcsbWorkload};
 use mc_workloads::Memory;
@@ -179,6 +179,71 @@ impl Scale {
     }
 }
 
+/// The machine an [`Experiment`] runs on, as a named preset over
+/// [`mc_mem::MachineDesc`].
+///
+/// Presets are *shapes*, not sizes: each takes the experiment scale's
+/// `(dram_pages, pm_pages)` budget and arranges it into a topology, so
+/// the same `Scale` drives every machine. The bench binaries expose the
+/// presets under their kebab-case names via `--machine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachinePreset {
+    /// Classic two-tier local DRAM + PM — the default, and bit-identical
+    /// by contract to the historical `MemConfig::two_tier` machine
+    /// (`crates/sim/tests/machine_differential.rs` enforces it).
+    DramPm,
+    /// Three-tier DRAM + CXL-attached DRAM + PM: the CXL expander adds a
+    /// capacity tier between local DRAM and PM, sized like the DRAM tier,
+    /// reached over an asymmetric link (~210 ns effective read).
+    DramCxlPm,
+    /// Dual-socket DRAM (half the budget per socket) sharing one
+    /// two-headed CXL device, backed by PM — the multi-headed-device
+    /// machine from the HybridTier evaluation.
+    CxlMultihead,
+}
+
+impl MachinePreset {
+    /// All presets, in `--machine` listing order.
+    pub const ALL: [MachinePreset; 3] = [
+        MachinePreset::DramPm,
+        MachinePreset::DramCxlPm,
+        MachinePreset::CxlMultihead,
+    ];
+
+    /// The kebab-case name the bench binaries accept.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachinePreset::DramPm => "dram-pm",
+            MachinePreset::DramCxlPm => "dram-cxl-pm",
+            MachinePreset::CxlMultihead => "cxl-multihead",
+        }
+    }
+
+    /// Parses a kebab-case preset name (`dram-pm`, `dram-cxl-pm`,
+    /// `cxl-multihead`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        MachinePreset::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Builds the machine from the scale's page budget.
+    pub fn mem_config(self, dram_pages: usize, pm_pages: usize) -> MemConfig {
+        match self {
+            MachinePreset::DramPm => MemConfig::two_tier(dram_pages, pm_pages),
+            MachinePreset::DramCxlPm => MemConfig::dram_cxl_pm(dram_pages, dram_pages, pm_pages),
+            MachinePreset::CxlMultihead => {
+                let per_socket = (dram_pages / 2).max(1);
+                MachineDesc::cxl_multihead(per_socket, dram_pages, pm_pages).mem_config()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for MachinePreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 fn base_config(system: SystemKind, scale: &Scale, interval: Nanos) -> SimConfig {
     let mut cfg = SimConfig::new(system, scale.dram_pages, scale.pm_pages);
     cfg.scan_interval = interval;
@@ -282,6 +347,7 @@ pub struct Experiment {
     workload: Workload,
     system: SystemKind,
     scale: Scale,
+    machine: MachinePreset,
     interval: Option<Nanos>,
     obs_dir: Option<std::path::PathBuf>,
     fault: mc_fault::FaultConfig,
@@ -299,6 +365,7 @@ impl Experiment {
             workload,
             system: SystemKind::MultiClock,
             scale: Scale::quick(),
+            machine: MachinePreset::DramPm,
             interval: None,
             obs_dir: None,
             fault: mc_fault::FaultConfig::none(),
@@ -336,6 +403,14 @@ impl Experiment {
     /// called, the scan interval follows the scale (1 paper second).
     pub fn scale(mut self, scale: &Scale) -> Self {
         self.scale = scale.clone();
+        self
+    }
+
+    /// Selects the machine preset (default [`MachinePreset::DramPm`],
+    /// which is bit-identical to the historical two-tier machine — the
+    /// default is result-neutral by contract).
+    pub fn machine(mut self, machine: MachinePreset) -> Self {
+        self.machine = machine;
         self
     }
 
@@ -419,10 +494,17 @@ impl Experiment {
     pub fn run(self) -> std::io::Result<RunOutcome> {
         let interval = self.interval.unwrap_or_else(|| self.scale.scan_interval());
         let mut cfg = match self.workload {
-            Workload::Ycsb(_) => base_config(self.system, &self.scale, interval),
+            Workload::Ycsb(_) => {
+                let mut cfg = base_config(self.system, &self.scale, interval);
+                cfg.mem = self
+                    .machine
+                    .mem_config(self.scale.dram_pages, self.scale.pm_pages);
+                cfg
+            }
             Workload::Gapbs(_) => {
                 let (dram, pm) = self.scale.graph_machine();
                 let mut cfg = SimConfig::new(self.system, dram, pm);
+                cfg.mem = self.machine.mem_config(dram, pm);
                 cfg.scan_interval = Nanos::from_nanos(
                     (interval.as_nanos() as f64 * self.scale.graph_interval_factor) as u64,
                 );
@@ -589,29 +671,36 @@ fn summarize(
     }
 }
 
-/// Runs the Fig. 5 comparison (all five tiered systems) for one YCSB
-/// workload.
-pub fn ycsb_comparison(workload: YcsbWorkload, scale: &Scale) -> Vec<RunOutcome> {
+/// Runs the Fig. 5 comparison (the tiered-system set) for one YCSB
+/// workload on the given machine preset.
+pub fn ycsb_comparison(
+    workload: YcsbWorkload,
+    scale: &Scale,
+    machine: MachinePreset,
+) -> Vec<RunOutcome> {
     SystemKind::TIERED_COMPARISON
         .iter()
         .map(|s| {
             Experiment::ycsb(workload)
                 .system(*s)
                 .scale(scale)
+                .machine(machine)
                 .run()
                 .expect("no obs artifacts requested, so no I/O can fail")
         })
         .collect()
 }
 
-/// Runs the Fig. 6 comparison for one GAPBS kernel.
-pub fn gapbs_comparison(kernel: Kernel, scale: &Scale) -> Vec<RunOutcome> {
+/// Runs the Fig. 6 comparison for one GAPBS kernel on the given machine
+/// preset.
+pub fn gapbs_comparison(kernel: Kernel, scale: &Scale, machine: MachinePreset) -> Vec<RunOutcome> {
     SystemKind::TIERED_COMPARISON
         .iter()
         .map(|s| {
             Experiment::gapbs(kernel)
                 .system(*s)
                 .scale(scale)
+                .machine(machine)
                 .run()
                 .expect("no obs artifacts requested, so no I/O can fail")
         })
@@ -701,6 +790,52 @@ mod tests {
             5 * s.interval_unit.as_nanos()
         );
         assert_eq!(s.window(), s.paper_interval(20.0));
+    }
+
+    #[test]
+    fn machine_preset_names_round_trip() {
+        for m in MachinePreset::ALL {
+            assert_eq!(MachinePreset::from_name(m.name()), Some(m));
+            assert_eq!(format!("{m}"), m.name());
+        }
+        assert_eq!(MachinePreset::from_name("optane-only"), None);
+    }
+
+    #[test]
+    fn explicit_default_machine_is_result_neutral() {
+        let mut scale = Scale::tiny();
+        scale.warmup = Nanos::from_millis(400);
+        scale.measure = Nanos::from_millis(400);
+        let implicit = Experiment::ycsb(YcsbWorkload::B)
+            .scale(&scale)
+            .run()
+            .unwrap();
+        let explicit = Experiment::ycsb(YcsbWorkload::B)
+            .scale(&scale)
+            .machine(MachinePreset::DramPm)
+            .run()
+            .unwrap();
+        assert_eq!(implicit.ops_per_sec, explicit.ops_per_sec);
+        assert_eq!(implicit.promotions, explicit.promotions);
+        assert_eq!(implicit.demotions, explicit.demotions);
+    }
+
+    #[test]
+    fn hybridtier_runs_on_cxl_machines() {
+        let mut scale = Scale::tiny();
+        scale.warmup = Nanos::from_millis(400);
+        scale.measure = Nanos::from_millis(400);
+        for machine in [MachinePreset::DramCxlPm, MachinePreset::CxlMultihead] {
+            let o = Experiment::ycsb(YcsbWorkload::A)
+                .system(SystemKind::HybridTier)
+                .scale(&scale)
+                .machine(machine)
+                .run()
+                .unwrap();
+            assert!(o.ops_per_sec > 0.0, "machine={machine}");
+            let share = o.top_tier_share.unwrap_or(0.0);
+            assert!((0.0..=1.0).contains(&share), "share={share}");
+        }
     }
 
     #[test]

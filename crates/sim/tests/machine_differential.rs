@@ -1,0 +1,186 @@
+//! Differential harness for the `MachineDesc` redesign.
+//!
+//! The headline guarantee of the machine-description layer: the
+//! `dram-pm` preset is *bit-identical* to the pre-redesign engine that
+//! built its machine from a raw `TopologyBuilder` plus
+//! `LatencyModel::dram_pm()`. Same virtual time, same `MemStats`, same
+//! per-tick CSV, same tracepoint JSONL, same final page placement —
+//! because a machine whose nodes all sit on direct links leaves the
+//! per-node latency table empty and the cost model falls through to the
+//! historical per-tier path.
+//!
+//! Also pins the HybridTier determinism contract on a CXL machine:
+//! enabling observability never changes virtual-time results, and the
+//! same seed reproduces the same run bit-for-bit.
+
+use mc_mem::{LatencyModel, MemConfig, Nanos, PageKind, TierKind, TopologyBuilder, PAGE_SIZE};
+use mc_sim::experiments::{Experiment, MachinePreset, Scale};
+use mc_sim::{SimConfig, Simulation, SystemKind};
+use mc_workloads::ycsb::YcsbWorkload;
+use mc_workloads::Memory;
+
+/// Fingerprint of everything a run can observably produce.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    now: Nanos,
+    stats: mc_mem::MemStats,
+    ticks_csv: String,
+    events_jsonl: String,
+    placement: Vec<Option<(u32, u8)>>,
+    promotions: u64,
+    demotions: u64,
+    costs: mc_sim::CostBreakdown,
+}
+
+const PAGES: u64 = 192;
+
+/// Deterministic promotion-heavy workload (same shape as the other
+/// differential harnesses): first-touch fill spills into the capacity
+/// tier, a hot set deep in the tail is hammered every round, a stride
+/// keeps the lists churning, compute gaps let the daemon tick.
+fn run(cfg: SimConfig) -> Fingerprint {
+    let mut s = Simulation::new(cfg);
+    let a = s.mmap(PAGE_SIZE as usize * PAGES as usize, PageKind::Anon);
+    for p in 0..PAGES {
+        s.write(a.add(p * PAGE_SIZE as u64), 64);
+    }
+    for round in 0..400u64 {
+        for h in 0..8u64 {
+            s.read(a.add((160 + h) * PAGE_SIZE as u64), 64);
+        }
+        let page = (round * 7) % PAGES;
+        let addr = a.add(page * PAGE_SIZE as u64);
+        if round % 3 == 0 {
+            s.write(addr, 256);
+        } else {
+            s.read(addr, 64);
+        }
+        s.compute(Nanos::from_millis(25));
+        s.record_op();
+    }
+    s.finish();
+    let placement = (0..PAGES)
+        .map(|p| {
+            s.mem().translate(mc_mem::VPage::new(p)).map(|f| {
+                let fr = s.mem().frame(f);
+                (f.raw(), fr.tier().index() as u8)
+            })
+        })
+        .collect();
+    Fingerprint {
+        now: s.now(),
+        stats: s.mem().stats().clone(),
+        ticks_csv: s.obs_ticks_csv().unwrap_or_default(),
+        events_jsonl: s.obs_events_jsonl().unwrap_or_default(),
+        placement,
+        promotions: s.metrics().total_promotions(),
+        demotions: s.metrics().total_demotions(),
+        costs: s.metrics().costs(),
+    }
+}
+
+/// The machine exactly as the pre-redesign `MemConfig::two_tier` built
+/// it: a raw topology plus the per-tier latency table, no machine layer.
+fn legacy_dram_pm(dram_pages: usize, pm_pages: usize) -> MemConfig {
+    MemConfig {
+        topology: TopologyBuilder::new()
+            .node(TierKind::Dram, dram_pages)
+            .node(TierKind::Pm, pm_pages)
+            .build(),
+        latency: LatencyModel::dram_pm(),
+    }
+}
+
+#[test]
+fn dram_pm_preset_is_bit_identical_to_legacy_construction() {
+    for system in [
+        SystemKind::MultiClock,
+        SystemKind::Nomad,
+        SystemKind::Static,
+    ] {
+        let mut preset = SimConfig::new(system, 64, 512);
+        preset.instrument.obs = mc_sim::ObsConfig::on();
+        let mut legacy = preset.clone();
+        legacy.mem = legacy_dram_pm(64, 512);
+
+        let a = run(preset);
+        let b = run(legacy);
+        if system == SystemKind::MultiClock {
+            assert!(a.promotions > 0, "workload must exercise the scanner");
+            assert!(
+                !a.events_jsonl.is_empty(),
+                "obs must be on so the event stream is part of the fingerprint"
+            );
+        }
+        assert_eq!(a, b, "system={system:?}");
+    }
+}
+
+#[test]
+fn experiment_default_machine_matches_legacy_outcome() {
+    let mut scale = Scale::tiny();
+    scale.warmup = Nanos::from_millis(400);
+    scale.measure = Nanos::from_millis(400);
+    let outcome = Experiment::ycsb(YcsbWorkload::A)
+        .scale(&scale)
+        .machine(MachinePreset::DramPm)
+        .run()
+        .expect("no obs artifacts requested");
+    // The preset's machine is value-equal to the legacy construction, so
+    // the engine sees indistinguishable inputs.
+    let preset_mem = MachinePreset::DramPm.mem_config(scale.dram_pages, scale.pm_pages);
+    let legacy_mem = legacy_dram_pm(scale.dram_pages, scale.pm_pages);
+    assert_eq!(preset_mem.latency, legacy_mem.latency);
+    assert_eq!(
+        preset_mem.topology.tier_count(),
+        legacy_mem.topology.tier_count()
+    );
+    assert_eq!(
+        preset_mem.topology.total_pages(),
+        legacy_mem.topology.total_pages()
+    );
+    assert!(outcome.promotions > 0, "YCSB-A must promote");
+}
+
+/// HybridTier on a three-tier CXL machine: observability is purely a
+/// tap — enabling it never changes virtual-time results (the house
+/// determinism contract every system honours).
+#[test]
+fn hybridtier_obs_run_is_bit_identical_on_cxl_machine() {
+    let cxl_cfg = |obs: bool| {
+        let mut cfg = SimConfig::new(SystemKind::HybridTier, 1, 1);
+        cfg.mem = MemConfig::dram_cxl_pm(48, 64, 512);
+        if obs {
+            cfg.instrument.obs = mc_sim::ObsConfig::on();
+        }
+        cfg
+    };
+    let plain = run(cxl_cfg(false));
+    let observed = run(cxl_cfg(true));
+    assert!(
+        plain.promotions > 0,
+        "HybridTier must promote on the hot set"
+    );
+    assert!(plain.ticks_csv.is_empty() && !observed.ticks_csv.is_empty());
+    // Everything except the obs artifacts themselves must match.
+    assert_eq!(plain.now, observed.now);
+    assert_eq!(plain.stats, observed.stats);
+    assert_eq!(plain.placement, observed.placement);
+    assert_eq!(plain.promotions, observed.promotions);
+    assert_eq!(plain.demotions, observed.demotions);
+    assert_eq!(plain.costs, observed.costs);
+}
+
+/// Same seed, same machine, same workload — the CM-sketch's SplitMix64
+/// hashing is seed-deterministic, so back-to-back HybridTier runs are
+/// bit-identical.
+#[test]
+fn hybridtier_runs_are_reproducible() {
+    let cfg = || {
+        let mut cfg = SimConfig::new(SystemKind::HybridTier, 1, 1);
+        cfg.mem = MemConfig::dram_cxl_pm(48, 64, 512);
+        cfg.instrument.obs = mc_sim::ObsConfig::on();
+        cfg
+    };
+    assert_eq!(run(cfg()), run(cfg()));
+}
